@@ -1,0 +1,124 @@
+package oblivmc
+
+import (
+	"fmt"
+
+	"oblivmc/internal/bitonic"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+)
+
+// GroupTotals obliviously computes, for every record i, the sum of values
+// over all records sharing groups[i] — the oblivious group-by aggregation
+// of the paper's motivating private-analytics workload (§1). The access
+// pattern depends only on the number of records: neither the group
+// structure nor the values leak. Group keys may repeat (they need not be
+// distinct); keys must be < 2^40 and record count < 2^20.
+func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error) {
+	n := len(groups)
+	if n == 0 {
+		return nil, nil, ErrEmptyInput
+	}
+	if len(values) != n {
+		return nil, nil, fmt.Errorf("oblivmc: %d groups but %d values", n, len(values))
+	}
+	if n >= 1<<20 {
+		return nil, nil, fmt.Errorf("oblivmc: too many records")
+	}
+	for i, g := range groups {
+		if g >= 1<<40 {
+			return nil, nil, fmt.Errorf("oblivmc: group key %d (index %d) exceeds 2^40", g, i)
+		}
+	}
+	out := make([]uint64, n)
+	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+		srt := bitonic.CacheAgnostic{}
+		w := mem.Alloc[obliv.Elem](sp, obliv.NextPow2(n))
+		for i := 0; i < n; i++ {
+			w.Data()[i] = obliv.Elem{Key: groups[i], Val: values[i], Aux: uint64(i), Kind: obliv.Real}
+		}
+		// Deterministic composite key handles duplicate group keys.
+		key1 := func(e obliv.Elem) uint64 {
+			if e.Kind != obliv.Real {
+				return obliv.InfKey
+			}
+			return e.Key<<20 | e.Aux
+		}
+		srt.Sort(c, sp, w, 0, w.Len(), key1)
+		groupOf := func(e obliv.Elem) uint64 {
+			if e.Kind != obliv.Real {
+				return obliv.InfKey
+			}
+			return e.Key
+		}
+		// Suffix sums per group; the group's first entry holds the total.
+		obliv.AggregateSuffix(c, sp, w, groupOf,
+			func(e obliv.Elem) uint64 { return e.Val },
+			func(x, y uint64) uint64 { return x + y },
+			func(e obliv.Elem, i int, agg uint64) obliv.Elem {
+				e.Lbl = agg
+				return e
+			})
+		// Propagate the total from the group's first entry to everyone.
+		obliv.PropagateFirst(c, sp, w, groupOf,
+			func(e obliv.Elem, i int) (uint64, bool) { return e.Lbl, e.Kind == obliv.Real },
+			func(e obliv.Elem, i int, v uint64, ok bool) obliv.Elem {
+				if ok {
+					e.Lbl = v
+				}
+				return e
+			})
+		// Back to input order.
+		key2 := func(e obliv.Elem) uint64 {
+			if e.Kind != obliv.Real {
+				return obliv.InfKey
+			}
+			return e.Aux
+		}
+		srt.Sort(c, sp, w, 0, w.Len(), key2)
+		for i := 0; i < n; i++ {
+			out[i] = w.Data()[i].Lbl
+		}
+	})
+	return out, rep, nil
+}
+
+// Lookup obliviously joins queries against a key-value table via
+// send-receive (§F): result[i] holds the value for queries[i] and found[i]
+// reports whether the key exists. Table keys must be distinct; all keys
+// must be < 2^62. The access pattern depends only on the table and query
+// sizes.
+func Lookup(cfg Config, tableKeys, tableVals, queries []uint64) ([]uint64, []bool, *Report, error) {
+	if len(tableKeys) == 0 || len(queries) == 0 {
+		return nil, nil, nil, ErrEmptyInput
+	}
+	if len(tableVals) != len(tableKeys) {
+		return nil, nil, nil, fmt.Errorf("oblivmc: %d keys but %d values", len(tableKeys), len(tableVals))
+	}
+	if err := checkKeys(tableKeys); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := checkKeys(queries); err != nil {
+		return nil, nil, nil, err
+	}
+	vals := make([]uint64, len(queries))
+	found := make([]bool, len(queries))
+	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+		srt := bitonic.CacheAgnostic{}
+		sources := mem.Alloc[obliv.Elem](sp, len(tableKeys))
+		for i, k := range tableKeys {
+			sources.Data()[i] = obliv.Elem{Key: k, Val: tableVals[i], Kind: obliv.Real}
+		}
+		dests := mem.Alloc[obliv.Elem](sp, len(queries))
+		for i, k := range queries {
+			dests.Data()[i] = obliv.Elem{Key: k, Kind: obliv.Real}
+		}
+		routed := obliv.SendReceive(c, sp, sources, dests, srt)
+		for i, e := range routed.Data() {
+			vals[i] = e.Val
+			found[i] = e.Kind == obliv.Real
+		}
+	})
+	return vals, found, rep, nil
+}

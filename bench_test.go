@@ -1,0 +1,431 @@
+package oblivmc
+
+// Benchmark harness: one testing.B benchmark per table/figure of the paper
+// (wall-clock, parallel executor). The shape analysis with exact
+// work/span/cache metrics lives in cmd/oblivbench (see DESIGN.md §4 and
+// EXPERIMENTS.md); these benchmarks measure real multicore runtime of the
+// same code paths.
+
+import (
+	"testing"
+
+	"oblivmc/internal/bitonic"
+	"oblivmc/internal/core"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/graph"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+	"oblivmc/internal/oram"
+	"oblivmc/internal/pram"
+	"oblivmc/internal/prng"
+	"oblivmc/internal/spms"
+)
+
+// benchPool shares one work-stealing pool across iterations.
+var benchPool = forkjoin.NewPool(0)
+
+func benchKeys(n int) []uint64 {
+	src := prng.New(42)
+	seen := map[uint64]bool{}
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		k := src.Uint64() >> 4
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func benchElems(sp *mem.Space, keys []uint64) *mem.Array[obliv.Elem] {
+	a := mem.Alloc[obliv.Elem](sp, len(keys))
+	for i, k := range keys {
+		a.Data()[i] = obliv.Elem{Key: k, Kind: obliv.Real}
+	}
+	return a
+}
+
+// --- Table 1: Sort --------------------------------------------------------
+
+func BenchmarkTable1Sort_ObliviousPractical(b *testing.B) {
+	keys := benchKeys(1 << 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			core.SortPractical(c, sp, benchElems(sp, keys), 1, core.Params{})
+		})
+	}
+}
+
+func BenchmarkTable1Sort_ObliviousTheory(b *testing.B) {
+	keys := benchKeys(1 << 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			core.SortWith(c, sp, benchElems(sp, keys), 1, core.Params{}, spms.InsecureSampleSort(2))
+		})
+	}
+}
+
+func BenchmarkTable1Sort_InsecureSampleSort(b *testing.B) {
+	keys := benchKeys(1 << 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			spms.SampleSort(c, sp, benchElems(sp, keys), 2)
+		})
+	}
+}
+
+func BenchmarkTable1Sort_InsecureMergeSort(b *testing.B) {
+	keys := benchKeys(1 << 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			spms.MergeSort(c, sp, benchElems(sp, keys))
+		})
+	}
+}
+
+// --- Table 1: list ranking -------------------------------------------------
+
+func benchList(n int) []int {
+	src := prng.New(7)
+	order := src.Perm(n)
+	succ := make([]int, n)
+	for k := 0; k < n-1; k++ {
+		succ[order[k]] = order[k+1]
+	}
+	succ[order[n-1]] = order[n-1]
+	return succ
+}
+
+func BenchmarkTable1ListRank_Oblivious(b *testing.B) {
+	succ := benchList(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			graph.ListRankOblivious(c, sp, succ, nil, 3, core.Params{})
+		})
+	}
+}
+
+func BenchmarkTable1ListRank_InsecureDirect(b *testing.B) {
+	succ := benchList(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			graph.ListRankDirect(c, sp, succ, nil)
+		})
+	}
+}
+
+// --- Table 1: Euler-tour tree computations ---------------------------------
+
+func benchTree(n int) [][2]int {
+	src := prng.New(9)
+	edges := make([][2]int, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, [2]int{src.Intn(v), v})
+	}
+	return edges
+}
+
+func BenchmarkTable1Euler_Oblivious(b *testing.B) {
+	const n = 256
+	edges := benchTree(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			graph.TreeFunctionsOblivious(c, sp, n, edges, 0, 5, core.Params{})
+		})
+	}
+}
+
+func BenchmarkTable1Euler_InsecureDirect(b *testing.B) {
+	const n = 256
+	edges := benchTree(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			graph.TreeFunctionsDirect(c, sp, n, edges, 0, 5)
+		})
+	}
+}
+
+// --- Table 1: tree contraction ----------------------------------------------
+
+func benchExpr(leaves int) graph.ExprTree {
+	src := prng.New(11)
+	n := 2*leaves - 1
+	t := graph.ExprTree{
+		N: n, Left: make([]int, n), Right: make([]int, n),
+		Op: make([]uint8, n), LeafVal: make([]uint64, n),
+	}
+	for i := range t.Left {
+		t.Left[i], t.Right[i] = -1, -1
+	}
+	roots := make([]int, leaves)
+	for i := 0; i < leaves; i++ {
+		roots[i] = i
+		t.LeafVal[i] = src.Uint64n(1 << 20)
+	}
+	next := leaves
+	for len(roots) > 1 {
+		i := src.Intn(len(roots))
+		a := roots[i]
+		roots[i] = roots[len(roots)-1]
+		roots = roots[:len(roots)-1]
+		j := src.Intn(len(roots))
+		t.Left[next], t.Right[next] = a, roots[j]
+		t.Op[next] = uint8(src.Intn(2))
+		roots[j] = next
+		next++
+	}
+	t.Root = roots[0]
+	return t
+}
+
+func BenchmarkTable1TreeContraction_Oblivious(b *testing.B) {
+	tr := benchExpr(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			graph.EvalTreeOblivious(c, sp, tr, 7, core.Params{})
+		})
+	}
+}
+
+func BenchmarkTable1TreeContraction_InsecureDescent(b *testing.B) {
+	tr := benchExpr(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			graph.EvalTreeDirect(c, sp, tr)
+		})
+	}
+}
+
+// --- Table 1: CC and MSF -----------------------------------------------------
+
+func benchGraph(n, m int) [][2]int {
+	src := prng.New(13)
+	edges := make([][2]int, 0, m)
+	for len(edges) < m {
+		u, v := src.Intn(n), src.Intn(n)
+		if u != v {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return edges
+}
+
+func BenchmarkTable1CC_Oblivious(b *testing.B) {
+	const n = 64
+	edges := benchGraph(n, 2*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			graph.ConnectedComponentsOblivious(c, sp, n, edges, core.Params{})
+		})
+	}
+}
+
+func BenchmarkTable1CC_InsecureDirect(b *testing.B) {
+	const n = 64
+	edges := benchGraph(n, 2*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			graph.ConnectedComponentsDirect(c, sp, n, edges)
+		})
+	}
+}
+
+func benchWeighted(n, m int) []graph.WEdge {
+	src := prng.New(17)
+	edges := make([]graph.WEdge, 0, m)
+	for len(edges) < m {
+		u, v := src.Intn(n), src.Intn(n)
+		if u != v {
+			edges = append(edges, graph.WEdge{U: u, V: v, W: src.Uint64n(1 << 16)})
+		}
+	}
+	return edges
+}
+
+func BenchmarkTable1MSF_Oblivious(b *testing.B) {
+	const n = 64
+	edges := benchWeighted(n, 2*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			graph.MinimumSpanningForestOblivious(c, sp, n, edges, core.Params{})
+		})
+	}
+}
+
+func BenchmarkTable1MSF_InsecureDirect(b *testing.B) {
+	const n = 64
+	edges := benchWeighted(n, 2*n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			graph.MinimumSpanningForestDirect(c, sp, n, edges)
+		})
+	}
+}
+
+// --- Table 2: building blocks ------------------------------------------------
+
+func BenchmarkTable2Aggregate(b *testing.B) {
+	const n = 1 << 12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			a := mem.Alloc[obliv.Elem](sp, n)
+			for j := 0; j < n; j++ {
+				a.Data()[j] = obliv.Elem{Key: uint64(j / 8), Val: uint64(j), Kind: obliv.Real}
+			}
+			obliv.AggregateSuffix(c, sp, a,
+				func(e obliv.Elem) uint64 { return e.Key },
+				func(e obliv.Elem) uint64 { return e.Val },
+				func(x, y uint64) uint64 { return x + y },
+				func(e obliv.Elem, i int, agg uint64) obliv.Elem { e.Aux = agg; return e })
+		})
+	}
+}
+
+func BenchmarkTable2Propagate(b *testing.B) {
+	const n = 1 << 12
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			a := mem.Alloc[obliv.Elem](sp, n)
+			for j := 0; j < n; j++ {
+				a.Data()[j] = obliv.Elem{Key: uint64(j / 8), Val: uint64(j), Kind: obliv.Real}
+			}
+			obliv.PropagateFirst(c, sp, a,
+				func(e obliv.Elem) uint64 { return e.Key },
+				func(e obliv.Elem, i int) (uint64, bool) { return e.Val, true },
+				func(e obliv.Elem, i int, v uint64, ok bool) obliv.Elem { e.Aux = v; return e })
+		})
+	}
+}
+
+func BenchmarkTable2SendReceive(b *testing.B) {
+	const n = 1 << 10
+	srt := bitonic.CacheAgnostic{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			sources := mem.Alloc[obliv.Elem](sp, n)
+			dests := mem.Alloc[obliv.Elem](sp, n)
+			for j := 0; j < n; j++ {
+				sources.Data()[j] = obliv.Elem{Key: uint64(j), Val: uint64(j * 3), Kind: obliv.Real}
+				dests.Data()[j] = obliv.Elem{Key: uint64((j * 7) % n), Kind: obliv.Real}
+			}
+			obliv.SendReceive(c, sp, sources, dests, srt)
+		})
+	}
+}
+
+func BenchmarkTable2PRAMStep_Oblivious(b *testing.B) {
+	const n = 128
+	mach := &pram.AddConstMachine{N: n, K: 1}
+	srt := bitonic.CacheAgnostic{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			pram.RunOblivious(c, sp, mach, make([]uint64, n), srt)
+		})
+	}
+}
+
+func BenchmarkTable2PRAMStep_Direct(b *testing.B) {
+	const n = 128
+	mach := &pram.AddConstMachine{N: n, K: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			pram.RunDirect(c, sp, mach, make([]uint64, n))
+		})
+	}
+}
+
+// --- Figure 1 / Theorem E.1: bitonic variants ---------------------------------
+
+func benchBitonic(b *testing.B, s obliv.Sorter) {
+	const n = 1 << 12
+	keys := benchKeys(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			a := benchElems(sp, keys)
+			s.Sort(c, sp, a, 0, n, func(e obliv.Elem) uint64 { return e.Key })
+		})
+	}
+}
+
+func BenchmarkFig1Bitonic_CacheAgnostic(b *testing.B) { benchBitonic(b, bitonic.CacheAgnostic{}) }
+func BenchmarkFig1Bitonic_Naive(b *testing.B)         { benchBitonic(b, bitonic.Naive{}) }
+func BenchmarkFig1Bitonic_OddEven(b *testing.B)       { benchBitonic(b, bitonic.OddEven{}) }
+
+// --- Lemma 3.1: ORBA variants --------------------------------------------------
+
+func benchORBA(b *testing.B, meta bool, p core.Params) {
+	const n = 1 << 11
+	keys := benchKeys(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			sp := mem.NewSpace()
+			in := benchElems(sp, keys)
+			tape := prng.NewTape(7, core.TapeLen(n, p))
+			if meta {
+				core.MetaORBA(c, sp, in, tape, p)
+			} else {
+				core.RecORBA(c, sp, in, tape, p)
+			}
+		})
+	}
+}
+
+func BenchmarkORBA_Recursive(b *testing.B)       { benchORBA(b, false, core.Params{}) }
+func BenchmarkORBA_RecursiveGamma2(b *testing.B) { benchORBA(b, false, core.Params{Gamma: 2}) }
+func BenchmarkORBA_Meta(b *testing.B)            { benchORBA(b, true, core.Params{}) }
+
+// --- Theorem 4.2: OPRAM batches -------------------------------------------------
+
+func BenchmarkOPRAMBatch(b *testing.B) {
+	benchPool.Run(func(c *forkjoin.Ctx) {
+		sp := mem.NewSpace()
+		o := oram.New(c, sp, 12, 4, oram.Options{Seed: 3})
+		reqs := []oram.Req{{Addr: 1}, {Addr: 5, Write: true, Val: 9}, {Addr: 2}, {Addr: 3}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.Access(c, sp, reqs)
+		}
+	})
+}

@@ -1,0 +1,104 @@
+// Command oblivtrace checks data-obliviousness empirically: it runs a
+// chosen operation on two different random inputs of the same size with
+// identical coins and diffs the recorded adversary views (§B).
+//
+// Usage:
+//
+//	oblivtrace -op sort -n 1024
+//	oblivtrace -op shuffle -n 512
+//	oblivtrace -op groupby -n 256
+//	oblivtrace -op cc -n 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"oblivmc"
+	"oblivmc/internal/prng"
+)
+
+func main() {
+	op := flag.String("op", "shuffle", "operation: shuffle, sort, groupby, lookup, cc")
+	n := flag.Int("n", 512, "input size")
+	seed := flag.Uint64("seed", 7, "coin seed (shared by both runs)")
+	flag.Parse()
+
+	cfg := oblivmc.Config{Mode: oblivmc.ModeMetered, Trace: true, Seed: *seed}
+	view := func(inputSeed uint64) (string, int64) {
+		src := prng.New(inputSeed)
+		var rep *oblivmc.Report
+		var err error
+		switch *op {
+		case "shuffle", "sort":
+			keys := make([]uint64, 0, *n)
+			seen := map[uint64]bool{}
+			for len(keys) < *n {
+				k := src.Uint64() >> 4
+				if !seen[k] {
+					seen[k] = true
+					keys = append(keys, k)
+				}
+			}
+			if *op == "shuffle" {
+				_, rep, err = oblivmc.Shuffle(cfg, keys)
+			} else {
+				_, rep, err = oblivmc.Sort(cfg, keys)
+			}
+		case "groupby":
+			g := make([]uint64, *n)
+			v := make([]uint64, *n)
+			for i := range g {
+				g[i] = src.Uint64n(16)
+				v[i] = src.Uint64n(1000)
+			}
+			_, rep, err = oblivmc.GroupTotals(cfg, g, v)
+		case "lookup":
+			keys := make([]uint64, *n)
+			vals := make([]uint64, *n)
+			qs := make([]uint64, *n)
+			for i := range keys {
+				keys[i] = uint64(i)*64 + src.Uint64n(32)
+				vals[i] = src.Uint64()
+				qs[i] = src.Uint64n(uint64(*n) * 64)
+			}
+			_, _, rep, err = oblivmc.Lookup(cfg, keys, vals, qs)
+		case "cc":
+			edges := make([][2]int, 0, 2**n)
+			for len(edges) < 2**n {
+				u, v := src.Intn(*n), src.Intn(*n)
+				if u != v {
+					edges = append(edges, [2]int{u, v})
+				}
+			}
+			_, rep, err = oblivmc.ConnectedComponents(cfg, *n, edges)
+		default:
+			log.Fatalf("unknown op %q", *op)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fmt.Sprintf("%016x", rep.TraceFingerprint.Hash), rep.TraceFingerprint.Count
+	}
+
+	h1, c1 := view(1001)
+	h2, c2 := view(2002)
+	fmt.Printf("op=%s n=%d seed=%d\n", *op, *n, *seed)
+	fmt.Printf("input A view: hash=%s events=%d\n", h1, c1)
+	fmt.Printf("input B view: hash=%s events=%d\n", h2, c2)
+	if h1 == h2 && c1 == c2 {
+		fmt.Println("VERDICT: OBLIVIOUS — identical access patterns on different inputs")
+		return
+	}
+	if *op == "sort" {
+		fmt.Println(`VERDICT: traces differ — expected for the full practical sort: after
+the oblivious shuffle, REC-SORT's pattern depends on the (randomly
+permuted) data; its *distribution* is input-independent (§C.4). Use
+-op shuffle to see the exact-equality guarantee of the oblivious phase.`)
+		return
+	}
+	fmt.Println("VERDICT: LEAK — access pattern depends on the input")
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Private analytics on outsourced data — the motivating workload of the
+// paper's introduction: a client stores encrypted records on an untrusted
+// cloud with a secure multicore processor; queries must not leak record
+// contents through memory access patterns.
+//
+// This example runs an oblivious group-by aggregation (per-department
+// salary totals) and an oblivious join (employee → department budget)
+// while recording the adversary's view to show it is data-independent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"oblivmc"
+)
+
+func main() {
+	// A toy HR database. In the deployment model the contents are secret;
+	// the adversary sees only memory addresses.
+	departments := []uint64{ /* engineering */ 1, 2, 1, 3, 2, 1, 3, 3, 2, 1}
+	salaries := []uint64{120, 95, 140, 80, 105, 130, 75, 90, 110, 125}
+
+	// Oblivious group-by: every record learns its department's total.
+	totals, _, err := oblivmc.GroupTotals(oblivmc.Config{Seed: 1}, departments, salaries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-record department salary totals (oblivious group-by):")
+	seen := map[uint64]bool{}
+	for i, d := range departments {
+		if !seen[d] {
+			fmt.Printf("  department %d: total %d\n", d, totals[i])
+			seen[d] = true
+		}
+	}
+
+	// Oblivious join: route each employee's department budget to them via
+	// send-receive without revealing who belongs to which department.
+	budgetKeys := []uint64{1, 2, 3}
+	budgetVals := []uint64{1000, 800, 600}
+	perEmployee, found, _, err := oblivmc.Lookup(oblivmc.Config{Seed: 2}, budgetKeys, budgetVals, departments)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-employee budget via oblivious join:")
+	for i := range departments {
+		if found[i] {
+			fmt.Printf("  employee %d -> budget %d\n", i, perEmployee[i])
+		}
+	}
+
+	// The proof of privacy: run the same analytics on a database with a
+	// totally different department structure and compare access patterns.
+	other := []uint64{7, 7, 7, 7, 7, 8, 8, 9, 9, 9}
+	traceOf := func(deps []uint64) string {
+		_, r, err := oblivmc.GroupTotals(oblivmc.Config{
+			Mode: oblivmc.ModeMetered, Trace: true, Seed: 5,
+		}, deps, salaries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return fmt.Sprintf("%016x/%d", r.TraceFingerprint.Hash, r.TraceFingerprint.Count)
+	}
+	fmt.Println("\nadversary's view of the group-by:")
+	fmt.Println("  database 1:", traceOf(departments))
+	fmt.Println("  database 2:", traceOf(other))
+	fmt.Println("  identical views => the query leaks nothing about the groups")
+}

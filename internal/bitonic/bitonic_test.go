@@ -1,0 +1,341 @@
+package bitonic
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+	"oblivmc/internal/prng"
+)
+
+var keyFn = func(e obliv.Elem) uint64 { return e.Key }
+
+func randElems(seed uint64, n int) []obliv.Elem {
+	src := prng.New(seed)
+	out := make([]obliv.Elem, n)
+	for i := range out {
+		out[i] = obliv.Elem{Key: src.Uint64n(uint64(4 * n)), Val: uint64(i), Kind: obliv.Real}
+	}
+	return out
+}
+
+func assertSorted(t *testing.T, data []obliv.Elem, label string) {
+	t.Helper()
+	for i := 1; i < len(data); i++ {
+		if data[i-1].Key > data[i].Key {
+			t.Fatalf("%s: not sorted at %d (%d > %d)", label, i, data[i-1].Key, data[i].Key)
+		}
+	}
+}
+
+func assertSameMultiset(t *testing.T, got, want []obliv.Elem, label string) {
+	t.Helper()
+	g := make([]uint64, len(got))
+	w := make([]uint64, len(want))
+	for i := range got {
+		g[i], w[i] = got[i].Key, want[i].Key
+	}
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: multiset changed", label)
+		}
+	}
+}
+
+func runSorter(t *testing.T, name string, sortFn func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], n int)) {
+	t.Helper()
+	for _, n := range []int{1, 2, 4, 8, 32, 128, 1024} {
+		for seed := uint64(0); seed < 3; seed++ {
+			raw := randElems(seed*100+uint64(n), n)
+			s := mem.NewSpace()
+			a := mem.FromSlice(s, raw)
+			sortFn(forkjoin.Serial(), s, a, n)
+			assertSorted(t, a.Data(), name)
+			assertSameMultiset(t, a.Data(), raw, name)
+		}
+	}
+}
+
+func TestIterativeSorts(t *testing.T) {
+	runSorter(t, "iterative", func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], n int) {
+		SortIterative(c, a, 0, n, true, keyFn)
+	})
+}
+
+func TestIterativeDescending(t *testing.T) {
+	raw := randElems(7, 64)
+	s := mem.NewSpace()
+	a := mem.FromSlice(s, raw)
+	SortIterative(forkjoin.Serial(), a, 0, 64, false, keyFn)
+	for i := 1; i < 64; i++ {
+		if a.Data()[i-1].Key < a.Data()[i].Key {
+			t.Fatal("descending sort not descending")
+		}
+	}
+}
+
+func TestCacheAgnosticSorts(t *testing.T) {
+	runSorter(t, "cache-agnostic", func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], n int) {
+		CacheAgnostic{}.Sort(c, sp, a, 0, n, keyFn)
+	})
+}
+
+func TestCacheAgnosticSmallLeaf(t *testing.T) {
+	// Force deep recursion with a tiny leaf to exercise the transpose path
+	// on every level, including odd log2 sizes.
+	for _, n := range []int{8, 16, 32, 64, 128, 256, 512} {
+		raw := randElems(uint64(n), n)
+		s := mem.NewSpace()
+		a := mem.FromSlice(s, raw)
+		scratch := mem.Alloc[obliv.Elem](s, n)
+		SortCA(forkjoin.Serial(), a, scratch, 0, n, true, 2, keyFn)
+		assertSorted(t, a.Data(), "leaf=2")
+		assertSameMultiset(t, a.Data(), raw, "leaf=2")
+	}
+}
+
+func TestOddEvenSorts(t *testing.T) {
+	runSorter(t, "odd-even", func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], n int) {
+		OddEven{}.Sort(c, sp, a, 0, n, keyFn)
+	})
+}
+
+func TestNaiveSorterSubrange(t *testing.T) {
+	raw := randElems(9, 48)
+	s := mem.NewSpace()
+	a := mem.FromSlice(s, raw)
+	Naive{}.Sort(forkjoin.Serial(), s, a, 8, 32, keyFn)
+	// Outside the range untouched.
+	for i := 0; i < 8; i++ {
+		if a.Data()[i] != raw[i] {
+			t.Fatal("prefix modified")
+		}
+	}
+	for i := 40; i < 48; i++ {
+		if a.Data()[i] != raw[i] {
+			t.Fatal("suffix modified")
+		}
+	}
+	assertSorted(t, a.Data()[8:40], "subrange")
+}
+
+func TestCacheAgnosticSubrange(t *testing.T) {
+	raw := randElems(11, 96)
+	s := mem.NewSpace()
+	a := mem.FromSlice(s, raw)
+	CacheAgnostic{Leaf: 4}.Sort(forkjoin.Serial(), s, a, 16, 64, keyFn)
+	for i := 0; i < 16; i++ {
+		if a.Data()[i] != raw[i] {
+			t.Fatal("prefix modified")
+		}
+	}
+	for i := 80; i < 96; i++ {
+		if a.Data()[i] != raw[i] {
+			t.Fatal("suffix modified")
+		}
+	}
+	assertSorted(t, a.Data()[16:80], "subrange")
+}
+
+func TestMergeCAOnBitonicInput(t *testing.T) {
+	// ascending then descending halves form a bitonic sequence.
+	for _, n := range []int{8, 64, 256} {
+		raw := randElems(uint64(n)+1, n)
+		sort.Slice(raw[:n/2], func(i, j int) bool { return raw[i].Key < raw[j].Key })
+		sort.Slice(raw[n/2:], func(i, j int) bool { return raw[n/2+i].Key > raw[n/2+j].Key })
+		s := mem.NewSpace()
+		a := mem.FromSlice(s, raw)
+		scratch := mem.Alloc[obliv.Elem](s, n)
+		MergeCA(forkjoin.Serial(), a, scratch, 0, n, true, 4, keyFn)
+		assertSorted(t, a.Data(), "mergeCA")
+		assertSameMultiset(t, a.Data(), raw, "mergeCA")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	raw := randElems(13, 2048)
+	s1 := mem.NewSpace()
+	a1 := mem.FromSlice(s1, raw)
+	CacheAgnostic{}.Sort(forkjoin.Serial(), s1, a1, 0, 2048, keyFn)
+	s2 := mem.NewSpace()
+	a2 := mem.FromSlice(s2, raw)
+	forkjoin.RunParallel(4, func(c *forkjoin.Ctx) {
+		CacheAgnostic{}.Sort(c, s2, a2, 0, 2048, keyFn)
+	})
+	for i := range raw {
+		if a1.Data()[i].Key != a2.Data()[i].Key {
+			t.Fatalf("parallel/serial mismatch at %d", i)
+		}
+	}
+}
+
+func TestStability01Principle(t *testing.T) {
+	// 0/1 principle: a comparator network sorts all inputs iff it sorts
+	// all 0/1 inputs. Exhaustively check n=16 via the Schedule.
+	const n = 16
+	layers := Schedule(n)
+	for mask := 0; mask < 1<<n; mask++ {
+		v := make([]uint8, n)
+		for i := 0; i < n; i++ {
+			v[i] = uint8((mask >> i) & 1)
+		}
+		for _, layer := range layers {
+			for _, cmp := range layer {
+				x, y := v[cmp.I], v[cmp.J]
+				if (x > y) == cmp.Asc {
+					v[cmp.I], v[cmp.J] = y, x
+				}
+			}
+		}
+		for i := 1; i < n; i++ {
+			if v[i-1] > v[i] {
+				t.Fatalf("network fails on mask %b", mask)
+			}
+		}
+	}
+}
+
+func TestScheduleShape(t *testing.T) {
+	// For n=16 the network has 1+2+3+4 = 10 layers of 8 comparators each —
+	// the structure of Figure 1.
+	layers := Schedule(16)
+	if len(layers) != 10 {
+		t.Fatalf("layers = %d, want 10", len(layers))
+	}
+	for i, l := range layers {
+		if len(l) != 8 {
+			t.Fatalf("layer %d has %d comparators, want 8", i, len(l))
+		}
+	}
+}
+
+func TestTraceObliviousAllVariants(t *testing.T) {
+	const n = 256
+	variants := []obliv.Sorter{CacheAgnostic{}, Naive{}, OddEven{}}
+	for _, v := range variants {
+		run := func(seed uint64) *forkjoin.Metrics {
+			raw := randElems(seed, n)
+			s := mem.NewSpace()
+			a := mem.FromSlice(s, raw)
+			return forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
+				v.Sort(c, s, a, 0, n, keyFn)
+			})
+		}
+		if !run(1).Trace.Equal(run(2).Trace) {
+			t.Fatalf("%s: access pattern depends on data", v.Name())
+		}
+	}
+}
+
+func TestWorkMatchesComparatorCount(t *testing.T) {
+	// Bitonic on n=2^k has exactly n/2 * k(k+1)/2 comparators; each does
+	// 2 reads + 2 writes + 1 comparison op = 5 work in the iterative net.
+	const n, k = 64, 6
+	comparators := int64(n / 2 * k * (k + 1) / 2)
+	s := mem.NewSpace()
+	a := mem.FromSlice(s, randElems(3, n))
+	m := forkjoin.RunMetered(forkjoin.MeterOpts{}, func(c *forkjoin.Ctx) {
+		SortIterative(c, a, 0, n, true, keyFn)
+	})
+	if m.MemOps != 4*comparators {
+		t.Fatalf("memops = %d, want %d", m.MemOps, 4*comparators)
+	}
+}
+
+func TestCacheAgnosticBeatsNaiveOnCache(t *testing.T) {
+	// Theorem E.1: for n >> M, the recursive variant's misses scale like
+	// (n/B)·log_M n·log(n/M) vs the naive (n/B)·log² n, so the ratio
+	// recursive/naive must (a) stay below 1 and (b) shrink as n grows.
+	const M, B = 1 << 8, 1 << 4
+	miss := func(s obliv.Sorter, n int) int64 {
+		sp := mem.NewSpace()
+		a := mem.FromSlice(sp, randElems(5, n))
+		m := forkjoin.RunMetered(forkjoin.MeterOpts{CacheM: M, CacheB: B}, func(c *forkjoin.Ctx) {
+			s.Sort(c, sp, a, 0, n, keyFn)
+		})
+		return m.CacheMisses
+	}
+	// Normalizing each variant's misses by its own theoretical bound must
+	// give a roughly flat constant across sizes; and the recursive variant
+	// must win outright.
+	lg := func(x int) float64 {
+		l := 0.0
+		for v := 1; v < x; v <<= 1 {
+			l++
+		}
+		return l
+	}
+	caTheory := func(n int) float64 {
+		return float64(n) / B * (lg(n) / lg(M)) * (lg(n) - lg(M))
+	}
+	naiveTheory := func(n int) float64 {
+		return float64(n) / B * lg(n) * lg(n) / 2
+	}
+	const n1, n2 = 1 << 11, 1 << 14
+	caF1 := float64(miss(CacheAgnostic{}, n1)) / caTheory(n1)
+	caF2 := float64(miss(CacheAgnostic{}, n2)) / caTheory(n2)
+	nvF1 := float64(miss(Naive{}, n1)) / naiveTheory(n1)
+	nvF2 := float64(miss(Naive{}, n2)) / naiveTheory(n2)
+	if caF2 > 1.7*caF1 || caF1 > 1.7*caF2 {
+		t.Fatalf("cache-agnostic misses do not track the E.1 bound: factors %.2f vs %.2f", caF1, caF2)
+	}
+	if nvF2 > 1.7*nvF1 || nvF1 > 1.7*nvF2 {
+		t.Fatalf("naive misses do not track the (n/B)log²n bound: factors %.2f vs %.2f", nvF1, nvF2)
+	}
+	if m1, m2 := miss(CacheAgnostic{}, n2), miss(Naive{}, n2); m1 >= m2 {
+		t.Fatalf("cache-agnostic (%d misses) not better than naive (%d)", m1, m2)
+	}
+}
+
+func TestCacheAgnosticBeatsNaiveOnSpan(t *testing.T) {
+	// Span: O(log²n · loglog n) vs O(log³ n).
+	const n = 1 << 12
+	span := func(s obliv.Sorter) int64 {
+		sp := mem.NewSpace()
+		a := mem.FromSlice(sp, randElems(6, n))
+		m := forkjoin.RunMetered(forkjoin.MeterOpts{}, func(c *forkjoin.Ctx) {
+			s.Sort(c, sp, a, 0, n, keyFn)
+		})
+		return m.Span
+	}
+	if ca, naive := span(CacheAgnostic{Leaf: 4}), span(Naive{}); ca >= naive {
+		t.Fatalf("cache-agnostic span %d not below naive %d", ca, naive)
+	}
+}
+
+func TestQuickRandomInputsAllSorters(t *testing.T) {
+	f := func(seed uint64, sizeExp uint8) bool {
+		n := 1 << (sizeExp%8 + 1) // 2..256
+		raw := randElems(seed, n)
+		for _, v := range []obliv.Sorter{CacheAgnostic{Leaf: 4}, Naive{}, OddEven{}} {
+			s := mem.NewSpace()
+			a := mem.FromSlice(s, raw)
+			v.Sort(forkjoin.Serial(), s, a, 0, n, keyFn)
+			for i := 1; i < n; i++ {
+				if a.Data()[i-1].Key > a.Data()[i].Key {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonPow2Panics(t *testing.T) {
+	s := mem.NewSpace()
+	a := mem.FromSlice(s, randElems(1, 12))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two n")
+		}
+	}()
+	SortIterative(forkjoin.Serial(), a, 0, 12, true, keyFn)
+}

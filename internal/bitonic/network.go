@@ -1,0 +1,120 @@
+// Package bitonic implements Batcher's bitonic sorting network [Bat68] in
+// the binary fork-join model, in three flavors:
+//
+//   - Naive: the direct parallelization that forks the comparators of each
+//     layer — O(n log² n) work, O(log³ n) span, O((n/B)·log² n) cache
+//     misses. This is the baseline the paper's §E.1 improves on.
+//
+//   - CacheAgnostic: the paper's BITONIC-SORT / BITONIC-MERGE (§E.1,
+//     Theorem E.1) with the two-transpose recursive merge — same work,
+//     O(log² n · log log n) span, O((n/B)·log_M n·log(n/M)) cache misses.
+//
+//   - OddEven: Batcher's odd–even merge sorting network, a second
+//     data-independent sorting network used as the practical stand-in for
+//     AKS (see DESIGN.md deviation 1).
+//
+// All three are data-oblivious: the comparator schedule depends only on n.
+package bitonic
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+)
+
+// SortIterative runs the classic iterative bitonic network over
+// a[lo:lo+n], ascending if asc. n must be a power of two. Each layer's
+// comparators are forked with a binary tree (the naive parallelization).
+func SortIterative(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], lo, n int, asc bool, key func(obliv.Elem) uint64) {
+	if !obliv.IsPow2(n) {
+		panic("bitonic: n must be a power of two")
+	}
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			layer(c, a, lo, n, k, j, asc, key)
+		}
+	}
+}
+
+// layer applies one butterfly layer: compare i with i|j for all i with
+// bit j clear; direction flips with bit k of i (global direction asc).
+func layer(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], lo, n, k, j int, asc bool, key func(obliv.Elem) uint64) {
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, from, to int) {
+		for i := from; i < to; i++ {
+			if i&j != 0 {
+				continue
+			}
+			dir := (i&k == 0) == asc
+			obliv.CompareExchange(c, a, lo+i, lo+(i|j), dir, key)
+		}
+	})
+}
+
+// mergeIterative applies the log2(m) butterfly layers of a single bitonic
+// merge over a[lo:lo+m] in direction asc. The input must be bitonic.
+func mergeIterative(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], lo, m int, asc bool, key func(obliv.Elem) uint64) {
+	for j := m >> 1; j > 0; j >>= 1 {
+		forkjoin.ParallelRange(c, 0, m, 0, func(c *forkjoin.Ctx, from, to int) {
+			for i := from; i < to; i++ {
+				if i&j == 0 {
+					obliv.CompareExchange(c, a, lo+i, lo+(i|j), asc, key)
+				}
+			}
+		})
+	}
+}
+
+// mergeSerial is mergeIterative without forking, used at recursion leaves.
+func mergeSerial(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], lo, m int, asc bool, key func(obliv.Elem) uint64) {
+	for j := m >> 1; j > 0; j >>= 1 {
+		for i := 0; i < m; i++ {
+			if i&j == 0 {
+				obliv.CompareExchange(c, a, lo+i, lo+(i|j), asc, key)
+			}
+		}
+	}
+}
+
+// sortSerial is the full iterative network without forking, used at
+// recursion leaves.
+func sortSerial(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], lo, n int, asc bool, key func(obliv.Elem) uint64) {
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := 0; i < n; i++ {
+				if i&j == 0 {
+					dir := (i&k == 0) == asc
+					obliv.CompareExchange(c, a, lo+i, lo+(i|j), dir, key)
+				}
+			}
+		}
+	}
+}
+
+// Comparator is one compare-exchange of the network: positions I < J,
+// ascending if Asc (arrow pointing to J in Figure 1's convention).
+type Comparator struct {
+	I, J int
+	Asc  bool
+}
+
+// Schedule returns the bitonic network for n inputs as a list of layers,
+// each a list of comparators — the structure drawn in Figure 1 of the
+// paper (n=16). n must be a power of two.
+func Schedule(n int) [][]Comparator {
+	if !obliv.IsPow2(n) {
+		panic("bitonic: n must be a power of two")
+	}
+	var layers [][]Comparator
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			var l []Comparator
+			for i := 0; i < n; i++ {
+				if i&j == 0 {
+					l = append(l, Comparator{I: i, J: i | j, Asc: i&k == 0})
+				}
+			}
+			layers = append(layers, l)
+		}
+	}
+	return layers
+}

@@ -1,0 +1,37 @@
+package bitonic
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+)
+
+// SortOddEven runs Batcher's odd–even merge sorting network over
+// a[lo:lo+n], ascending. n must be a power of two. Like bitonic it uses
+// O(n log² n) comparators with a data-independent schedule; unlike bitonic
+// every comparator points the same way, which makes it the second
+// convenient practical stand-in for the AKS network (DESIGN.md §5).
+func SortOddEven(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], lo, n int, key func(obliv.Elem) uint64) {
+	if !obliv.IsPow2(n) {
+		panic("bitonic: n must be a power of two")
+	}
+	for p := 1; p < n; p <<= 1 {
+		for k := p; k >= 1; k >>= 1 {
+			off := k % p
+			forkjoin.ParallelRange(c, 0, n-k, 0, func(c *forkjoin.Ctx, from, to int) {
+				for t := from; t < to; t++ {
+					if t < off {
+						continue
+					}
+					if ((t-off)/k)%2 != 0 {
+						continue
+					}
+					if t/(2*p) != (t+k)/(2*p) {
+						continue
+					}
+					obliv.CompareExchange(c, a, lo+t, lo+t+k, true, key)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package bitonic
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+)
+
+// CacheAgnostic is the obliv.Sorter backed by the paper's cache-agnostic
+// BITONIC-SORT (§E.1). It is the sorter used by REC-ORBA, REC-SORT and all
+// higher-level primitives in the practical configuration. n must be a
+// power of two.
+type CacheAgnostic struct {
+	// Leaf is the serial-leaf size (DefaultLeaf if zero).
+	Leaf int
+}
+
+// Name implements obliv.Sorter.
+func (CacheAgnostic) Name() string { return "bitonic-cache-agnostic" }
+
+// Sort implements obliv.Sorter.
+func (s CacheAgnostic) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo, n int, key func(obliv.Elem) uint64) {
+	if n <= 1 {
+		return
+	}
+	scratch := mem.Alloc[obliv.Elem](sp, n)
+	SortCA(c, a, scratch, lo, n, true, s.Leaf, key)
+}
+
+// Naive is the obliv.Sorter backed by the iterative network with per-layer
+// forking — the baseline whose span and caching §E.1 improves. n must be a
+// power of two.
+type Naive struct{}
+
+// Name implements obliv.Sorter.
+func (Naive) Name() string { return "bitonic-naive" }
+
+// Sort implements obliv.Sorter.
+func (Naive) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo, n int, key func(obliv.Elem) uint64) {
+	if n <= 1 {
+		return
+	}
+	SortIterative(c, a, lo, n, true, key)
+}
+
+// OddEven is the obliv.Sorter backed by Batcher's odd–even merge network.
+// n must be a power of two.
+type OddEven struct{}
+
+// Name implements obliv.Sorter.
+func (OddEven) Name() string { return "odd-even" }
+
+// Sort implements obliv.Sorter.
+func (OddEven) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo, n int, key func(obliv.Elem) uint64) {
+	if n <= 1 {
+		return
+	}
+	SortOddEven(c, a, lo, n, key)
+}

@@ -1,0 +1,176 @@
+// Package cachesim implements the ideal-cache model of Frigo, Leiserson,
+// Prokop and Ramachandran (the "cache-oblivious model", which this project
+// calls cache-agnostic following the paper): a fully associative cache of
+// M words organized in blocks (cache lines) of B words, with LRU
+// replacement standing in for the optimal policy.
+//
+// Addresses are element-granular: one element of an instrumented array is
+// one word (see internal/mem). The simulator is attached to the metered
+// executor in internal/forkjoin; algorithms never see M or B, which is what
+// makes their caching bounds cache-agnostic.
+package cachesim
+
+import "math"
+
+// Cache simulates a fully associative LRU cache.
+//
+// The implementation keeps an intrusive doubly linked list over a
+// map[block]*node. For the problem sizes used in the experiments
+// (<= 2^20 elements) this is comfortably fast.
+type Cache struct {
+	m, b   int // cache size in words, block size in words
+	lines  int // m / b
+	table  map[uint64]*node
+	head   *node // most recently used
+	tail   *node // least recently used
+	misses int64
+	hits   int64
+	evicts int64
+}
+
+type node struct {
+	block      uint64
+	prev, next *node
+}
+
+// New returns a cache of m words with blocks of b words. Both must be
+// positive and b must divide m (the tall-cache assumptions of the paper are
+// the caller's concern; the simulator only needs m >= b).
+func New(m, b int) *Cache {
+	if m <= 0 || b <= 0 || m < b {
+		panic("cachesim: need m >= b > 0")
+	}
+	return &Cache{
+		m:     m,
+		b:     b,
+		lines: m / b,
+		table: make(map[uint64]*node, m/b+1),
+	}
+}
+
+// M returns the cache size in words.
+func (c *Cache) M() int { return c.m }
+
+// B returns the block size in words.
+func (c *Cache) B() int { return c.b }
+
+// Touch records an access to word address addr and reports whether it
+// missed.
+func (c *Cache) Touch(addr uint64) bool {
+	blk := addr / uint64(c.b)
+	if n, ok := c.table[blk]; ok {
+		c.hits++
+		c.moveToFront(n)
+		return false
+	}
+	c.misses++
+	n := &node{block: blk}
+	c.table[blk] = n
+	c.pushFront(n)
+	if len(c.table) > c.lines {
+		c.evictLRU()
+	}
+	return true
+}
+
+func (c *Cache) pushFront(n *node) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache) unlink(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+func (c *Cache) moveToFront(n *node) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *Cache) evictLRU() {
+	lru := c.tail
+	if lru == nil {
+		return
+	}
+	c.unlink(lru)
+	delete(c.table, lru.block)
+	c.evicts++
+}
+
+// Misses returns the number of cache misses so far.
+func (c *Cache) Misses() int64 { return c.misses }
+
+// Hits returns the number of cache hits so far.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Accesses returns hits + misses.
+func (c *Cache) Accesses() int64 { return c.hits + c.misses }
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	c.table = make(map[uint64]*node, c.lines+1)
+	c.head, c.tail = nil, nil
+	c.misses, c.hits, c.evicts = 0, 0, 0
+}
+
+// ---------------------------------------------------------------------------
+// Theory formulas (§A.1) used by the benchmark harness for shape checks.
+// ---------------------------------------------------------------------------
+
+// Qscan returns the scan bound Θ(n/B) for the given parameters.
+func Qscan(n, b int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(n) / float64(b)
+}
+
+// Qsort returns the sorting bound Θ((n/B)·log_{M/B}(n/B)) for the given
+// parameters. The log is clamped below at 1 so the bound is monotone for
+// small n (matching the convention Q_sort(n) >= Q_scan(n)).
+func Qsort(n, m, b int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	base := float64(m) / float64(b)
+	if base < 2 {
+		base = 2
+	}
+	l := math.Log(float64(n)/float64(b)) / math.Log(base)
+	if l < 1 {
+		l = 1
+	}
+	return float64(n) / float64(b) * l
+}
+
+// LogM returns log_M(n) clamped below at 1 — the factor appearing in the
+// paper's Q bounds written as O((n/B)·log_M n).
+func LogM(n, m int) float64 {
+	if n <= 1 || m < 2 {
+		return 1
+	}
+	l := math.Log(float64(n)) / math.Log(float64(m))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}

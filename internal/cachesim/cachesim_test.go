@@ -1,0 +1,134 @@
+package cachesim
+
+import "testing"
+
+func TestColdMisses(t *testing.T) {
+	c := New(64, 8)
+	for a := uint64(0); a < 64; a++ {
+		c.Touch(a)
+	}
+	// 64 words in blocks of 8 → 8 cold misses, 56 hits.
+	if c.Misses() != 8 {
+		t.Fatalf("misses = %d, want 8", c.Misses())
+	}
+	if c.Hits() != 56 {
+		t.Fatalf("hits = %d, want 56", c.Hits())
+	}
+}
+
+func TestFitsInCacheNoCapacityMisses(t *testing.T) {
+	c := New(128, 8) // 16 lines
+	// Working set of 8 blocks fits; repeated sweeps only miss cold.
+	for pass := 0; pass < 10; pass++ {
+		for a := uint64(0); a < 64; a++ {
+			c.Touch(a)
+		}
+	}
+	if c.Misses() != 8 {
+		t.Fatalf("misses = %d, want 8 (cold only)", c.Misses())
+	}
+}
+
+func TestLRUThrashing(t *testing.T) {
+	c := New(16, 8) // 2 lines
+	// Cyclic sweep over 3 blocks with 2 lines of LRU misses every access.
+	addrs := []uint64{0, 8, 16}
+	for pass := 0; pass < 5; pass++ {
+		for _, a := range addrs {
+			c.Touch(a)
+		}
+	}
+	if c.Misses() != 15 {
+		t.Fatalf("misses = %d, want 15 (every access misses)", c.Misses())
+	}
+}
+
+func TestLRUKeepsHotBlock(t *testing.T) {
+	c := New(16, 8) // 2 lines
+	c.Touch(0)      // block 0
+	c.Touch(8)      // block 1
+	c.Touch(0)      // keep block 0 hot
+	c.Touch(16)     // evicts block 1 (LRU)
+	if c.Touch(17) {
+		t.Fatal("block 2 should be resident")
+	}
+	if c.Touch(1) {
+		t.Fatal("block 0 (hot) should still be resident")
+	}
+	if !c.Touch(8) {
+		t.Fatal("block 1 should have been evicted")
+	}
+}
+
+func TestSequentialScanBound(t *testing.T) {
+	// A scan of n words should incur ~n/B misses.
+	const n = 1 << 14
+	const m, b = 1 << 8, 1 << 4
+	c := New(m, b)
+	for a := uint64(0); a < n; a++ {
+		c.Touch(a)
+	}
+	want := int64(n / b)
+	if c.Misses() != want {
+		t.Fatalf("scan misses = %d, want %d", c.Misses(), want)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(64, 8)
+	c.Touch(0)
+	c.Touch(100)
+	c.Reset()
+	if c.Misses() != 0 || c.Hits() != 0 || c.Accesses() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	if !c.Touch(0) {
+		t.Fatal("Reset did not clear contents")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(4, 8) should panic (m < b)")
+		}
+	}()
+	New(4, 8)
+}
+
+func TestQscan(t *testing.T) {
+	if Qscan(1024, 16) != 64 {
+		t.Fatalf("Qscan = %v", Qscan(1024, 16))
+	}
+	if Qscan(0, 16) != 0 {
+		t.Fatal("Qscan(0) != 0")
+	}
+}
+
+func TestQsortMonotone(t *testing.T) {
+	prev := 0.0
+	for n := 1 << 8; n <= 1<<20; n <<= 1 {
+		q := Qsort(n, 1<<12, 1<<5)
+		if q <= prev {
+			t.Fatalf("Qsort not increasing at n=%d: %v <= %v", n, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestQsortAtLeastQscan(t *testing.T) {
+	for n := 1 << 6; n <= 1<<18; n <<= 2 {
+		if Qsort(n, 1<<10, 1<<4) < Qscan(n, 1<<4) {
+			t.Fatalf("Qsort < Qscan at n=%d", n)
+		}
+	}
+}
+
+func TestLogMClamp(t *testing.T) {
+	if LogM(2, 1<<20) != 1 {
+		t.Fatal("LogM should clamp at 1")
+	}
+	if v := LogM(1<<20, 1<<10); v < 1.9 || v > 2.1 {
+		t.Fatalf("LogM(2^20, 2^10) = %v, want ~2", v)
+	}
+}

@@ -1,0 +1,96 @@
+package forkjoin
+
+import "sync/atomic"
+
+// deque is a Chase–Lev work-stealing deque (Chase & Lev, "Dynamic Circular
+// Work-Stealing Deque", SPAA 2005) specialized to *task.
+//
+// The owner pushes and pops at the bottom; thieves steal from the top. Go's
+// atomic operations are sequentially consistent, which is stronger than the
+// fences the algorithm requires.
+type deque struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	buf    atomic.Pointer[ring]
+}
+
+type ring struct {
+	mask  int64
+	slots []atomic.Pointer[task]
+}
+
+func newRing(capacity int64) *ring {
+	if capacity&(capacity-1) != 0 {
+		panic("forkjoin: ring capacity must be a power of two")
+	}
+	return &ring{mask: capacity - 1, slots: make([]atomic.Pointer[task], capacity)}
+}
+
+func (r *ring) get(i int64) *task    { return r.slots[i&r.mask].Load() }
+func (r *ring) put(i int64, t *task) { r.slots[i&r.mask].Store(t) }
+func (r *ring) size() int64          { return r.mask + 1 }
+
+func (d *deque) init() {
+	d.buf.Store(newRing(64))
+}
+
+// push adds t at the bottom. Only the owner calls push.
+func (d *deque) push(t *task) {
+	b := d.bottom.Load()
+	tp := d.top.Load()
+	r := d.buf.Load()
+	if b-tp >= r.size() {
+		r = d.grow(r, b, tp)
+	}
+	r.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// grow doubles the ring, copying live entries. Only the owner calls grow.
+func (d *deque) grow(old *ring, b, tp int64) *ring {
+	nr := newRing(old.size() * 2)
+	for i := tp; i < b; i++ {
+		nr.put(i, old.get(i))
+	}
+	d.buf.Store(nr)
+	return nr
+}
+
+// pop removes and returns the bottom task, or nil if the deque is empty.
+// Only the owner calls pop.
+func (d *deque) pop() *task {
+	b := d.bottom.Load() - 1
+	r := d.buf.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: restore bottom.
+		d.bottom.Store(t)
+		return nil
+	}
+	tk := r.get(b)
+	if t == b {
+		// Last element: race against thieves for it.
+		if !d.top.CompareAndSwap(t, t+1) {
+			tk = nil // lost the race
+		}
+		d.bottom.Store(t + 1)
+	}
+	return tk
+}
+
+// steal removes and returns the top task, or nil if the deque is empty or
+// the steal raced with another thief or the owner.
+func (d *deque) steal() *task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	r := d.buf.Load()
+	tk := r.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return tk
+}

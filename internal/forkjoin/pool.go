@@ -1,0 +1,147 @@
+package forkjoin
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oblivmc/internal/prng"
+)
+
+// Pool is a work-stealing scheduler for binary fork-join computations.
+//
+// The pool owns nWorkers-1 background worker goroutines; the goroutine that
+// calls Run acts as worker 0 for the duration of the call. Run is not
+// reentrant and must not be called concurrently from multiple goroutines.
+type Pool struct {
+	workers []*worker
+	stop    atomic.Bool
+	wg      sync.WaitGroup
+	runMu   sync.Mutex
+}
+
+type worker struct {
+	pool *Pool
+	id   int
+	dq   deque
+	rng  uint64
+	ctx  Ctx
+}
+
+// NewPool creates a pool with n workers. n <= 0 selects GOMAXPROCS.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: make([]*worker, n)}
+	for i := 0; i < n; i++ {
+		w := &worker{pool: p, id: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+		w.dq.init()
+		w.ctx = Ctx{w: w}
+		p.workers[i] = w
+	}
+	for i := 1; i < n; i++ {
+		p.wg.Add(1)
+		go p.workers[i].loop()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Run executes root on the pool and returns when root (and therefore every
+// task it forked, by full strictness) has completed.
+func (p *Pool) Run(root func(*Ctx)) {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	if p.stop.Load() {
+		panic("forkjoin: Run on closed Pool")
+	}
+	root(&p.workers[0].ctx)
+}
+
+// Close stops the background workers. The pool must be idle.
+func (p *Pool) Close() {
+	p.stop.Store(true)
+	p.wg.Wait()
+}
+
+// RunParallel is a convenience wrapper: create a pool of n workers, run fn,
+// close the pool.
+func RunParallel(n int, fn func(*Ctx)) {
+	p := NewPool(n)
+	defer p.Close()
+	p.Run(fn)
+}
+
+// loop is the background worker main loop.
+func (w *worker) loop() {
+	defer w.pool.wg.Done()
+	idle := 0
+	for {
+		if w.pool.stop.Load() {
+			return
+		}
+		if t := w.findWork(); t != nil {
+			w.runTask(t)
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// findWork pops the local deque, then attempts randomized steals.
+func (w *worker) findWork() *task {
+	if t := w.dq.pop(); t != nil {
+		return t
+	}
+	n := len(w.pool.workers)
+	if n == 1 {
+		return nil
+	}
+	// A bounded number of random steal attempts per call; the caller loops.
+	for attempt := 0; attempt < 2*n; attempt++ {
+		v := int(prng.SplitMix64(&w.rng) % uint64(n))
+		if v == w.id {
+			continue
+		}
+		if t := w.pool.workers[v].dq.steal(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+func (w *worker) runTask(t *task) {
+	t.fn(&w.ctx)
+	t.done.Store(1)
+}
+
+// join waits for t to complete, leapfrogging: while waiting, the worker
+// executes any other available task (its own deque first, then steals).
+// This is the standard busy-leapfrog join that keeps workers productive and
+// avoids blocking OS threads.
+func (w *worker) join(t *task) {
+	idle := 0
+	for t.done.Load() == 0 {
+		if other := w.findWork(); other != nil {
+			w.runTask(other)
+			idle = 0
+			continue
+		}
+		idle++
+		if idle < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(5 * time.Microsecond)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package graph implements the paper's applications (§5): list ranking,
+// Euler tour and rooted-tree computations, tree contraction, connected
+// components, and minimum spanning forest — each in a data-oblivious,
+// cache-agnostic, binary fork-join version built on the core sorting
+// primitive, plus direct (insecure) baselines and sequential references
+// for the Table 1 comparisons.
+package graph
+
+import (
+	"oblivmc/internal/core"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+	"oblivmc/internal/pram"
+)
+
+// Tail marks a list tail: succ[i] == i.
+//
+// ListRankOblivious obliviously realizes (weighted) list ranking
+// (Theorem 5.1): rank[i] is the sum of weights of the elements strictly
+// ahead of i (between i and the tail); with nil weights every element
+// weighs 1, so rank[i] is the number of elements ahead of i.
+//
+// Pipeline per §5.1: obliviously permute the entries (ORP), route each
+// entry its successor's permuted position (send-receive), run the
+// insecure pointer-jumping ranking on the permuted array — its accesses
+// are distributed independently of the list structure because the
+// permutation is — and route the answers back obliviously.
+//
+// Requirements: weights < 2^32, n < 2^31.
+func ListRankOblivious(c *forkjoin.Ctx, sp *mem.Space, succ []int, weights []uint64, seed uint64, p core.Params) []uint64 {
+	n := len(succ)
+	if n == 0 {
+		return nil
+	}
+	p = normParams(p, n)
+
+	// Entries: Key = successor's original index (self = tail),
+	// Val = weight, Aux = own original index.
+	in := mem.Alloc[obliv.Elem](sp, n)
+	for i := 0; i < n; i++ {
+		w := uint64(1)
+		if weights != nil {
+			w = weights[i]
+		}
+		in.Data()[i] = obliv.Elem{Key: uint64(succ[i]), Val: w, Aux: uint64(i), Kind: obliv.Real}
+	}
+
+	perm, _ := core.MustRandomPermutation(c, sp, in, seed, p)
+
+	// Route each permuted entry the (position, weight) of its successor.
+	// Sources: (origIndex → pos<<32|weight); dests keyed by successor's
+	// original index, with tails asking for ⊥.
+	sources := mem.Alloc[obliv.Elem](sp, n)
+	dests := mem.Alloc[obliv.Elem](sp, n)
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for pos := lo; pos < hi; pos++ {
+			e := perm.Get(c, pos)
+			sources.Set(c, pos, obliv.Elem{Key: e.Aux, Val: uint64(pos)<<32 | (e.Val & 0xffffffff), Kind: obliv.Real})
+			d := obliv.Elem{Key: e.Key, Kind: obliv.Real}
+			c.Op(1)
+			if e.Key == e.Aux { // tail
+				d.Kind = obliv.Filler
+			}
+			dests.Set(c, pos, d)
+		}
+	})
+	routed := obliv.SendReceive(c, sp, sources, dests, p.Sorter)
+
+	// Permuted-order successor and rank arrays. S == n marks the tail.
+	s0 := mem.Alloc[uint64](sp, n)
+	r0 := mem.Alloc[uint64](sp, n)
+	s1 := mem.Alloc[uint64](sp, n)
+	r1 := mem.Alloc[uint64](sp, n)
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for pos := lo; pos < hi; pos++ {
+			e := routed.Get(c, pos)
+			c.Op(1)
+			if e.Kind == obliv.Real {
+				s0.Set(c, pos, e.Val>>32)
+				r0.Set(c, pos, e.Val&0xffffffff) // successor's weight
+			} else {
+				s0.Set(c, pos, uint64(n))
+				r0.Set(c, pos, 0)
+			}
+		}
+	})
+
+	// Wyllie pointer jumping on the permuted arrays (insecure accesses,
+	// safe by the random-permutation argument), fixed ⌈log₂ n⌉ rounds.
+	rounds := 0
+	for (1 << rounds) < n {
+		rounds++
+	}
+	cs, cr, ns, nr := s0, r0, s1, r1
+	for round := 0; round < rounds; round++ {
+		forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+			for pos := lo; pos < hi; pos++ {
+				s := cs.Get(c, pos)
+				r := cr.Get(c, pos)
+				c.Op(1)
+				if s < uint64(n) {
+					nr.Set(c, pos, r+cr.Get(c, int(s)))
+					ns.Set(c, pos, cs.Get(c, int(s)))
+				} else {
+					nr.Set(c, pos, r)
+					ns.Set(c, pos, s)
+				}
+			}
+		})
+		cs, ns = ns, cs
+		cr, nr = nr, cr
+	}
+
+	// Route ranks back to original order: sources keyed by original index,
+	// destinations requesting 0..n-1 in order.
+	back := mem.Alloc[obliv.Elem](sp, n)
+	want := mem.Alloc[obliv.Elem](sp, n)
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for pos := lo; pos < hi; pos++ {
+			e := perm.Get(c, pos)
+			back.Set(c, pos, obliv.Elem{Key: e.Aux, Val: cr.Get(c, pos), Kind: obliv.Real})
+			want.Set(c, pos, obliv.Elem{Key: uint64(pos), Kind: obliv.Real})
+		}
+	})
+	final := obliv.SendReceive(c, sp, back, want, p.Sorter)
+
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = final.Data()[i].Val
+	}
+	return out
+}
+
+// ListRankDirect is the insecure baseline: Wyllie pointer jumping with
+// direct accesses on the input order — O(n log n) work, O(log² n) span
+// under binary forking, data-dependent access pattern.
+func ListRankDirect(c *forkjoin.Ctx, sp *mem.Space, succ []int, weights []uint64) []uint64 {
+	n := len(succ)
+	if n == 0 {
+		return nil
+	}
+	s0 := mem.Alloc[uint64](sp, n)
+	r0 := mem.Alloc[uint64](sp, n)
+	s1 := mem.Alloc[uint64](sp, n)
+	r1 := mem.Alloc[uint64](sp, n)
+	w := func(i int) uint64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[i]
+	}
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if succ[i] == i {
+				s0.Set(c, i, uint64(n))
+				r0.Set(c, i, 0)
+			} else {
+				s0.Set(c, i, uint64(succ[i]))
+				r0.Set(c, i, w(succ[i]))
+			}
+		}
+	})
+	rounds := 0
+	for (1 << rounds) < n {
+		rounds++
+	}
+	cs, cr, ns, nr := s0, r0, s1, r1
+	for round := 0; round < rounds; round++ {
+		forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s := cs.Get(c, i)
+				r := cr.Get(c, i)
+				c.Op(1)
+				if s < uint64(n) {
+					nr.Set(c, i, r+cr.Get(c, int(s)))
+					ns.Set(c, i, cs.Get(c, int(s)))
+				} else {
+					nr.Set(c, i, r)
+					ns.Set(c, i, s)
+				}
+			}
+		})
+		cs, ns = ns, cs
+		cr, nr = nr, cr
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = cr.Data()[i]
+	}
+	return out
+}
+
+// ListRankSeq is the O(n) sequential reference.
+func ListRankSeq(succ []int, weights []uint64) []uint64 {
+	n := len(succ)
+	out := make([]uint64, n)
+	// Find the tail, then walk backwards via a predecessor map.
+	pred := make([]int, n)
+	for i := range pred {
+		pred[i] = -1
+	}
+	tail := -1
+	for i, s := range succ {
+		if s == i {
+			tail = i
+		} else {
+			pred[s] = i
+		}
+	}
+	if tail < 0 {
+		return out
+	}
+	w := func(i int) uint64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[i]
+	}
+	acc := uint64(0)
+	for v := tail; v >= 0; v = pred[v] {
+		out[v] = acc
+		acc += w(v)
+	}
+	return out
+}
+
+// normParams fills defaults using n.
+func normParams(p core.Params, n int) core.Params {
+	def := core.ParamsForN(n)
+	if p.Z == 0 {
+		p.Z = def.Z
+	}
+	if p.Gamma == 0 {
+		p.Gamma = def.Gamma
+	}
+	if p.Sorter == nil {
+		p.Sorter = def.Sorter
+	}
+	if p.SampleRate == 0 {
+		p.SampleRate = def.SampleRate
+	}
+	if p.PivotSpacing == 0 {
+		p.PivotSpacing = def.PivotSpacing
+	}
+	if p.BinCapFactor == 0 {
+		p.BinCapFactor = def.BinCapFactor
+	}
+	return p
+}
+
+// gatherU64 wraps pram.Gather for package-local use.
+func gatherU64(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], addrs *mem.Array[uint64], srt obliv.Sorter) *mem.Array[obliv.Elem] {
+	return pram.Gather(c, sp, memory, addrs, srt)
+}

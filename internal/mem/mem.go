@@ -1,0 +1,126 @@
+// Package mem provides instrumented arrays living in a flat, element-granular
+// address space.
+//
+// Every algorithm in this module performs its memory traffic through
+// Array.Get/Set so that the metered executor (internal/forkjoin) can count
+// memory operations, drive the ideal-cache simulator, and record the access
+// pattern that constitutes the adversary's view (§B of the paper). One array
+// element occupies one address ("word"); the cache block size B is measured
+// in elements (see DESIGN.md §5, deviation 5).
+//
+// In parallel (uninstrumented) mode Get/Set compile down to a nil check and
+// a slice index.
+package mem
+
+import (
+	"sync/atomic"
+
+	"oblivmc/internal/forkjoin"
+)
+
+// addrAlign keeps distinct arrays on distinct cache-block boundaries for
+// any simulated block size up to addrAlign.
+const addrAlign = 1 << 12
+
+// Space allocates non-overlapping address ranges. It is safe for concurrent
+// allocation (parallel-mode algorithms may allocate scratch inside forked
+// tasks).
+type Space struct {
+	next atomic.Uint64
+}
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space { return &Space{} }
+
+// reserve claims n addresses and returns the base.
+func (s *Space) reserve(n int) uint64 {
+	sz := (uint64(n) + addrAlign - 1) &^ uint64(addrAlign-1)
+	if sz == 0 {
+		sz = addrAlign
+	}
+	return s.next.Add(sz) - sz
+}
+
+// Array is an instrumented, fixed-length array of T.
+type Array[T any] struct {
+	base uint64
+	data []T
+}
+
+// Alloc allocates a zeroed array of n elements in s.
+func Alloc[T any](s *Space, n int) *Array[T] {
+	return &Array[T]{base: s.reserve(n), data: make([]T, n)}
+}
+
+// FromSlice allocates an array initialized with a copy of v. The copy is a
+// harness operation (input loading) and is not instrumented.
+func FromSlice[T any](s *Space, v []T) *Array[T] {
+	a := Alloc[T](s, len(v))
+	copy(a.data, v)
+	return a
+}
+
+// Len returns the number of elements.
+func (a *Array[T]) Len() int { return len(a.data) }
+
+// Get reads element i, recording the access.
+func (a *Array[T]) Get(c *forkjoin.Ctx, i int) T {
+	c.Access(a.base+uint64(i), false)
+	return a.data[i]
+}
+
+// Set writes element i, recording the access.
+func (a *Array[T]) Set(c *forkjoin.Ctx, i int, v T) {
+	c.Access(a.base+uint64(i), true)
+	a.data[i] = v
+}
+
+// Swap exchanges elements i and j (two reads plus two writes).
+func (a *Array[T]) Swap(c *forkjoin.Ctx, i, j int) {
+	vi := a.Get(c, i)
+	vj := a.Get(c, j)
+	a.Set(c, i, vj)
+	a.Set(c, j, vi)
+}
+
+// View returns an aliased subarray covering [lo, lo+n). Views share both
+// backing store and addresses with the parent, which is what the recursive
+// cache-agnostic algorithms need.
+func (a *Array[T]) View(lo, n int) *Array[T] {
+	return &Array[T]{base: a.base + uint64(lo), data: a.data[lo : lo+n]}
+}
+
+// Data exposes the raw backing slice without instrumentation. It exists for
+// the harness (loading inputs, verifying outputs, collecting diagnostics
+// outside the adversary's view); algorithm code must not use it.
+func (a *Array[T]) Data() []T { return a.data }
+
+// Base returns the first address of the array (used in tests).
+func (a *Array[T]) Base() uint64 { return a.base }
+
+// Copy copies n elements from src[slo:] to dst[dlo:], element by element,
+// with instrumentation. The copy is sequential; callers needing parallelism
+// wrap it in ParallelRange via CopyPar.
+func Copy[T any](c *forkjoin.Ctx, dst *Array[T], dlo int, src *Array[T], slo, n int) {
+	for k := 0; k < n; k++ {
+		dst.Set(c, dlo+k, src.Get(c, slo+k))
+	}
+}
+
+// CopyPar is a parallel instrumented copy.
+func CopyPar[T any](c *forkjoin.Ctx, dst *Array[T], dlo int, src *Array[T], slo, n int) {
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			dst.Set(c, dlo+k, src.Get(c, slo+k))
+		}
+	})
+}
+
+// Fill sets every element of a to v, in parallel.
+func Fill[T any](c *forkjoin.Ctx, a *Array[T], v T) {
+	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Set(c, i, v)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package obliv provides the data-oblivious building blocks of the paper:
+// oblivious compare-exchange, parallel prefix/segmented scans, aggregation
+// and propagation in sorted arrays (§F, Table 2), oblivious bin placement
+// (§C.1), and send-receive a.k.a. oblivious routing (§F).
+//
+// All primitives have access patterns that depend only on the input length
+// (and, for randomized callers, on the pre-drawn random tape) — never on
+// the data. The test suite verifies this by trace-fingerprint equality.
+package obliv
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+)
+
+// Kind classifies an element. The zero value is Filler so that freshly
+// allocated arrays consist of fillers.
+type Kind uint8
+
+const (
+	// Filler is padding (the paper's ⊥ / dummy elements).
+	Filler Kind = iota
+	// Real is a live element.
+	Real
+	// Temp is a placeholder used internally by bin placement (§C.1).
+	Temp
+)
+
+// Elem is the record moved by every oblivious primitive. Interpretation of
+// the fields varies by phase and is documented at each call site; broadly:
+//
+//	Key  — caller's sort key (preserved by ORBA/ORP)
+//	Val  — payload value
+//	Aux  — secondary payload (typically an original index)
+//	Lbl  — random routing label (ORBA bin choice, shuffle key)
+//	Tag  — small group / role identifier
+//	Kind — Filler / Real / Temp
+//	Mark — scratch flag written by primitives (e.g. "excess" in §C.1)
+//
+// One Elem occupies one address in the instrumented memory model.
+type Elem struct {
+	Key  uint64
+	Val  uint64
+	Aux  uint64
+	Lbl  uint64
+	Tag  uint32
+	Kind Kind
+	Mark uint8
+}
+
+// InfKey sorts after every valid key. Valid keys passed to key functions
+// must be < MaxKey so that composite keys such as 2k+1 cannot collide with
+// InfKey.
+const InfKey = ^uint64(0)
+
+// MaxKey bounds caller-supplied keys: primitives that build composite keys
+// (send-receive, conflict resolution) require Key < MaxKey.
+const MaxKey = uint64(1) << 62
+
+// NextPow2 returns the smallest power of two >= n (n >= 1).
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Log2 returns floor(log2(n)) for n >= 1.
+func Log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// CompareExchange obliviously orders positions i and j of a (ascending by
+// key if asc). Both positions are always read and always rewritten, so the
+// access pattern is independent of the comparison outcome — this is the
+// comparator of every sorting-network primitive.
+func CompareExchange(c *forkjoin.Ctx, a *mem.Array[Elem], i, j int, asc bool, key func(Elem) uint64) {
+	x := a.Get(c, i)
+	y := a.Get(c, j)
+	c.Op(1) // the comparison
+	if (key(x) > key(y)) == asc {
+		x, y = y, x
+	}
+	a.Set(c, i, x)
+	a.Set(c, j, y)
+}
+
+// Select returns b if cond else a, in straight-line code (no instrumented
+// memory traffic; the branch operates on register values only).
+func Select(cond bool, a, b uint64) uint64 {
+	if cond {
+		return b
+	}
+	return a
+}
+
+// Sorter sorts a[lo:lo+n] ascending by key using a data-independent
+// network. Implementations state their n requirements (the network sorters
+// in internal/bitonic require n to be a power of two; callers pad with
+// Filler elements keyed InfKey).
+type Sorter interface {
+	Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[Elem], lo, n int, key func(Elem) uint64)
+	Name() string
+}
+
+// SelectionNetwork is an O(n²)-comparator oblivious sorter (a brute-force
+// network of all pairs). It handles any n and exists as a tiny, obviously
+// correct reference implementation for tests and micro-baselines.
+type SelectionNetwork struct{}
+
+// Name implements Sorter.
+func (SelectionNetwork) Name() string { return "selection-network" }
+
+// Sort implements Sorter.
+func (SelectionNetwork) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[Elem], lo, n int, key func(Elem) uint64) {
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			CompareExchange(c, a, lo+i, lo+j, true, key)
+		}
+	}
+}

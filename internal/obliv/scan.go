@@ -1,0 +1,85 @@
+package obliv
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+)
+
+// ScanOp computes, in place, the prefix combine of a under op with identity
+// id. If inclusive, a[i] becomes op(a[0], ..., a[i]); otherwise a[i]
+// becomes op(id, a[0], ..., a[i-1]). op must be associative.
+//
+// The implementation is the classic two-pass (up-sweep / down-sweep)
+// divide-and-conquer with the partial-sum tree stored in *pre-order*
+// layout, so each recursive call touches a contiguous region: the caching
+// cost is the scan bound O(n/B), the work is O(n), and the span is O(log n)
+// — the costs the paper assumes for all-prefix-sums and segmented scans
+// (§F, [Ja´J92], [CR12a]). The access pattern depends only on n.
+func ScanOp[T any](c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[T], op func(T, T) T, id T, inclusive bool) {
+	n := a.Len()
+	if n == 0 {
+		return
+	}
+	tree := mem.Alloc[T](sp, 2*n-1)
+	scanUp(c, a, tree, 0, 0, n, op)
+	scanDown(c, a, tree, 0, 0, n, id, op, inclusive)
+}
+
+// scanUp fills tree[pos] (pre-order root of [lo,hi)) with the combine of
+// a[lo:hi) and returns nothing; subtree of k leaves occupies 2k-1 slots.
+func scanUp[T any](c *forkjoin.Ctx, a *mem.Array[T], tree *mem.Array[T], pos, lo, hi int, op func(T, T) T) {
+	if hi-lo == 1 {
+		tree.Set(c, pos, a.Get(c, lo))
+		return
+	}
+	mid := lo + (hi-lo)/2
+	leftPos := pos + 1
+	rightPos := pos + 2*(mid-lo)
+	c.Fork(
+		func(c *forkjoin.Ctx) { scanUp(c, a, tree, leftPos, lo, mid, op) },
+		func(c *forkjoin.Ctx) { scanUp(c, a, tree, rightPos, mid, hi, op) },
+	)
+	l := tree.Get(c, leftPos)
+	r := tree.Get(c, rightPos)
+	c.Op(1)
+	tree.Set(c, pos, op(l, r))
+}
+
+func scanDown[T any](c *forkjoin.Ctx, a *mem.Array[T], tree *mem.Array[T], pos, lo, hi int, carry T, op func(T, T) T, inclusive bool) {
+	if hi-lo == 1 {
+		if inclusive {
+			v := tree.Get(c, pos) // original a[lo]
+			c.Op(1)
+			a.Set(c, lo, op(carry, v))
+		} else {
+			a.Set(c, lo, carry)
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	leftPos := pos + 1
+	rightPos := pos + 2*(mid-lo)
+	leftSum := tree.Get(c, leftPos)
+	c.Op(1)
+	rightCarry := op(carry, leftSum)
+	c.Fork(
+		func(c *forkjoin.Ctx) { scanDown(c, a, tree, leftPos, lo, mid, carry, op, inclusive) },
+		func(c *forkjoin.Ctx) { scanDown(c, a, tree, rightPos, mid, hi, rightCarry, op, inclusive) },
+	)
+}
+
+// PrefixSumU64 computes the prefix sum of a in place.
+func PrefixSumU64(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[uint64], inclusive bool) {
+	ScanOp(c, sp, a, func(x, y uint64) uint64 { return x + y }, 0, inclusive)
+}
+
+// SumU64 returns the total of a without modifying it (an up-sweep only).
+func SumU64(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[uint64]) uint64 {
+	n := a.Len()
+	if n == 0 {
+		return 0
+	}
+	tree := mem.Alloc[uint64](sp, 2*n-1)
+	scanUp(c, a, tree, 0, 0, n, func(x, y uint64) uint64 { return x + y })
+	return tree.Get(c, 0)
+}

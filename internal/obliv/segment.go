@@ -1,0 +1,138 @@
+package obliv
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+)
+
+// This file implements the oblivious aggregation and propagation primitives
+// of §F / Table 2 as segmented scans: arrays are sorted so that equal
+// groups are consecutive; propagation copies the group representative's
+// value to every member (span O(log n), work O(n), cache O(n/B)), and
+// aggregation gives every member the combine of the group members to its
+// right. Both have access patterns depending only on n.
+
+// propVal is the carrier of the "copy first defined value within segment"
+// segmented scan. boundary marks the start of a new group at this position.
+type propVal struct {
+	v        uint64
+	has      bool
+	boundary bool
+}
+
+// propOp is the associative combine: a later boundary resets the segment;
+// otherwise the earliest defined value wins.
+func propOp(x, y propVal) propVal {
+	if y.boundary {
+		return y
+	}
+	v := y.v
+	if x.has {
+		v = x.v
+	}
+	return propVal{v: v, has: x.has || y.has, boundary: x.boundary}
+}
+
+// PropagateFirst performs oblivious propagation in a grouped array: within
+// each maximal run of positions with equal groupOf value, the value of the
+// *first* element for which src reports ok is delivered via
+// apply(e, i, v, ok) to every element at or after that source. Elements
+// before the first source of their run — and all elements of runs with no
+// source — receive ok=false.
+//
+// This directional (prefix) semantics matches every use in the paper: the
+// group representative is the leftmost element (§F), and send-receive sorts
+// sources before receivers within a key group.
+//
+// groupOf must be a pure function of the element (fillers typically map to
+// InfKey so they form their own trailing group).
+func PropagateFirst(
+	c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[Elem],
+	groupOf func(Elem) uint64,
+	src func(e Elem, i int) (uint64, bool),
+	apply func(e Elem, i int, v uint64, ok bool) Elem,
+) {
+	n := a.Len()
+	if n == 0 {
+		return
+	}
+	p := mem.Alloc[propVal](sp, n)
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := a.Get(c, i)
+			boundary := i == 0
+			if i > 0 {
+				prev := a.Get(c, i-1)
+				c.Op(1)
+				boundary = groupOf(prev) != groupOf(e)
+			}
+			v, has := src(e, i)
+			p.Set(c, i, propVal{v: v, has: has, boundary: boundary})
+		}
+	})
+	ScanOp(c, sp, p, propOp, propVal{}, true)
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := a.Get(c, i)
+			pv := p.Get(c, i)
+			c.Op(1)
+			a.Set(c, i, apply(e, i, pv.v, pv.has))
+		}
+	})
+}
+
+// aggVal is the carrier for segmented aggregation.
+type aggVal struct {
+	v        uint64
+	boundary bool
+}
+
+// AggregateSuffix performs oblivious aggregation in a grouped array: every
+// element receives, via apply, the combine of valOf over the elements of
+// its group at positions >= its own (an inclusive suffix aggregate; the
+// paper's exclusive "to its right" variant follows by combining out the
+// element's own value, which all callers in this module do inline).
+// combine must be commutative and associative.
+func AggregateSuffix(
+	c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[Elem],
+	groupOf func(Elem) uint64,
+	valOf func(Elem) uint64,
+	combine func(x, y uint64) uint64,
+	apply func(e Elem, i int, agg uint64) Elem,
+) {
+	n := a.Len()
+	if n == 0 {
+		return
+	}
+	// Build the carrier in reversed order so a plain prefix scan computes
+	// the suffix aggregate; boundaries sit at original group *ends*.
+	p := mem.Alloc[aggVal](sp, n)
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			i := n - 1 - j
+			e := a.Get(c, i)
+			boundary := i == n-1
+			if i < n-1 {
+				next := a.Get(c, i+1)
+				c.Op(1)
+				boundary = groupOf(next) != groupOf(e)
+			}
+			p.Set(c, j, aggVal{v: valOf(e), boundary: boundary})
+		}
+	})
+	op := func(x, y aggVal) aggVal {
+		if y.boundary {
+			return y
+		}
+		return aggVal{v: combine(x.v, y.v), boundary: x.boundary}
+	}
+	ScanOp(c, sp, p, op, aggVal{}, true)
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := a.Get(c, i)
+			pv := p.Get(c, n-1-i)
+			c.Op(1)
+			a.Set(c, i, apply(e, i, pv.v))
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package obliv
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+)
+
+// SendReceive implements the send-receive abstraction of §F (often called
+// oblivious routing): sources hold (Key, Val) pairs with distinct keys;
+// each destination requests a Key and learns the corresponding Val, or ⊥
+// if no source holds it. The result array parallels dests: entry j has the
+// destination's Key, Aux = j, Val = the routed value, and Kind = Real if
+// the key was found, Filler otherwise (the ⊥ case).
+//
+// Construction per [CS17]: O(1) oblivious sorts plus one oblivious
+// propagation, all within the sorting bound — with the cache-agnostic,
+// binary fork-join sorter this realizes the Table 2 "S-R" row.
+//
+// Entries of either array with Kind != Real are inert: a non-Real source
+// sends nothing, and a non-Real destination occupies its output slot but
+// always receives ⊥.
+//
+// Requirements: source and destination keys must be < MaxKey. If the
+// distinct-keys promise is violated, the first source in sorted order wins.
+func SendReceive(c *forkjoin.Ctx, sp *mem.Space, sources, dests *mem.Array[Elem], srt Sorter) *mem.Array[Elem] {
+	ns, nd := sources.Len(), dests.Len()
+	wLen := NextPow2(ns + nd)
+	w := mem.Alloc[Elem](sp, wLen) // trailing slots are fillers
+
+	const (
+		tagSource = 0
+		tagDest   = 1
+	)
+	forkjoin.ParallelRange(c, 0, ns, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := sources.Get(c, i)
+			e := Elem{} // non-Real source slots contribute nothing
+			c.Op(1)
+			if s.Kind == Real {
+				e = Elem{Key: s.Key, Val: s.Val, Tag: tagSource, Kind: Real}
+			}
+			w.Set(c, i, e)
+		}
+	})
+	forkjoin.ParallelRange(c, 0, nd, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			d := dests.Get(c, j)
+			key := d.Key
+			c.Op(1)
+			if d.Kind != Real {
+				// Non-Real destination slots still occupy their output
+				// position but request a key no source can hold, so they
+				// come back as ⊥.
+				key = MaxKey + uint64(j)
+			}
+			w.Set(c, ns+j, Elem{Key: key, Aux: uint64(j), Tag: tagDest, Kind: Real})
+		}
+	})
+
+	// Sort by key with sources before destinations at equal keys.
+	key1 := func(e Elem) uint64 {
+		if e.Kind == Filler {
+			return InfKey
+		}
+		return e.Key<<1 | uint64(e.Tag)
+	}
+	srt.Sort(c, sp, w, 0, wLen, key1)
+
+	// Propagate each key-group's source value to the whole group.
+	groupOf := func(e Elem) uint64 {
+		if e.Kind == Filler {
+			return InfKey
+		}
+		return e.Key
+	}
+	PropagateFirst(c, sp, w, groupOf,
+		func(e Elem, i int) (uint64, bool) {
+			return e.Val, e.Kind == Real && e.Tag == tagSource
+		},
+		func(e Elem, i int, v uint64, ok bool) Elem {
+			if e.Kind == Real && e.Tag == tagDest {
+				e.Val = v
+				e.Mark = 0
+				if ok {
+					e.Mark = 1
+				}
+			}
+			return e
+		})
+
+	// Sort destinations back to request order; sources and fillers last.
+	key2 := func(e Elem) uint64 {
+		if e.Kind == Real && e.Tag == tagDest {
+			return e.Aux
+		}
+		return InfKey
+	}
+	srt.Sort(c, sp, w, 0, wLen, key2)
+
+	out := mem.Alloc[Elem](sp, nd)
+	forkjoin.ParallelRange(c, 0, nd, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			e := w.Get(c, j)
+			r := Elem{Key: e.Key, Val: e.Val, Aux: e.Aux, Kind: Real}
+			if e.Mark == 0 {
+				r.Kind = Filler // ⊥: key not found
+			}
+			r.Mark = 0
+			out.Set(c, j, r)
+		}
+	})
+	return out
+}

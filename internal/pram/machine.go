@@ -1,0 +1,115 @@
+// Package pram implements the CRCW PRAM model and the paper's oblivious,
+// binary fork-join simulation of space-bounded PRAMs (§4.1, Theorem 4.1).
+//
+// A Machine describes a priority-CRCW PRAM program in a two-phase step
+// form: at each step every processor may issue one read; after the read
+// resolves it performs local computation and may issue one write. Write
+// conflicts resolve by lowest processor id (priority CRCW).
+//
+// RunDirect executes the machine on instrumented memory with the naive
+// binary-fork parallelization (the insecure baseline of Table 2's PRAM
+// row). RunOblivious executes it with the paper's simulation: reads become
+// one oblivious send-receive against the memory array, writes go through
+// oblivious conflict resolution (O(1) oblivious sorts) and a second
+// send-receive — so each PRAM step costs O(Wsort(p+s)) work,
+// O(Qsort(p+s)) cache misses and O(Tsort(p+s)) span.
+//
+// Processor-local state lives in registers inside the secure cores — the
+// adversary of §B observes memory addresses, not registers — so local
+// state is held in plain slices and charged via Ctx.Op.
+package pram
+
+import (
+	"sort"
+
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+)
+
+// Machine is a priority-CRCW PRAM program.
+type Machine interface {
+	// Procs returns the number of processors p.
+	Procs() int
+	// Space returns the shared-memory size s (words).
+	Space() int
+	// Steps returns the number of synchronous steps to execute.
+	Steps() int
+	// LocalWords returns the size of each processor's register file.
+	LocalWords() int
+	// Init fills processor proc's registers before step 0.
+	Init(proc int, local []uint64)
+	// ReadAddr returns the address processor proc reads at step t, or -1
+	// for no read.
+	ReadAddr(t, proc int, local []uint64) int
+	// Compute runs proc's local computation for step t, given the value
+	// read this step (ok=false if no read was issued or the address was
+	// out of range). It returns a write request, or addr=-1 for none.
+	Compute(t, proc int, local []uint64, read uint64, ok bool) (addr int, val uint64)
+}
+
+// RunDirect executes m against memInit with direct (insecure) memory
+// accesses, forking the p processors as a binary tree each step. It
+// returns the final memory. This is the Table 2 baseline: per step O(p)
+// work and O(log p) span, with a data-dependent access pattern.
+func RunDirect(c *forkjoin.Ctx, sp *mem.Space, m Machine, memInit []uint64) []uint64 {
+	p, s := m.Procs(), m.Space()
+	memory := mem.Alloc[uint64](sp, s)
+	for i, v := range memInit {
+		memory.Data()[i] = v
+	}
+	locals := makeLocals(m)
+
+	type wreq struct {
+		addr int
+		val  uint64
+		proc int
+	}
+	writes := make([]wreq, p)
+	for t := 0; t < m.Steps(); t++ {
+		forkjoin.ParallelFor(c, 0, p, 1, func(c *forkjoin.Ctx, i int) {
+			addr := m.ReadAddr(t, i, locals[i])
+			c.Op(int64(m.LocalWords()))
+			var v uint64
+			ok := false
+			if addr >= 0 && addr < s {
+				v = memory.Get(c, addr)
+				ok = true
+			}
+			wa, wv := m.Compute(t, i, locals[i], v, ok)
+			c.Op(int64(m.LocalWords()))
+			writes[i] = wreq{addr: wa, val: wv, proc: i}
+		})
+		// Priority-CRCW conflict resolution: the hardware semantics, not
+		// an algorithmic cost — lowest proc id wins per address.
+		winners := writes[:0:0]
+		winners = append(winners, writes...)
+		sort.Slice(winners, func(a, b int) bool {
+			if winners[a].addr != winners[b].addr {
+				return winners[a].addr < winners[b].addr
+			}
+			return winners[a].proc < winners[b].proc
+		})
+		forkjoin.ParallelFor(c, 0, len(winners), 1, func(c *forkjoin.Ctx, k int) {
+			w := winners[k]
+			if w.addr < 0 || w.addr >= s {
+				return
+			}
+			if k > 0 && winners[k-1].addr == w.addr {
+				return // lost the priority race
+			}
+			memory.Set(c, w.addr, w.val)
+		})
+	}
+	out := make([]uint64, s)
+	copy(out, memory.Data())
+	return out
+}
+
+func makeLocals(m Machine) [][]uint64 {
+	locals := make([][]uint64, m.Procs())
+	for i := range locals {
+		locals[i] = make([]uint64, m.LocalWords())
+		m.Init(i, locals[i])
+	}
+	return locals
+}

@@ -1,0 +1,160 @@
+package pram
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+)
+
+// Address/priority field widths for the composite conflict-resolution key:
+// addr < 2^40 and priority < 2^21 keep (addr << 21 | prio) below
+// obliv.MaxKey.
+const (
+	prioBits = 21
+	maxAddr  = 1 << 40
+	maxPrio  = 1 << prioBits
+)
+
+// Gather obliviously reads memory at the p requested addresses: the result
+// parallels addrs, entry i holding Val = memory[addrs[i]] with Kind = Real,
+// or Kind = Filler if the address is out of range. One send-receive with
+// the memory cells as senders (§4.1 read step); cost O(Wsort(p+s)).
+func Gather(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], addrs *mem.Array[uint64], srt obliv.Sorter) *mem.Array[obliv.Elem] {
+	s, p := memory.Len(), addrs.Len()
+	sources := mem.Alloc[obliv.Elem](sp, s)
+	forkjoin.ParallelRange(c, 0, s, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sources.Set(c, i, obliv.Elem{Key: uint64(i), Val: memory.Get(c, i), Kind: obliv.Real})
+		}
+	})
+	dests := mem.Alloc[obliv.Elem](sp, p)
+	forkjoin.ParallelRange(c, 0, p, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := addrs.Get(c, i)
+			key := a
+			if a >= uint64(s) {
+				// Distinct not-found keys (beyond every memory cell key).
+				key = uint64(s) + uint64(i)
+			}
+			dests.Set(c, i, obliv.Elem{Key: key, Kind: obliv.Real})
+		}
+	})
+	return obliv.SendReceive(c, sp, sources, dests, srt)
+}
+
+// ScatterResolve obliviously applies a batch of priority-CRCW writes to
+// memory: each request Elem carries Key = address, Val = value, Aux =
+// priority (lower wins), with Kind = Filler for no-ops. Duplicate
+// addresses are suppressed by O(1) oblivious sorts + propagation (§4.1
+// write step), then a send-receive updates every memory cell (cells whose
+// address receives no write keep their value; every cell is rewritten so
+// the pattern is fixed). Cost O(Wsort(p+s)).
+func ScatterResolve(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], reqs *mem.Array[obliv.Elem], srt obliv.Sorter) {
+	s, p := memory.Len(), reqs.Len()
+	if s >= maxAddr || p >= maxPrio {
+		panic("pram: address or priority out of composite-key range")
+	}
+	// Copy requests into a pow2 working array and sort by (addr, prio).
+	w := mem.Alloc[obliv.Elem](sp, obliv.NextPow2(p))
+	forkjoin.ParallelRange(c, 0, p, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := reqs.Get(c, i)
+			e.Mark = 0
+			w.Set(c, i, e)
+		}
+	})
+	key1 := func(e obliv.Elem) uint64 {
+		if e.Kind != obliv.Real {
+			return obliv.InfKey
+		}
+		return e.Key<<prioBits | (e.Aux & (maxPrio - 1))
+	}
+	srt.Sort(c, sp, w, 0, w.Len(), key1)
+
+	// The first request of each address group wins; all others become
+	// fillers. Propagate the winner's priority and compare.
+	groupOf := func(e obliv.Elem) uint64 {
+		if e.Kind != obliv.Real {
+			return obliv.InfKey
+		}
+		return e.Key
+	}
+	obliv.PropagateFirst(c, sp, w, groupOf,
+		func(e obliv.Elem, i int) (uint64, bool) { return e.Aux, e.Kind == obliv.Real },
+		func(e obliv.Elem, i int, v uint64, ok bool) obliv.Elem {
+			if e.Kind == obliv.Real && (!ok || e.Aux != v) {
+				e.Kind = obliv.Filler
+			}
+			return e
+		})
+
+	// Route winner values to the memory cells; every cell is rewritten.
+	dests := mem.Alloc[obliv.Elem](sp, s)
+	forkjoin.ParallelRange(c, 0, s, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dests.Set(c, i, obliv.Elem{Key: uint64(i), Kind: obliv.Real})
+		}
+	})
+	routed := obliv.SendReceive(c, sp, w.View(0, p), dests, srt)
+	forkjoin.ParallelRange(c, 0, s, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			r := routed.Get(c, i)
+			old := memory.Get(c, i)
+			v := old
+			c.Op(1)
+			if r.Kind == obliv.Real {
+				v = r.Val
+			}
+			memory.Set(c, i, v)
+		}
+	})
+}
+
+// RunOblivious executes m under the oblivious simulation of Theorem 4.1
+// and returns the final memory. With a fixed machine shape (p, s, steps),
+// the access pattern is independent of memInit and of every value read —
+// the property asserted by the package tests.
+func RunOblivious(c *forkjoin.Ctx, sp *mem.Space, m Machine, memInit []uint64, srt obliv.Sorter) []uint64 {
+	p, s := m.Procs(), m.Space()
+	memory := mem.Alloc[uint64](sp, s)
+	for i, v := range memInit {
+		memory.Data()[i] = v
+	}
+	locals := makeLocals(m)
+
+	addrs := mem.Alloc[uint64](sp, p)
+	reqs := mem.Alloc[obliv.Elem](sp, p)
+	for t := 0; t < m.Steps(); t++ {
+		// Read phase: collect addresses (no-read procs request an
+		// out-of-range address and receive ⊥).
+		forkjoin.ParallelFor(c, 0, p, 1, func(c *forkjoin.Ctx, i int) {
+			a := m.ReadAddr(t, i, locals[i])
+			c.Op(int64(m.LocalWords()))
+			if a < 0 || a >= s {
+				a = s + i
+			}
+			addrs.Set(c, i, uint64(a))
+		})
+		fetched := Gather(c, sp, memory, addrs, srt)
+
+		// Local computation phase.
+		forkjoin.ParallelFor(c, 0, p, 1, func(c *forkjoin.Ctx, i int) {
+			f := fetched.Get(c, i)
+			wa, wv := m.Compute(t, i, locals[i], f.Val, f.Kind == obliv.Real)
+			c.Op(int64(m.LocalWords()))
+			e := obliv.Elem{Aux: uint64(i)}
+			if wa >= 0 && wa < s {
+				e.Key = uint64(wa)
+				e.Val = wv
+				e.Kind = obliv.Real
+			}
+			reqs.Set(c, i, e)
+		})
+
+		// Write phase with oblivious conflict resolution.
+		ScatterResolve(c, sp, memory, reqs, srt)
+	}
+	out := make([]uint64, s)
+	copy(out, memory.Data())
+	return out
+}

@@ -1,0 +1,261 @@
+package pram
+
+import (
+	"testing"
+
+	"oblivmc/internal/bitonic"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+	"oblivmc/internal/prng"
+)
+
+var srt = bitonic.CacheAgnostic{}
+
+// randomList builds a random successor array for a single list over n
+// nodes; returns (succ, referenceRanks).
+func randomList(seed uint64, n int) ([]int, []int) {
+	src := prng.New(seed)
+	order := src.Perm(n) // order[k] = node at list position k
+	succ := make([]int, n)
+	ranks := make([]int, n)
+	for k := 0; k < n; k++ {
+		node := order[k]
+		if k == n-1 {
+			succ[node] = node // tail
+		} else {
+			succ[node] = order[k+1]
+		}
+		ranks[node] = n - 1 - k
+	}
+	return succ, ranks
+}
+
+func TestDirectPointerJump(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 100} {
+		succ, want := randomList(uint64(n), n)
+		m := &PointerJumpMachine{N: n, Succ: succ}
+		sp := mem.NewSpace()
+		final := RunDirect(forkjoin.Serial(), sp, m, m.InitialMemory())
+		got := m.Ranks(final)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: rank[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestObliviousPointerJumpMatchesDirect(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		succ, want := randomList(uint64(n)+3, n)
+		m := &PointerJumpMachine{N: n, Succ: succ}
+		sp := mem.NewSpace()
+		final := RunOblivious(forkjoin.Serial(), sp, m, m.InitialMemory(), srt)
+		got := m.Ranks(final)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: oblivious rank[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMaxMachineBothSimulators(t *testing.T) {
+	const n = 32
+	src := prng.New(5)
+	vals := make([]uint64, n)
+	var want uint64
+	for i := range vals {
+		vals[i] = src.Uint64n(1 << 40)
+		if vals[i] > want {
+			want = vals[i]
+		}
+	}
+	m := &MaxMachine{N: n, Values: vals}
+	sp := mem.NewSpace()
+	direct := RunDirect(forkjoin.Serial(), sp, m, m.InitialMemory())
+	if direct[0] != want {
+		t.Fatalf("direct max = %d, want %d", direct[0], want)
+	}
+	sp2 := mem.NewSpace()
+	obliv := RunOblivious(forkjoin.Serial(), sp2, m, m.InitialMemory(), srt)
+	if obliv[0] != want {
+		t.Fatalf("oblivious max = %d, want %d", obliv[0], want)
+	}
+}
+
+func TestAddConstMachine(t *testing.T) {
+	const n = 10
+	m := &AddConstMachine{N: n, K: 7}
+	init := make([]uint64, n)
+	for i := range init {
+		init[i] = uint64(i * 10)
+	}
+	sp := mem.NewSpace()
+	got := RunOblivious(forkjoin.Serial(), sp, m, init, srt)
+	for i := range init {
+		if got[i] != init[i]+7 {
+			t.Fatalf("cell %d = %d, want %d", i, got[i], init[i]+7)
+		}
+	}
+}
+
+func TestPriorityConflictResolution(t *testing.T) {
+	m := &ConflictMachine{P: 9, Base: 100}
+	sp := mem.NewSpace()
+	direct := RunDirect(forkjoin.Serial(), sp, m, make([]uint64, 4))
+	if direct[0] != 100 {
+		t.Fatalf("direct priority CRCW kept %d, want 100 (proc 0)", direct[0])
+	}
+	sp2 := mem.NewSpace()
+	obl := RunOblivious(forkjoin.Serial(), sp2, m, make([]uint64, 4), srt)
+	if obl[0] != 100 {
+		t.Fatalf("oblivious priority CRCW kept %d, want 100 (proc 0)", obl[0])
+	}
+}
+
+func TestObliviousSimulationTraceOblivious(t *testing.T) {
+	// Two different list structures of the same size must induce identical
+	// access patterns under the oblivious simulation — this is the heart
+	// of Theorem 4.1.
+	const n = 16
+	run := func(seed uint64) *forkjoin.Metrics {
+		succ, _ := randomList(seed, n)
+		m := &PointerJumpMachine{N: n, Succ: succ}
+		sp := mem.NewSpace()
+		return forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
+			RunOblivious(c, sp, m, m.InitialMemory(), srt)
+		})
+	}
+	if !run(1).Trace.Equal(run(2).Trace) {
+		t.Fatal("oblivious PRAM simulation leaks the list structure")
+	}
+}
+
+func TestDirectSimulationLeaks(t *testing.T) {
+	// Sanity inverse: the direct interpreter's pattern DOES depend on the
+	// list structure (otherwise the oblivious test above proves nothing).
+	const n = 16
+	run := func(seed uint64) *forkjoin.Metrics {
+		succ, _ := randomList(seed, n)
+		m := &PointerJumpMachine{N: n, Succ: succ}
+		sp := mem.NewSpace()
+		return forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
+			RunDirect(c, sp, m, m.InitialMemory())
+		})
+	}
+	if run(1).Trace.Equal(run(2).Trace) {
+		t.Fatal("direct interpreter unexpectedly oblivious (test is vacuous)")
+	}
+}
+
+func TestGatherBasic(t *testing.T) {
+	sp := mem.NewSpace()
+	memory := mem.FromSlice(sp, []uint64{10, 20, 30, 40})
+	addrs := mem.FromSlice(sp, []uint64{2, 0, 3, 99, 1})
+	out := Gather(forkjoin.Serial(), sp, memory, addrs, srt)
+	want := []struct {
+		val uint64
+		ok  bool
+	}{{30, true}, {10, true}, {40, true}, {0, false}, {20, true}}
+	for i, w := range want {
+		e := out.Data()[i]
+		if (e.Kind == obliv.Real) != w.ok {
+			t.Fatalf("addr %d: ok=%v want %v", i, e.Kind == obliv.Real, w.ok)
+		}
+		if w.ok && e.Val != w.val {
+			t.Fatalf("addr %d: val=%d want %d", i, e.Val, w.val)
+		}
+	}
+}
+
+func TestScatterResolveBasic(t *testing.T) {
+	sp := mem.NewSpace()
+	memory := mem.FromSlice(sp, []uint64{1, 2, 3, 4})
+	reqs := mem.FromSlice(sp, []obliv.Elem{
+		{Key: 1, Val: 100, Aux: 5, Kind: obliv.Real},
+		{Key: 1, Val: 200, Aux: 2, Kind: obliv.Real}, // lower priority id wins
+		{Key: 3, Val: 300, Aux: 9, Kind: obliv.Real},
+		{Kind: obliv.Filler},
+	})
+	ScatterResolve(forkjoin.Serial(), sp, memory, reqs, srt)
+	want := []uint64{1, 200, 3, 300}
+	for i, w := range want {
+		if memory.Data()[i] != w {
+			t.Fatalf("memory = %v, want %v", memory.Data(), want)
+		}
+	}
+}
+
+func TestScatterResolveAllFillers(t *testing.T) {
+	sp := mem.NewSpace()
+	memory := mem.FromSlice(sp, []uint64{7, 8, 9})
+	reqs := mem.Alloc[obliv.Elem](sp, 5) // all fillers
+	ScatterResolve(forkjoin.Serial(), sp, memory, reqs, srt)
+	for i, w := range []uint64{7, 8, 9} {
+		if memory.Data()[i] != w {
+			t.Fatalf("memory changed: %v", memory.Data())
+		}
+	}
+}
+
+func TestGatherScatterTraceOblivious(t *testing.T) {
+	run := func(addrSeed uint64) *forkjoin.Metrics {
+		sp := mem.NewSpace()
+		src := prng.New(addrSeed)
+		memory := mem.Alloc[uint64](sp, 32)
+		addrs := mem.Alloc[uint64](sp, 8)
+		for i := range addrs.Data() {
+			addrs.Data()[i] = src.Uint64n(32)
+		}
+		reqs := mem.Alloc[obliv.Elem](sp, 8)
+		for i := range reqs.Data() {
+			reqs.Data()[i] = obliv.Elem{Key: src.Uint64n(32), Val: src.Uint64(), Aux: uint64(i), Kind: obliv.Real}
+		}
+		return forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
+			out := Gather(c, sp, memory, addrs, srt)
+			_ = out
+			ScatterResolve(c, sp, memory, reqs, srt)
+		})
+	}
+	if !run(1).Trace.Equal(run(2).Trace) {
+		t.Fatal("gather/scatter access pattern depends on addresses")
+	}
+}
+
+func TestObliviousStepCostScalesWithSpace(t *testing.T) {
+	// Theorem 4.1: per-step work is O(Wsort(p+s)) — so doubling s should
+	// roughly double per-step work (up to the log factor), not square it.
+	work := func(n int) int64 {
+		m := &AddConstMachine{N: n, K: 1}
+		sp := mem.NewSpace()
+		mm := forkjoin.RunMetered(forkjoin.MeterOpts{}, func(c *forkjoin.Ctx) {
+			RunOblivious(c, sp, m, make([]uint64, n), srt)
+		})
+		return mm.Work
+	}
+	w1, w2 := work(1<<7), work(1<<8)
+	r := float64(w2) / float64(w1)
+	if r < 1.7 || r > 3.4 {
+		t.Fatalf("per-step work doubling ratio %.2f outside [1.7, 3.4]", r)
+	}
+}
+
+func TestParallelObliviousMatchesSerial(t *testing.T) {
+	const n = 32
+	succ, _ := randomList(77, n)
+	m := &PointerJumpMachine{N: n, Succ: succ}
+	sp1 := mem.NewSpace()
+	serial := RunOblivious(forkjoin.Serial(), sp1, m, m.InitialMemory(), srt)
+	var par []uint64
+	forkjoin.RunParallel(4, func(c *forkjoin.Ctx) {
+		sp2 := mem.NewSpace()
+		par = RunOblivious(c, sp2, m, m.InitialMemory(), srt)
+	})
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("parallel mismatch at %d", i)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package prng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestSourceSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical outputs", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	s := New(7)
+	for _, n := range []uint64{1, 2, 3, 7, 16, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			v := s.Uint64n(n)
+			if v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	s := New(99)
+	const buckets = 8
+	const draws = 80000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[s.Uint64n(buckets)]++
+	}
+	exp := draws / buckets
+	for b, c := range counts {
+		if c < exp*9/10 || c > exp*11/10 {
+			t.Fatalf("bucket %d count %d far from expected %d", b, c, exp)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermUniformFirstElement(t *testing.T) {
+	s := New(11)
+	const n = 5
+	const trials = 50000
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		counts[s.Perm(n)[0]]++
+	}
+	exp := trials / n
+	for i, c := range counts {
+		if c < exp*85/100 || c > exp*115/100 {
+			t.Fatalf("first element %d occurred %d times, expected ~%d", i, c, exp)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestTapeSequence(t *testing.T) {
+	tp := NewTape(13, 100)
+	if tp.Len() != 100 {
+		t.Fatalf("Len = %d", tp.Len())
+	}
+	first := tp.At(0)
+	if got := tp.Next(); got != first {
+		t.Fatalf("Next() = %d, At(0) = %d", got, first)
+	}
+	if tp.Remaining() != 99 {
+		t.Fatalf("Remaining = %d", tp.Remaining())
+	}
+	tp.Reset()
+	if tp.Remaining() != 100 {
+		t.Fatalf("after Reset Remaining = %d", tp.Remaining())
+	}
+}
+
+func TestTapeReproducible(t *testing.T) {
+	a := NewTape(21, 50)
+	b := NewTape(21, 50)
+	for i := 0; i < 50; i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("tapes with same seed differ at %d", i)
+		}
+	}
+}
+
+func TestTapeExhaustionPanics(t *testing.T) {
+	tp := NewTape(1, 1)
+	tp.Next()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted tape did not panic")
+		}
+	}()
+	tp.Next()
+}
+
+func TestTapeNextN(t *testing.T) {
+	tp := NewTape(9, 1000)
+	for i := 0; i < 500; i++ {
+		if v := tp.NextN(10); v >= 10 {
+			t.Fatalf("NextN(10) = %d", v)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		if v := tp.NextN(16); v >= 16 {
+			t.Fatalf("NextN(16) = %d", v)
+		}
+	}
+}
+
+func TestMix64Injective(t *testing.T) {
+	// Property: Mix64 behaves like a bijection-ish mixer — no collisions on
+	// a sample, and changing one input bit changes the output.
+	seen := make(map[uint64]uint64)
+	if err := quick.Check(func(x uint64) bool {
+		h := Mix64(x)
+		if prev, ok := seen[h]; ok && prev != x {
+			return false
+		}
+		seen[h] = x
+		return Mix64(x^1) != h
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitMix64Advances(t *testing.T) {
+	s := uint64(0)
+	a := SplitMix64(&s)
+	b := SplitMix64(&s)
+	if a == b {
+		t.Fatal("SplitMix64 produced identical consecutive values")
+	}
+	if s == 0 {
+		t.Fatal("SplitMix64 did not advance state")
+	}
+}

@@ -1,0 +1,124 @@
+package trace
+
+import "testing"
+
+func TestFingerprintEquality(t *testing.T) {
+	a := NewRecorder(0)
+	b := NewRecorder(0)
+	for i := uint64(0); i < 100; i++ {
+		a.Record(Read, i)
+		b.Record(Read, i)
+	}
+	if !a.Fingerprint().Equal(b.Fingerprint()) {
+		t.Fatal("identical event streams produced different fingerprints")
+	}
+}
+
+func TestFingerprintOrderSensitive(t *testing.T) {
+	a := NewRecorder(0)
+	b := NewRecorder(0)
+	a.Record(Read, 1)
+	a.Record(Read, 2)
+	b.Record(Read, 2)
+	b.Record(Read, 1)
+	if a.Fingerprint().Equal(b.Fingerprint()) {
+		t.Fatal("reordered streams should not collide")
+	}
+}
+
+func TestFingerprintKindSensitive(t *testing.T) {
+	a := NewRecorder(0)
+	b := NewRecorder(0)
+	a.Record(Read, 7)
+	b.Record(Write, 7)
+	if a.Fingerprint().Equal(b.Fingerprint()) {
+		t.Fatal("read vs write should differ")
+	}
+}
+
+func TestCountMismatchDetected(t *testing.T) {
+	a := NewRecorder(0)
+	b := NewRecorder(0)
+	a.Record(Read, 1)
+	if a.Fingerprint().Equal(b.Fingerprint()) {
+		t.Fatal("different counts should differ")
+	}
+}
+
+func TestPrefixRetention(t *testing.T) {
+	r := NewRecorder(3)
+	for i := uint64(0); i < 10; i++ {
+		r.Record(Write, i)
+	}
+	p := r.Prefix()
+	if len(p) != 3 {
+		t.Fatalf("prefix length = %d, want 3", len(p))
+	}
+	for i, e := range p {
+		if e.Kind != Write || e.Addr != uint64(i) {
+			t.Fatalf("prefix[%d] = %+v", i, e)
+		}
+	}
+	if r.Count() != 10 {
+		t.Fatalf("count = %d, want 10", r.Count())
+	}
+}
+
+func TestFirstDivergence(t *testing.T) {
+	a := []Event{{Read, 1}, {Read, 2}, {Write, 3}}
+	b := []Event{{Read, 1}, {Read, 9}, {Write, 3}}
+	if d := FirstDivergence(a, b); d != 1 {
+		t.Fatalf("divergence = %d, want 1", d)
+	}
+	if d := FirstDivergence(a, a); d != -1 {
+		t.Fatalf("identical divergence = %d, want -1", d)
+	}
+	if d := FirstDivergence(a, a[:2]); d != 2 {
+		t.Fatalf("length-mismatch divergence = %d, want 2", d)
+	}
+}
+
+func TestChiSquareUniformNull(t *testing.T) {
+	// Perfectly uniform counts → statistic 0.
+	stat, dof := ChiSquareUniform([]int64{100, 100, 100, 100})
+	if stat != 0 || dof != 3 {
+		t.Fatalf("stat=%v dof=%d", stat, dof)
+	}
+}
+
+func TestChiSquareDetectsSkew(t *testing.T) {
+	stat, dof := ChiSquareUniform([]int64{1000, 10, 10, 10})
+	if stat <= CriticalValue999(dof) {
+		t.Fatalf("grossly skewed counts not detected: stat=%v crit=%v", stat, CriticalValue999(dof))
+	}
+}
+
+func TestChiSquareAcceptsMildNoise(t *testing.T) {
+	stat, dof := ChiSquareUniform([]int64{1010, 990, 1005, 995})
+	if stat > CriticalValue999(dof) {
+		t.Fatalf("mild noise rejected: stat=%v crit=%v", stat, CriticalValue999(dof))
+	}
+}
+
+func TestCriticalValueMonotone(t *testing.T) {
+	prev := 0.0
+	for dof := 1; dof <= 100; dof++ {
+		cv := CriticalValue999(dof)
+		if cv <= prev {
+			t.Fatalf("critical value not increasing at dof=%d", dof)
+		}
+		prev = cv
+	}
+}
+
+func TestChiSquareDegenerate(t *testing.T) {
+	if s, d := ChiSquareUniform(nil); s != 0 || d != 0 {
+		t.Fatal("nil counts should be degenerate")
+	}
+	if s, d := ChiSquareUniform([]int64{5}); s != 0 || d != 0 {
+		t.Fatal("single bucket should be degenerate")
+	}
+	if s, _ := ChiSquareUniform([]int64{0, 0}); s != 0 {
+		t.Fatal("all-zero counts should give 0 statistic")
+	}
+}

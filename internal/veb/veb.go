@@ -1,0 +1,86 @@
+// Package veb implements the van Emde Boas tree layout used by §4.2's
+// first cache-complexity modification: storing each ORAM tree in vEB order
+// makes a root-to-leaf path of length L cost O(log_B 2^L) cache misses
+// instead of L.
+//
+// The layout maps BFS positions of a complete binary tree to a recursive
+// order: a tree of height h is split into a top tree of height ⌈h/2⌉
+// followed by its 2^⌈h/2⌉ bottom trees of height ⌊h/2⌋, each laid out
+// recursively and contiguously.
+package veb
+
+// Layout precomputes the BFS→vEB position map for a complete binary tree.
+type Layout struct {
+	levels int
+	pos    []int32 // BFS index -> vEB index
+}
+
+// New builds the layout for a complete binary tree with the given number
+// of levels (so 2^levels − 1 nodes). levels must be in [1, 30].
+func New(levels int) *Layout {
+	if levels < 1 || levels > 30 {
+		panic("veb: levels out of range")
+	}
+	n := (1 << levels) - 1
+	l := &Layout{levels: levels, pos: make([]int32, n)}
+	next := int32(0)
+	l.build(0, levels, &next)
+	return l
+}
+
+// build assigns vEB positions to the height-h subtree rooted at BFS index
+// root.
+func (l *Layout) build(root, h int, next *int32) {
+	if h == 1 {
+		l.pos[root] = *next
+		*next++
+		return
+	}
+	hTop := h / 2
+	hBot := h - hTop
+	// Top tree: the first hTop levels below root.
+	l.build(root, hTop, next)
+	// Bottom trees: rooted at the 2^hTop descendants at relative depth
+	// hTop; BFS index of the k-th is (root+1)<<hTop - 1 + k.
+	cnt := 1 << hTop
+	base := (root+1)<<hTop - 1
+	for k := 0; k < cnt; k++ {
+		l.build(base+k, hBot, next)
+	}
+}
+
+// Levels returns the number of tree levels.
+func (l *Layout) Levels() int { return l.levels }
+
+// Nodes returns the node count 2^levels − 1.
+func (l *Layout) Nodes() int { return len(l.pos) }
+
+// Pos maps a BFS index (root = 0, children 2i+1, 2i+2) to its vEB
+// position.
+func (l *Layout) Pos(bfs int) int { return int(l.pos[bfs]) }
+
+// PathBFS returns the BFS indices of the root-to-leaf path for a leaf
+// number in [0, 2^(levels-1)).
+func (l *Layout) PathBFS(leaf int) []int {
+	out := make([]int, l.levels)
+	idx := 0
+	for d := 0; d < l.levels; d++ {
+		out[d] = idx
+		if d == l.levels-1 {
+			break
+		}
+		bit := (leaf >> (l.levels - 2 - d)) & 1
+		idx = 2*idx + 1 + bit
+	}
+	return out
+}
+
+// PathPos returns the vEB positions of the root-to-leaf path.
+func (l *Layout) PathPos(leaf int) []int {
+	bfs := l.PathBFS(leaf)
+	out := make([]int, len(bfs))
+	for i, b := range bfs {
+		out[i] = l.Pos(b)
+	}
+	return out
+}

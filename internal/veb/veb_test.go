@@ -1,0 +1,110 @@
+package veb
+
+import "testing"
+
+func TestBijection(t *testing.T) {
+	for _, levels := range []int{1, 2, 3, 5, 8, 12} {
+		l := New(levels)
+		n := l.Nodes()
+		if n != (1<<levels)-1 {
+			t.Fatalf("levels=%d: nodes=%d", levels, n)
+		}
+		seen := make([]bool, n)
+		for bfs := 0; bfs < n; bfs++ {
+			p := l.Pos(bfs)
+			if p < 0 || p >= n || seen[p] {
+				t.Fatalf("levels=%d: Pos(%d)=%d not a bijection", levels, bfs, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestSmallLayouts(t *testing.T) {
+	// levels=2: root, then its two children — vEB = BFS here.
+	l := New(2)
+	if l.Pos(0) != 0 || l.Pos(1) != 1 || l.Pos(2) != 2 {
+		t.Fatalf("levels=2 layout: %d %d %d", l.Pos(0), l.Pos(1), l.Pos(2))
+	}
+	// levels=3: top tree of height 1 (wait: hTop = 1), bottoms of height 2.
+	// Root first, then left child's subtree, then right child's subtree.
+	l = New(3)
+	if l.Pos(0) != 0 {
+		t.Fatal("root must be first")
+	}
+	if l.Pos(1) != 1 || l.Pos(3) != 2 || l.Pos(4) != 3 {
+		t.Fatalf("left subtree misplaced: %d %d %d", l.Pos(1), l.Pos(3), l.Pos(4))
+	}
+	if l.Pos(2) != 4 || l.Pos(5) != 5 || l.Pos(6) != 6 {
+		t.Fatalf("right subtree misplaced: %d %d %d", l.Pos(2), l.Pos(5), l.Pos(6))
+	}
+}
+
+func TestPathBFS(t *testing.T) {
+	l := New(4)
+	// Leaf 0: all-left path.
+	p := l.PathBFS(0)
+	want := []int{0, 1, 3, 7}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("leaf 0 path %v, want %v", p, want)
+		}
+	}
+	// Leaf 7 (all-right).
+	p = l.PathBFS(7)
+	want = []int{0, 2, 6, 14}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("leaf 7 path %v, want %v", p, want)
+		}
+	}
+}
+
+func TestPathEndsAtCorrectLeaf(t *testing.T) {
+	l := New(6)
+	leaves := 1 << 5
+	for leaf := 0; leaf < leaves; leaf++ {
+		p := l.PathBFS(leaf)
+		if len(p) != 6 {
+			t.Fatalf("path length %d", len(p))
+		}
+		wantLeafBFS := (1 << 5) - 1 + leaf
+		if p[5] != wantLeafBFS {
+			t.Fatalf("leaf %d path ends at %d, want %d", leaf, p[5], wantLeafBFS)
+		}
+		// Consecutive entries must be parent/child.
+		for i := 1; i < len(p); i++ {
+			if (p[i]-1)/2 != p[i-1] {
+				t.Fatalf("path %v not a root-leaf chain", p)
+			}
+		}
+	}
+}
+
+func TestVEBLocalityBeatsBFS(t *testing.T) {
+	// With block size B, a root-leaf path in vEB order should touch fewer
+	// distinct blocks than in BFS order for deep trees.
+	const levels = 16
+	const B = 64
+	l := New(levels)
+	distinct := func(positions []int) int {
+		blocks := map[int]bool{}
+		for _, p := range positions {
+			blocks[p/B] = true
+		}
+		return len(blocks)
+	}
+	totalVEB, totalBFS := 0, 0
+	for leaf := 0; leaf < 1<<(levels-1); leaf += 997 {
+		bfs := l.PathBFS(leaf)
+		pos := make([]int, len(bfs))
+		for i, b := range bfs {
+			pos[i] = l.Pos(b)
+		}
+		totalVEB += distinct(pos)
+		totalBFS += distinct(bfs)
+	}
+	if totalVEB >= totalBFS {
+		t.Fatalf("vEB locality not better: %d vs %d blocks", totalVEB, totalBFS)
+	}
+}

@@ -1,0 +1,138 @@
+// Package oblivmc is a library of data-oblivious parallel algorithms for
+// multicores in the binary fork-join model, reproducing "Data Oblivious
+// Algorithms for Multicores" (Ramachandran & Shi, SPAA 2021).
+//
+// The primary primitive is oblivious sorting via oblivious random bin
+// assignment (REC-ORBA) and the practical REC-SORT variant; on top of it
+// the package offers an oblivious random shuffle, list ranking, Euler-tour
+// tree computations, tree contraction (expression evaluation), connected
+// components, minimum spanning forest, and an oblivious simulator for
+// CRCW PRAM programs.
+//
+// Every algorithm runs under one of two executors selected by Config.Mode:
+//
+//   - ModeParallel executes on a work-stealing pool (real multicore);
+//   - ModeMetered executes sequentially while measuring the exact work,
+//     span (critical-path length), ideal-cache misses and the
+//     access-pattern fingerprint that constitutes the adversary's view —
+//     the quantities in which all of the paper's bounds are stated.
+//
+// Obliviousness guarantee: with a fixed Seed, the access pattern of every
+// *Oblivious* operation is a deterministic function of the input length
+// (never of the input contents); randomized components draw their coins
+// from pre-generated tapes derived from Seed.
+package oblivmc
+
+import (
+	"errors"
+	"runtime"
+
+	"oblivmc/internal/core"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/trace"
+)
+
+// Mode selects the executor.
+type Mode int
+
+const (
+	// ModeParallel runs on the work-stealing pool (default).
+	ModeParallel Mode = iota
+	// ModeMetered runs sequentially with exact instrumentation.
+	ModeMetered
+	// ModeSerial runs sequentially without instrumentation (tests,
+	// debugging).
+	ModeSerial
+)
+
+// Config controls execution.
+type Config struct {
+	// Mode selects the executor (default ModeParallel).
+	Mode Mode
+	// Workers is the pool size in ModeParallel (default GOMAXPROCS).
+	Workers int
+	// CacheM, CacheB enable ideal-cache simulation in ModeMetered
+	// (cache size and block size, in elements).
+	CacheM, CacheB int
+	// Trace enables access-pattern recording in ModeMetered.
+	Trace bool
+	// Seed drives all algorithm randomness (tapes, pivots, labels).
+	Seed uint64
+	// Tuning overrides the paper's default parameters (zero = defaults).
+	Tuning Tuning
+}
+
+// Tuning exposes the paper's tunables (see internal/core.Params).
+type Tuning struct {
+	// Z is the ORBA bin capacity (power of two; default ~log² n).
+	Z int
+	// Gamma is the butterfly branching factor (power of two; default
+	// ~log n; 2 reproduces the prior work ablation).
+	Gamma int
+	// SampleRate, PivotSpacing, BinCapFactor tune REC-SORT (§E.2).
+	SampleRate, PivotSpacing, BinCapFactor int
+}
+
+func (t Tuning) params() core.Params {
+	return core.Params{
+		Z: t.Z, Gamma: t.Gamma,
+		SampleRate: t.SampleRate, PivotSpacing: t.PivotSpacing,
+		BinCapFactor: t.BinCapFactor,
+	}
+}
+
+// Report carries the metrics of a metered run; nil in other modes.
+type Report struct {
+	// Work is the total operation count.
+	Work int64
+	// Span is the critical-path length of the computation DAG.
+	Span int64
+	// MemOps, Reads, Writes count instrumented memory operations.
+	MemOps, Reads, Writes int64
+	// Forks counts binary forks.
+	Forks int64
+	// CacheMisses / CacheAccesses are ideal-cache statistics (when
+	// enabled).
+	CacheMisses, CacheAccesses int64
+	// TraceFingerprint summarizes the adversary's view (when enabled).
+	TraceFingerprint trace.Fingerprint
+}
+
+func reportOf(m *forkjoin.Metrics) *Report {
+	if m == nil {
+		return nil
+	}
+	return &Report{
+		Work: m.Work, Span: m.Span,
+		MemOps: m.MemOps, Reads: m.Reads, Writes: m.Writes,
+		Forks:       m.Forks,
+		CacheMisses: m.CacheMisses, CacheAccesses: m.CacheAccesses,
+		TraceFingerprint: m.Trace,
+	}
+}
+
+// run executes fn under the configured executor.
+func run(cfg Config, fn func(c *forkjoin.Ctx, sp *mem.Space)) *Report {
+	sp := mem.NewSpace()
+	switch cfg.Mode {
+	case ModeMetered:
+		m := forkjoin.RunMetered(forkjoin.MeterOpts{
+			CacheM: cfg.CacheM, CacheB: cfg.CacheB, EnableTrace: cfg.Trace,
+		}, func(c *forkjoin.Ctx) { fn(c, sp) })
+		return reportOf(m)
+	case ModeSerial:
+		fn(forkjoin.Serial(), sp)
+		return nil
+	default:
+		w := cfg.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		forkjoin.RunParallel(w, func(c *forkjoin.Ctx) { fn(c, sp) })
+		return nil
+	}
+}
+
+// ErrEmptyInput is returned for empty inputs where a result is undefined.
+var ErrEmptyInput = errors.New("oblivmc: empty input")
