@@ -7,6 +7,7 @@ import (
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
+	"oblivmc/internal/relops"
 )
 
 // GroupTotals obliviously computes, for every record i, the sum of values
@@ -14,7 +15,8 @@ import (
 // of the paper's motivating private-analytics workload (§1). The access
 // pattern depends only on the number of records: neither the group
 // structure nor the values leak. Group keys may repeat (they need not be
-// distinct); keys must be < 2^40 and record count < 2^20.
+// distinct); keys must be < 2^40 and record count at most 2^20 (the
+// relational-layer bounds, see internal/relops).
 func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error) {
 	n := len(groups)
 	if n == 0 {
@@ -23,12 +25,12 @@ func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error)
 	if len(values) != n {
 		return nil, nil, fmt.Errorf("oblivmc: %d groups but %d values", n, len(values))
 	}
-	if n >= 1<<20 {
+	if n > relops.MaxRows {
 		return nil, nil, fmt.Errorf("oblivmc: too many records")
 	}
 	for i, g := range groups {
-		if g >= 1<<40 {
-			return nil, nil, fmt.Errorf("oblivmc: group key %d (index %d) exceeds 2^40", g, i)
+		if g >= relops.KeyLimit {
+			return nil, nil, fmt.Errorf("oblivmc: group key %d (index %d) exceeds 2^40-1", g, i)
 		}
 	}
 	out := make([]uint64, n)

@@ -7,6 +7,7 @@ package oblivmc
 // same code paths.
 
 import (
+	"fmt"
 	"testing"
 
 	"oblivmc/internal/bitonic"
@@ -18,6 +19,7 @@ import (
 	"oblivmc/internal/oram"
 	"oblivmc/internal/pram"
 	"oblivmc/internal/prng"
+	"oblivmc/internal/relops"
 	"oblivmc/internal/spms"
 )
 
@@ -415,6 +417,81 @@ func benchORBA(b *testing.B, meta bool, p core.Params) {
 func BenchmarkORBA_Recursive(b *testing.B)       { benchORBA(b, false, core.Params{}) }
 func BenchmarkORBA_RecursiveGamma2(b *testing.B) { benchORBA(b, false, core.Params{Gamma: 2}) }
 func BenchmarkORBA_Meta(b *testing.B)            { benchORBA(b, true, core.Params{}) }
+
+// --- Relational operators (internal/relops) ------------------------------------
+//
+// Perf trajectory for the oblivious analytics layer: elements/sec at
+// n ∈ {2^12, 2^16, 2^20}. Run with -benchtime=1x for a quick spot check —
+// the 2^20 points sort a million-element array through the full bitonic
+// pipeline and take seconds per iteration.
+
+var relopsSizes = []int{1 << 12, 1 << 16, 1 << 20}
+
+func benchRecords(n int) []relops.Record {
+	src := prng.New(42)
+	recs := make([]relops.Record, n)
+	for i := range recs {
+		recs[i] = relops.Record{Key: src.Uint64n(uint64(n / 8)), Val: src.Uint64n(1 << 30)}
+	}
+	return recs
+}
+
+func benchRelop(b *testing.B, n int, op func(c *forkjoin.Ctx, sp *mem.Space, recs []relops.Record)) {
+	recs := benchRecords(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPool.Run(func(c *forkjoin.Ctx) {
+			op(c, mem.NewSpace(), recs)
+		})
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+}
+
+func BenchmarkCompact(b *testing.B) {
+	for _, n := range relopsSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRelop(b, n, func(c *forkjoin.Ctx, sp *mem.Space, recs []relops.Record) {
+				a := relops.Load(sp, recs)
+				relops.Compact(c, sp, a, func(r relops.Record) bool { return r.Val%2 == 0 }, bitonic.CacheAgnostic{})
+			})
+		})
+	}
+}
+
+func BenchmarkGroupBy(b *testing.B) {
+	for _, n := range relopsSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRelop(b, n, func(c *forkjoin.Ctx, sp *mem.Space, recs []relops.Record) {
+				a := relops.Load(sp, recs)
+				relops.GroupBy(c, sp, a, relops.AggSum, bitonic.CacheAgnostic{})
+			})
+		})
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	for _, n := range relopsSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			// Left: n/8 distinct keys; right: n records over the same key range.
+			nl := n / 8
+			lrecs := make([]relops.Record, nl)
+			for i := range lrecs {
+				lrecs[i] = relops.Record{Key: uint64(i), Val: uint64(i) * 3}
+			}
+			recs := benchRecords(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchPool.Run(func(c *forkjoin.Ctx) {
+					sp := mem.NewSpace()
+					l := relops.Load(sp, lrecs)
+					r := relops.Load(sp, recs)
+					relops.Join(c, sp, l, r, bitonic.CacheAgnostic{})
+				})
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+		})
+	}
+}
 
 // --- Theorem 4.2: OPRAM batches -------------------------------------------------
 

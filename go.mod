@@ -1,0 +1,3 @@
+module oblivmc
+
+go 1.24

@@ -1,0 +1,31 @@
+package relops
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+)
+
+// Compact is the oblivious Filter→tight-compaction operator: records
+// satisfying pred move to the front of a in their original order, all other
+// slots become fillers, and the survivor count is returned (computed
+// outside the adversary's view).
+//
+// pred is evaluated once per record in a fixed elementwise pass; it must be
+// a pure function of the record (register arithmetic only — it is handed
+// values, not memory). The rest of the operator is one data-independent
+// sort plus elementwise passes, so the trace depends only on len(a).
+func Compact(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], pred func(Record) bool, srt obliv.Sorter) int {
+	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := a.Get(c, i)
+			c.Op(1)
+			e.Mark = 0
+			if e.Kind == obliv.Real && pred(Record{Key: e.Key, Val: e.Val}) {
+				e.Mark = 1
+			}
+			a.Set(c, i, e)
+		}
+	})
+	return compactMarked(c, sp, a, srt)
+}

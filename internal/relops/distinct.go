@@ -1,0 +1,21 @@
+package relops
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+)
+
+// Distinct obliviously deduplicates a by Key: for every key the earliest
+// record (smallest original position) survives, survivors move to the
+// front in original input order, and the distinct-key count is returned.
+//
+// Pipeline: sort by (key, position) so duplicates are adjacent with the
+// earliest record first, mark group heads with a fixed neighbor-compare
+// pass, then compact the marked records — two data-independent sorts and
+// two elementwise passes, trace a function of len(a) only.
+func Distinct(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) int {
+	srt.Sort(c, sp, a, 0, a.Len(), keyIdx)
+	markBoundaries(c, sp, a)
+	return compactMarked(c, sp, a, srt)
+}

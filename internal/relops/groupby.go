@@ -1,0 +1,87 @@
+package relops
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+)
+
+// AggKind selects the aggregation function of GroupBy.
+type AggKind uint8
+
+const (
+	// AggSum totals the group's values.
+	AggSum AggKind = iota
+	// AggCount counts the group's records.
+	AggCount
+	// AggMin takes the group's minimum value.
+	AggMin
+	// AggMax takes the group's maximum value.
+	AggMax
+)
+
+// combineOf returns the associative, commutative combine and the per-record
+// value extractor of agg.
+func combineOf(agg AggKind) (valOf func(obliv.Elem) uint64, combine func(x, y uint64) uint64) {
+	switch agg {
+	case AggCount:
+		return func(obliv.Elem) uint64 { return 1 },
+			func(x, y uint64) uint64 { return x + y }
+	case AggMin:
+		return func(e obliv.Elem) uint64 { return e.Val },
+			func(x, y uint64) uint64 {
+				if y < x {
+					return y
+				}
+				return x
+			}
+	case AggMax:
+		return func(e obliv.Elem) uint64 { return e.Val },
+			func(x, y uint64) uint64 {
+				if y > x {
+					return y
+				}
+				return x
+			}
+	default: // AggSum
+		return func(e obliv.Elem) uint64 { return e.Val },
+			func(x, y uint64) uint64 { return x + y }
+	}
+}
+
+// GroupBy obliviously aggregates a by Key: afterwards a holds one record
+// per distinct key whose Val is the aggregate of the group's values under
+// agg, ordered by the earliest original position of the group's members,
+// and the group count is returned.
+//
+// Pipeline (§F composition, mirroring the paper's group-by sketch): sort by
+// (key, position), segmented suffix-aggregation gives every group head the
+// full-group aggregate, a fixed neighbor-compare pass marks the heads and
+// installs the aggregate as their Val, and compaction keeps only the heads.
+// All phases are data-independent; the trace depends only on len(a).
+func GroupBy(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], agg AggKind, srt obliv.Sorter) int {
+	srt.Sort(c, sp, a, 0, a.Len(), keyIdx)
+
+	valOf, combine := combineOf(agg)
+	obliv.AggregateSuffix(c, sp, a, groupKey, valOf, combine,
+		func(e obliv.Elem, i int, aggVal uint64) obliv.Elem {
+			e.Lbl = aggVal
+			return e
+		})
+
+	// Group heads (inclusive suffix aggregate over the whole group) adopt
+	// the aggregate as their value; markBoundaries then flags exactly them.
+	markBoundaries(c, sp, a)
+	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := a.Get(c, i)
+			c.Op(1)
+			if e.Mark == 1 {
+				e.Val = e.Lbl
+			}
+			e.Lbl = 0
+			a.Set(c, i, e)
+		}
+	})
+	return compactMarked(c, sp, a, srt)
+}

@@ -1,0 +1,93 @@
+package relops
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+)
+
+// Joined is one output record of Join: a right record together with the
+// value of the left record sharing its key.
+type Joined struct {
+	Key, LeftVal, RightVal uint64
+}
+
+// Join is the oblivious sort-merge equi-join of a primary relation left
+// (whose keys must be distinct; if they are not, the first key in sorted
+// order wins, as in obliv.SendReceive) with a foreign relation right. The
+// result array has length NextPow2(len(left)+len(right)) and holds, at the
+// front in right's original order, one record per right record whose key
+// appears in left — Key/Val are the right record's, Lbl carries the joined
+// left value. The match count is returned (raw read, outside the
+// adversary's view).
+//
+// Construction (§F / [CS17] style): tag and interleave the two relations,
+// sort by (key, side, position) so each key group is its left record
+// followed by its right records, obliviously propagate the left value
+// through the group, then compact the matched right records. Two
+// data-independent sorts, one propagation, elementwise passes — the trace
+// depends only on (len(left), len(right)).
+func Join(c *forkjoin.Ctx, sp *mem.Space, left, right *mem.Array[obliv.Elem], srt obliv.Sorter) (*mem.Array[obliv.Elem], int) {
+	nl, nr := left.Len(), right.Len()
+	wLen := obliv.NextPow2(nl + nr)
+	w := mem.Alloc[obliv.Elem](sp, wLen) // trailing slots are fillers
+
+	const (
+		tagLeft  = 0
+		tagRight = 1
+	)
+	forkjoin.ParallelRange(c, 0, nl, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := left.Get(c, i)
+			e.Tag = tagLeft
+			w.Set(c, i, e)
+		}
+	})
+	forkjoin.ParallelRange(c, 0, nr, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			e := right.Get(c, j)
+			e.Tag = tagRight
+			w.Set(c, nl+j, e)
+		}
+	})
+
+	// Sort by (key, left-before-right, position). Keys < 2^40 shifted by
+	// idxBits+1 stay below obliv.MaxKey.
+	sideKey := func(e obliv.Elem) uint64 {
+		if e.Kind != obliv.Real {
+			return obliv.InfKey
+		}
+		return e.Key<<(idxBits+1) | uint64(e.Tag)<<idxBits | e.Aux
+	}
+	srt.Sort(c, sp, w, 0, wLen, sideKey)
+
+	// Propagate each key group's left value to the group's right records;
+	// matched right records get Mark=1, everything else Mark=0.
+	obliv.PropagateFirst(c, sp, w, groupKey,
+		func(e obliv.Elem, i int) (uint64, bool) {
+			return e.Val, e.Kind == obliv.Real && e.Tag == tagLeft
+		},
+		func(e obliv.Elem, i int, v uint64, ok bool) obliv.Elem {
+			e.Mark = 0
+			if e.Kind == obliv.Real && e.Tag == tagRight && ok {
+				e.Lbl = v
+				e.Mark = 1
+			}
+			return e
+		})
+
+	matched := compactMarked(c, sp, w, srt)
+	return w, matched
+}
+
+// UnloadJoined extracts the real joined records of a Join result in array
+// order (harness operation, outside the adversary's view).
+func UnloadJoined(a *mem.Array[obliv.Elem]) []Joined {
+	out := make([]Joined, 0, a.Len())
+	for _, e := range a.Data() {
+		if e.Kind == obliv.Real {
+			out = append(out, Joined{Key: e.Key, LeftVal: e.Lbl, RightVal: e.Val})
+		}
+	}
+	return out
+}

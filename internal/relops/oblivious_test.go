@@ -1,0 +1,150 @@
+package relops
+
+// Obliviousness regression tests (DESIGN.md §3 strategy, as in
+// TestCompareExchangeObliviousTrace): run each relational operator on
+// different record contents of the same shape (relation sizes) under the
+// metered executor and assert the adversary's views — the trace
+// fingerprints — are identical. A divergence means record contents leak
+// through the access pattern.
+
+import (
+	"testing"
+
+	"oblivmc/internal/bitonic"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+	"oblivmc/internal/prng"
+)
+
+// meteredTrace runs body under the metered executor with tracing and
+// returns the view fingerprint.
+func meteredTrace(body func(c *forkjoin.Ctx, sp *mem.Space)) *forkjoin.Metrics {
+	sp := mem.NewSpace()
+	return forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
+		body(c, sp)
+	})
+}
+
+// traceInputs yields record sets of identical shape but wildly different
+// contents (different keys, values, duplication structure).
+func traceInputs(n int) [][]Record {
+	a := make([]Record, n) // all one group, zero values
+	b := make([]Record, n) // all distinct keys, big values
+	c := make([]Record, n) // random with duplicates
+	src := prng.New(99)
+	for i := 0; i < n; i++ {
+		a[i] = Record{Key: 7, Val: 0}
+		b[i] = Record{Key: uint64(i), Val: uint64(1<<35) + uint64(i)}
+		c[i] = Record{Key: src.Uint64n(4), Val: src.Uint64n(1 << 30)}
+	}
+	return [][]Record{a, b, c}
+}
+
+func assertSameTrace(t *testing.T, label string, run func(recs []Record) *forkjoin.Metrics, inputs [][]Record) {
+	t.Helper()
+	ref := run(inputs[0])
+	for i, in := range inputs[1:] {
+		m := run(in)
+		if !m.Trace.Equal(ref.Trace) {
+			t.Fatalf("%s: trace of input %d differs from input 0 (%x/%d vs %x/%d) — record contents leak",
+				label, i+1, m.Trace.Hash, m.Trace.Count, ref.Trace.Hash, ref.Trace.Count)
+		}
+	}
+}
+
+func TestCompactObliviousTrace(t *testing.T) {
+	srt := bitonic.CacheAgnostic{}
+	run := func(recs []Record) *forkjoin.Metrics {
+		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
+			a := Load(sp, recs)
+			Compact(c, sp, a, func(r Record) bool { return r.Val%2 == 0 }, srt)
+		})
+	}
+	assertSameTrace(t, "Compact", run, traceInputs(64))
+}
+
+func TestDistinctObliviousTrace(t *testing.T) {
+	srt := bitonic.CacheAgnostic{}
+	run := func(recs []Record) *forkjoin.Metrics {
+		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
+			a := Load(sp, recs)
+			Distinct(c, sp, a, srt)
+		})
+	}
+	assertSameTrace(t, "Distinct", run, traceInputs(64))
+}
+
+func TestGroupByObliviousTrace(t *testing.T) {
+	srt := bitonic.CacheAgnostic{}
+	for _, agg := range []AggKind{AggSum, AggCount, AggMin, AggMax} {
+		run := func(recs []Record) *forkjoin.Metrics {
+			return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
+				a := Load(sp, recs)
+				GroupBy(c, sp, a, agg, srt)
+			})
+		}
+		assertSameTrace(t, "GroupBy", run, traceInputs(64))
+	}
+}
+
+func TestJoinObliviousTrace(t *testing.T) {
+	srt := bitonic.CacheAgnostic{}
+	inputs := traceInputs(48)
+	// Left relations of matching shape: same size, different keys/values.
+	lefts := [][]Record{
+		{{Key: 7, Val: 0}, {Key: 8, Val: 0}, {Key: 9, Val: 0}},
+		{{Key: 0, Val: 1 << 30}, {Key: 1, Val: 2}, {Key: 2, Val: 3}},
+		{{Key: 100, Val: 5}, {Key: 200, Val: 6}, {Key: 300, Val: 7}},
+	}
+	run := func(i int) *forkjoin.Metrics {
+		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
+			left, right := Load(sp, lefts[i]), Load(sp, inputs[i])
+			Join(c, sp, left, right, srt)
+		})
+	}
+	ref := run(0)
+	for i := 1; i < len(lefts); i++ {
+		if m := run(i); !m.Trace.Equal(ref.Trace) {
+			t.Fatalf("Join: trace of input %d differs from input 0 — record contents leak", i)
+		}
+	}
+}
+
+func TestTopKObliviousTrace(t *testing.T) {
+	srt := bitonic.CacheAgnostic{}
+	run := func(recs []Record) *forkjoin.Metrics {
+		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
+			a := Load(sp, recs)
+			TopK(c, sp, a, 5, srt)
+		})
+	}
+	assertSameTrace(t, "TopK", run, traceInputs(64))
+}
+
+// TestTraceDependsOnShape is the sanity inverse: a different relation size
+// must (and does) change the view, confirming the fingerprint is sensitive.
+func TestTraceDependsOnShape(t *testing.T) {
+	srt := bitonic.CacheAgnostic{}
+	run := func(n int) *forkjoin.Metrics {
+		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
+			a := Load(sp, traceInputs(n)[2])
+			GroupBy(c, sp, a, AggSum, srt)
+		})
+	}
+	if run(32).Trace.Equal(run(64).Trace) {
+		t.Fatal("traces of different shapes should differ")
+	}
+}
+
+// Guard against accidental key-range widening: composite sort keys must
+// stay below obliv.MaxKey for the largest legal key and position.
+func TestCompositeKeyBounds(t *testing.T) {
+	e := obliv.Elem{Key: KeyLimit - 1, Aux: MaxRows - 1, Tag: 1, Kind: obliv.Real}
+	if k := keyIdx(e); k >= obliv.MaxKey {
+		t.Fatalf("keyIdx overflows MaxKey: %x", k)
+	}
+	if k := e.Key<<(idxBits+1) | uint64(e.Tag)<<idxBits | e.Aux; k >= obliv.MaxKey {
+		t.Fatalf("join side key overflows MaxKey: %x", k)
+	}
+}

@@ -1,0 +1,167 @@
+// Package relops implements data-oblivious relational operators over
+// (key, value) records — the private-analytics workload layer the paper
+// motivates in §1 (analytics on secret databases hosted on secure
+// multicore processors).
+//
+// Every operator is composed entirely from the oblivious building blocks
+// of internal/obliv (oblivious sorting networks, parallel prefix scans,
+// segmented aggregation and propagation) running in the binary fork-join
+// model, so each operator inherits the work/span/cache bounds of the
+// primitives it is built from and — crucially — produces a memory trace
+// that is a deterministic function of the *relation sizes only*, never of
+// the record contents. The test suite asserts this by trace-fingerprint
+// equality across same-shape, different-content inputs.
+//
+// Representation: a relation of n records lives in a power-of-two
+// obliv.Elem array (Load pads with fillers). Within an element,
+//
+//	Key  — the record's relational key (must be < KeyLimit)
+//	Val  — the record's payload value
+//	Aux  — the record's original position (stable tie-break, < MaxRows)
+//	Lbl  — scratch (aggregates, joined values)
+//	Mark — scratch survivor flag used by the compaction passes
+//
+// Operators keep the array length fixed: records that logically leave a
+// relation (filtered rows, duplicate keys, non-matching join rows) become
+// fillers sorted to the tail, so the occupancy of the relation is never
+// visible in the access pattern. Survivor counts are computed from raw
+// memory outside the adversary's view (harness diagnostics, same
+// convention as obliv.BinPlace's overflow count).
+package relops
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+)
+
+const (
+	// idxBits is the width of the original-position tie-break packed into
+	// the low bits of composite sort keys.
+	idxBits = 20
+	// MaxRows bounds the number of records in a relation.
+	MaxRows = 1 << idxBits
+	// KeyLimit bounds record keys: composite sort keys shift the key left
+	// by idxBits+1 bits and must stay below obliv.MaxKey = 2^62.
+	KeyLimit = uint64(1) << 40
+)
+
+// Record is one relational (key, value) record.
+type Record struct {
+	Key, Val uint64
+}
+
+// Load places recs into a fresh power-of-two element array padded with
+// fillers, recording each record's original position in Aux. The copy is a
+// harness operation (input loading) and is not instrumented.
+func Load(sp *mem.Space, recs []Record) *mem.Array[obliv.Elem] {
+	a := mem.Alloc[obliv.Elem](sp, obliv.NextPow2(len(recs)))
+	for i, r := range recs {
+		a.Data()[i] = obliv.Elem{Key: r.Key, Val: r.Val, Aux: uint64(i), Kind: obliv.Real}
+	}
+	return a
+}
+
+// Unload extracts the real records of a in array order. Like Load it is a
+// harness operation outside the adversary's view.
+func Unload(a *mem.Array[obliv.Elem]) []Record {
+	out := make([]Record, 0, a.Len())
+	for _, e := range a.Data() {
+		if e.Kind == obliv.Real {
+			out = append(out, Record{Key: e.Key, Val: e.Val})
+		}
+	}
+	return out
+}
+
+// countReal counts the real records of a from raw memory (outside the
+// adversary's view; diagnostics only).
+func countReal(a *mem.Array[obliv.Elem]) int {
+	n := 0
+	for _, e := range a.Data() {
+		if e.Kind == obliv.Real {
+			n++
+		}
+	}
+	return n
+}
+
+// keyIdx is the composite (Key, original position) sort key: it orders by
+// key with a stable, deterministic tie-break, and sorts fillers last.
+func keyIdx(e obliv.Elem) uint64 {
+	if e.Kind != obliv.Real {
+		return obliv.InfKey
+	}
+	return e.Key<<idxBits | e.Aux
+}
+
+// groupKey groups real elements by Key; fillers form their own trailing
+// group.
+func groupKey(e obliv.Elem) uint64 {
+	if e.Kind != obliv.Real {
+		return obliv.InfKey
+	}
+	return e.Key
+}
+
+// markBoundaries sets Mark=1 on every real element whose predecessor
+// belongs to a different Key group (the group heads of a key-sorted array)
+// and Mark=0 elsewhere. The neighbor reads form a fixed access pattern.
+// Like obliv.PropagateFirst, the boundary scan writes to a scratch array
+// so no leaf reads a position another leaf writes (a read-and-write pass
+// over the same positions would race under the parallel executor).
+func markBoundaries(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem]) {
+	n := a.Len()
+	head := mem.Alloc[uint8](sp, n)
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := a.Get(c, i)
+			h := i == 0
+			if i > 0 {
+				prev := a.Get(c, i-1)
+				c.Op(1)
+				h = groupKey(prev) != groupKey(e)
+			}
+			var b uint8
+			if h && e.Kind == obliv.Real {
+				b = 1
+			}
+			head.Set(c, i, b)
+		}
+	})
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := a.Get(c, i)
+			e.Mark = head.Get(c, i)
+			a.Set(c, i, e)
+		}
+	})
+}
+
+// compactMarked obliviously compacts a in place: records with Mark==1 move
+// to the front ordered by original position (Aux), everything else becomes
+// a filler, and all marks are cleared. Returns the survivor count (raw
+// read, outside the adversary's view). This is the oblivious tight
+// compaction at the heart of Filter/Distinct/GroupBy/Join: one
+// data-independent sort plus one elementwise pass.
+func compactMarked(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) int {
+	key := func(e obliv.Elem) uint64 {
+		if e.Kind != obliv.Real || e.Mark == 0 {
+			return obliv.InfKey
+		}
+		return e.Aux
+	}
+	srt.Sort(c, sp, a, 0, a.Len(), key)
+	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := a.Get(c, i)
+			c.Op(1)
+			if e.Kind != obliv.Real || e.Mark == 0 {
+				e = obliv.Elem{}
+			}
+			e.Mark = 0
+			a.Set(c, i, e)
+		}
+	})
+	return countReal(a)
+}

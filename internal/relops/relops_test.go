@@ -1,0 +1,318 @@
+package relops
+
+import (
+	"sort"
+	"testing"
+
+	"oblivmc/internal/bitonic"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+	"oblivmc/internal/prng"
+)
+
+// testSorter picks a cheap exact sorter for tiny inputs and the real
+// cache-agnostic bitonic sorter otherwise, so the suite exercises both.
+func testSorter(n int) obliv.Sorter {
+	if n <= 64 {
+		return obliv.SelectionNetwork{}
+	}
+	return bitonic.CacheAgnostic{}
+}
+
+func randRecords(src *prng.Source, n int, keySpread, valSpread uint64) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Key: src.Uint64n(keySpread), Val: src.Uint64n(valSpread)}
+	}
+	return recs
+}
+
+func checkRecords(t *testing.T, got, want []Record, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d records, want %d\ngot  %v\nwant %v", label, len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: record %d = %v, want %v\ngot  %v\nwant %v", label, i, got[i], want[i], got, want)
+		}
+	}
+}
+
+var testSizes = []int{1, 2, 3, 7, 8, 17, 33, 100, 129}
+
+func TestCompactRandom(t *testing.T) {
+	src := prng.New(101)
+	pred := func(r Record) bool { return r.Val%3 == 0 }
+	for _, n := range testSizes {
+		recs := randRecords(src, n, 25, 1000)
+		var want []Record
+		for _, r := range recs {
+			if pred(r) {
+				want = append(want, r)
+			}
+		}
+		sp := mem.NewSpace()
+		a := Load(sp, recs)
+		count := Compact(forkjoin.Serial(), sp, a, pred, testSorter(a.Len()))
+		if count != len(want) {
+			t.Fatalf("n=%d: Compact count = %d, want %d", n, count, len(want))
+		}
+		checkRecords(t, Unload(a), want, "Compact")
+	}
+}
+
+func TestCompactNoneSurvive(t *testing.T) {
+	sp := mem.NewSpace()
+	a := Load(sp, randRecords(prng.New(5), 16, 10, 10))
+	count := Compact(forkjoin.Serial(), sp, a, func(Record) bool { return false }, obliv.SelectionNetwork{})
+	if count != 0 || len(Unload(a)) != 0 {
+		t.Fatalf("expected empty result, got count=%d records=%v", count, Unload(a))
+	}
+}
+
+func TestDistinctRandom(t *testing.T) {
+	src := prng.New(202)
+	for _, n := range testSizes {
+		recs := randRecords(src, n, 12, 1000) // heavy duplication
+		seen := map[uint64]bool{}
+		var want []Record
+		for _, r := range recs {
+			if !seen[r.Key] {
+				seen[r.Key] = true
+				want = append(want, r)
+			}
+		}
+		sp := mem.NewSpace()
+		a := Load(sp, recs)
+		count := Distinct(forkjoin.Serial(), sp, a, testSorter(a.Len()))
+		if count != len(want) {
+			t.Fatalf("n=%d: Distinct count = %d, want %d", n, count, len(want))
+		}
+		checkRecords(t, Unload(a), want, "Distinct")
+	}
+}
+
+func refGroupBy(recs []Record, agg AggKind) []Record {
+	aggs := map[uint64]uint64{}
+	var order []uint64
+	for _, r := range recs {
+		cur, ok := aggs[r.Key]
+		if !ok {
+			order = append(order, r.Key)
+			switch agg {
+			case AggCount:
+				aggs[r.Key] = 1
+			default:
+				aggs[r.Key] = r.Val
+			}
+			continue
+		}
+		switch agg {
+		case AggSum:
+			aggs[r.Key] = cur + r.Val
+		case AggCount:
+			aggs[r.Key] = cur + 1
+		case AggMin:
+			if r.Val < cur {
+				aggs[r.Key] = r.Val
+			}
+		case AggMax:
+			if r.Val > cur {
+				aggs[r.Key] = r.Val
+			}
+		}
+	}
+	out := make([]Record, len(order))
+	for i, k := range order {
+		out[i] = Record{Key: k, Val: aggs[k]}
+	}
+	return out
+}
+
+func TestGroupByRandom(t *testing.T) {
+	src := prng.New(303)
+	for _, agg := range []AggKind{AggSum, AggCount, AggMin, AggMax} {
+		for _, n := range testSizes {
+			recs := randRecords(src, n, 10, 500)
+			want := refGroupBy(recs, agg)
+			sp := mem.NewSpace()
+			a := Load(sp, recs)
+			count := GroupBy(forkjoin.Serial(), sp, a, agg, testSorter(a.Len()))
+			if count != len(want) {
+				t.Fatalf("agg=%d n=%d: GroupBy count = %d, want %d", agg, n, count, len(want))
+			}
+			checkRecords(t, Unload(a), want, "GroupBy")
+		}
+	}
+}
+
+func TestJoinRandom(t *testing.T) {
+	src := prng.New(404)
+	for _, nl := range []int{1, 5, 16, 33} {
+		for _, nr := range []int{1, 7, 16, 50} {
+			// Left: distinct keys drawn sparsely so some right keys miss.
+			perm := src.Perm(3 * nl)
+			lrecs := make([]Record, nl)
+			for i := range lrecs {
+				lrecs[i] = Record{Key: uint64(perm[i]), Val: src.Uint64n(1000)}
+			}
+			rrecs := randRecords(src, nr, uint64(3*nl), 1000)
+
+			lval := map[uint64]uint64{}
+			for _, r := range lrecs {
+				lval[r.Key] = r.Val
+			}
+			var want []Joined
+			for _, r := range rrecs {
+				if v, ok := lval[r.Key]; ok {
+					want = append(want, Joined{Key: r.Key, LeftVal: v, RightVal: r.Val})
+				}
+			}
+
+			sp := mem.NewSpace()
+			left, right := Load(sp, lrecs), Load(sp, rrecs)
+			out, count := Join(forkjoin.Serial(), sp, left, right, testSorter(obliv.NextPow2(left.Len()+right.Len())))
+			if count != len(want) {
+				t.Fatalf("nl=%d nr=%d: Join count = %d, want %d", nl, nr, count, len(want))
+			}
+			got := UnloadJoined(out)
+			if len(got) != len(want) {
+				t.Fatalf("nl=%d nr=%d: got %d joined records, want %d", nl, nr, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("nl=%d nr=%d: joined record %d = %v, want %v", nl, nr, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestJoinNoMatches(t *testing.T) {
+	sp := mem.NewSpace()
+	left := Load(sp, []Record{{Key: 1, Val: 10}, {Key: 2, Val: 20}})
+	right := Load(sp, []Record{{Key: 7, Val: 1}, {Key: 8, Val: 2}, {Key: 9, Val: 3}})
+	out, count := Join(forkjoin.Serial(), sp, left, right, obliv.SelectionNetwork{})
+	if count != 0 || len(UnloadJoined(out)) != 0 {
+		t.Fatalf("expected no matches, got count=%d %v", count, UnloadJoined(out))
+	}
+}
+
+func TestTopKRandom(t *testing.T) {
+	src := prng.New(505)
+	for _, n := range testSizes {
+		for _, k := range []int{0, 1, n / 2, n, n + 5} {
+			recs := make([]Record, n)
+			seen := map[uint64]bool{}
+			for i := range recs {
+				v := src.Uint64n(1 << 30)
+				for seen[v] {
+					v = src.Uint64n(1 << 30)
+				}
+				seen[v] = true
+				recs[i] = Record{Key: uint64(i), Val: v} // distinct values: exact reference
+			}
+			want := append([]Record(nil), recs...)
+			sort.Slice(want, func(i, j int) bool { return want[i].Val > want[j].Val })
+			if k < len(want) {
+				want = want[:k]
+			}
+
+			sp := mem.NewSpace()
+			a := Load(sp, recs)
+			count := TopK(forkjoin.Serial(), sp, a, k, testSorter(a.Len()))
+			wantCount := k
+			if wantCount > n {
+				wantCount = n
+			}
+			if count != wantCount {
+				t.Fatalf("n=%d k=%d: TopK count = %d, want %d", n, k, count, wantCount)
+			}
+			checkRecords(t, Unload(a), want, "TopK")
+		}
+	}
+}
+
+// TestTopKTiesAndZeros drives the Val==0 / filler key-collision corner: the
+// survivors must still be a valid top-k multiset.
+func TestTopKTiesAndZeros(t *testing.T) {
+	src := prng.New(606)
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + src.Intn(20)
+		k := src.Intn(n + 2)
+		recs := make([]Record, n)
+		for i := range recs {
+			recs[i] = Record{Key: uint64(i), Val: src.Uint64n(3)} // many ties, many zeros
+		}
+		vals := make([]uint64, n)
+		for i, r := range recs {
+			vals[i] = r.Val
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+
+		sp := mem.NewSpace()
+		a := Load(sp, recs)
+		count := TopK(forkjoin.Serial(), sp, a, k, obliv.SelectionNetwork{})
+		got := Unload(a)
+		wantCount := k
+		if wantCount > n {
+			wantCount = n
+		}
+		if count != wantCount || len(got) != wantCount {
+			t.Fatalf("n=%d k=%d: count=%d len=%d, want %d", n, k, count, len(got), wantCount)
+		}
+		for i, r := range got {
+			if r.Val != vals[i] {
+				t.Fatalf("n=%d k=%d: survivor %d has val %d, want %d (vals %v, got %v)", n, k, i, r.Val, vals[i], vals, got)
+			}
+			if recs[r.Key].Val != r.Val {
+				t.Fatalf("n=%d k=%d: survivor %v is not an input record", n, k, r)
+			}
+		}
+	}
+}
+
+// TestMarkBoundariesParallelRace stresses the boundary scan with many
+// forked leaves so the race detector can see any neighbor read racing a
+// write (markBoundaries writes marks via a scratch array for this reason).
+func TestMarkBoundariesParallelRace(t *testing.T) {
+	src := prng.New(808)
+	recs := randRecords(src, 1<<13, 64, 1000)
+	forkjoin.RunParallel(8, func(c *forkjoin.Ctx) {
+		sp := mem.NewSpace()
+		srt := bitonic.CacheAgnostic{}
+		a := Load(sp, recs)
+		if got, want := Distinct(c, sp, a, srt), 64; got != want {
+			t.Errorf("Distinct under parallel pool: %d keys, want %d", got, want)
+		}
+	})
+}
+
+// TestOperatorsParallel smoke-tests every operator under the real
+// work-stealing pool (the race detector covers the forking passes).
+func TestOperatorsParallel(t *testing.T) {
+	src := prng.New(707)
+	recs := randRecords(src, 200, 15, 1000)
+	forkjoin.RunParallel(4, func(c *forkjoin.Ctx) {
+		sp := mem.NewSpace()
+		srt := bitonic.CacheAgnostic{}
+
+		a := Load(sp, recs)
+		Compact(c, sp, a, func(r Record) bool { return r.Val%2 == 0 }, srt)
+
+		b := Load(sp, recs)
+		Distinct(c, sp, b, srt)
+
+		g := Load(sp, recs)
+		GroupBy(c, sp, g, AggSum, srt)
+
+		tk := Load(sp, recs)
+		TopK(c, sp, tk, 10, srt)
+
+		left := Load(sp, []Record{{Key: 1, Val: 5}, {Key: 2, Val: 6}})
+		right := Load(sp, recs[:50])
+		Join(c, sp, left, right, srt)
+	})
+}

@@ -1,0 +1,255 @@
+package oblivmc
+
+import (
+	"fmt"
+
+	"oblivmc/internal/bitonic"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+	"oblivmc/internal/relops"
+)
+
+// Row is one (key, value) record of a Table.
+type Row struct {
+	Key, Val uint64
+}
+
+// Table is a relation of rows accepted by the oblivious relational
+// operators (Filter, Distinct, GroupBy, Join, TopK, RunQuery). Keys may
+// repeat. Construct with NewTable, which validates the bounds: keys
+// < 2^40 and at most 2^20 rows (composite sort keys must fit below 2^62;
+// see internal/relops).
+type Table struct {
+	rows []Row
+}
+
+// NewTable validates rows and wraps them in a Table.
+func NewTable(rows []Row) (Table, error) {
+	if len(rows) == 0 {
+		return Table{}, ErrEmptyInput
+	}
+	if len(rows) > relops.MaxRows {
+		return Table{}, fmt.Errorf("oblivmc: table has %d rows, limit %d", len(rows), relops.MaxRows)
+	}
+	for i, r := range rows {
+		if r.Key >= relops.KeyLimit {
+			return Table{}, fmt.Errorf("oblivmc: row %d key %d exceeds 2^40-1", i, r.Key)
+		}
+	}
+	return Table{rows: rows}, nil
+}
+
+// Rows returns the table's rows.
+func (t Table) Rows() []Row { return t.rows }
+
+// Len returns the number of rows.
+func (t Table) Len() int { return len(t.rows) }
+
+// Agg selects the aggregation of GroupBy / Query. The zero value AggNone
+// is only meaningful inside a Query (it disables the group-by stage).
+type Agg int
+
+// Aggregations.
+const (
+	AggNone Agg = iota
+	AggSum
+	AggCount
+	AggMin
+	AggMax
+)
+
+func (a Agg) kind() (relops.AggKind, error) {
+	switch a {
+	case AggSum:
+		return relops.AggSum, nil
+	case AggCount:
+		return relops.AggCount, nil
+	case AggMin:
+		return relops.AggMin, nil
+	case AggMax:
+		return relops.AggMax, nil
+	default:
+		return 0, fmt.Errorf("oblivmc: invalid aggregation %d", a)
+	}
+}
+
+// runTableOp moves a table into the oblivious element representation and
+// runs body on it under cfg's executor, returning the surviving rows.
+func runTableOp(cfg Config, t Table, body func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter)) (Table, *Report) {
+	var out []Row
+	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+		a := relops.Load(sp, recordsOf(t.rows))
+		body(c, sp, a, bitonic.CacheAgnostic{})
+		out = rowsOf(a)
+	})
+	return Table{rows: out}, rep
+}
+
+// rowsOf converts surviving records back to rows (harness operation,
+// outside the adversary's view).
+func rowsOf(a *mem.Array[obliv.Elem]) []Row {
+	recs := relops.Unload(a)
+	rows := make([]Row, len(recs))
+	for i, r := range recs {
+		rows[i] = Row{Key: r.Key, Val: r.Val}
+	}
+	return rows
+}
+
+// Filter obliviously selects the rows satisfying pred, preserving input
+// order. pred must be a pure function of the row (it computes on register
+// values; it is never handed memory). The access pattern depends only on
+// the number of rows — not on the contents, and not on how many rows
+// survive (the survivor count is only visible in the returned Table).
+func Filter(cfg Config, t Table, pred func(Row) bool) (Table, *Report, error) {
+	if t.Len() == 0 {
+		return Table{}, nil, ErrEmptyInput
+	}
+	out, rep := runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
+		relops.Compact(c, sp, a, func(r relops.Record) bool { return pred(Row(r)) }, srt)
+	})
+	return out, rep, nil
+}
+
+// Distinct obliviously deduplicates the table by key: the earliest row of
+// each key survives, in first-occurrence order.
+func Distinct(cfg Config, t Table) (Table, *Report, error) {
+	if t.Len() == 0 {
+		return Table{}, nil, ErrEmptyInput
+	}
+	out, rep := runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
+		relops.Distinct(c, sp, a, srt)
+	})
+	return out, rep, nil
+}
+
+// GroupBy obliviously aggregates the table by key: the result holds one
+// row per distinct key whose Val is the aggregate of the group under agg,
+// in first-occurrence order. Values are unbounded uint64s and sums wrap
+// modulo 2^64; keep values below 2^44 if exact sums over a full 2^20-row
+// table are required.
+func GroupBy(cfg Config, t Table, agg Agg) (Table, *Report, error) {
+	if t.Len() == 0 {
+		return Table{}, nil, ErrEmptyInput
+	}
+	kind, err := agg.kind()
+	if err != nil {
+		return Table{}, nil, err
+	}
+	out, rep := runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
+		relops.GroupBy(c, sp, a, kind, srt)
+	})
+	return out, rep, nil
+}
+
+// TopK obliviously keeps the k rows with the largest values, in descending
+// value order (ties broken deterministically but arbitrarily). k is public
+// query shape, not data; the access pattern depends on (rows, k) only.
+func TopK(cfg Config, t Table, k int) (Table, *Report, error) {
+	if t.Len() == 0 {
+		return Table{}, nil, ErrEmptyInput
+	}
+	if k < 0 {
+		return Table{}, nil, fmt.Errorf("oblivmc: negative k %d", k)
+	}
+	out, rep := runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
+		relops.TopK(c, sp, a, k, srt)
+	})
+	return out, rep, nil
+}
+
+// JoinedRow is one output row of Join: a right row paired with the value
+// of the left row sharing its key.
+type JoinedRow struct {
+	Key, LeftVal, RightVal uint64
+}
+
+// Join obliviously computes the sort-merge equi-join of left (a primary
+// relation with distinct keys) and right (a foreign relation): one output
+// row per right row whose key appears in left, in right's order. The
+// access pattern depends only on the two relation sizes — the join
+// selectivity is invisible to the adversary.
+func Join(cfg Config, left, right Table) ([]JoinedRow, *Report, error) {
+	if left.Len() == 0 || right.Len() == 0 {
+		return nil, nil, ErrEmptyInput
+	}
+	seen := map[uint64]bool{}
+	for i, r := range left.rows {
+		if seen[r.Key] {
+			return nil, nil, fmt.Errorf("oblivmc: left table key %d (row %d) is duplicated", r.Key, i)
+		}
+		seen[r.Key] = true
+	}
+	var out []JoinedRow
+	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+		l := relops.Load(sp, recordsOf(left.rows))
+		r := relops.Load(sp, recordsOf(right.rows))
+		j, _ := relops.Join(c, sp, l, r, bitonic.CacheAgnostic{})
+		for _, rec := range relops.UnloadJoined(j) {
+			out = append(out, JoinedRow(rec))
+		}
+	})
+	return out, rep, nil
+}
+
+func recordsOf(rows []Row) []relops.Record {
+	recs := make([]relops.Record, len(rows))
+	for i, r := range rows {
+		recs[i] = relops.Record(r)
+	}
+	return recs
+}
+
+// Query is a declarative oblivious analytics pipeline over one table,
+// executed stage by stage on a single fixed-size oblivious array:
+//
+//	Filter (optional) → Distinct (optional) → GroupBy (optional) → TopK (optional)
+//
+// The query structure (which stages run, the aggregation, k) is public;
+// the table contents, including how many rows survive each stage, are not:
+// every stage processes the full padded array, so the trace depends only
+// on the table's row count and the query shape.
+type Query struct {
+	// Filter keeps the rows satisfying the predicate (nil = keep all).
+	Filter func(Row) bool
+	// Distinct deduplicates by key before aggregation.
+	Distinct bool
+	// GroupBy aggregates values per key (AggNone = no aggregation).
+	GroupBy Agg
+	// TopK keeps only the k largest-value rows (0 = keep all).
+	TopK int
+}
+
+// RunQuery executes q over t under one executor run, so a metered Config
+// yields a single Report covering the whole pipeline.
+func RunQuery(cfg Config, t Table, q Query) (Table, *Report, error) {
+	if t.Len() == 0 {
+		return Table{}, nil, ErrEmptyInput
+	}
+	var kind relops.AggKind
+	if q.GroupBy != AggNone {
+		var err error
+		if kind, err = q.GroupBy.kind(); err != nil {
+			return Table{}, nil, err
+		}
+	}
+	if q.TopK < 0 {
+		return Table{}, nil, fmt.Errorf("oblivmc: negative k %d", q.TopK)
+	}
+	out, rep := runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
+		if q.Filter != nil {
+			relops.Compact(c, sp, a, func(r relops.Record) bool { return q.Filter(Row(r)) }, srt)
+		}
+		if q.Distinct {
+			relops.Distinct(c, sp, a, srt)
+		}
+		if q.GroupBy != AggNone {
+			relops.GroupBy(c, sp, a, kind, srt)
+		}
+		if q.TopK > 0 {
+			relops.TopK(c, sp, a, q.TopK, srt)
+		}
+	})
+	return out, rep, nil
+}

@@ -1,0 +1,264 @@
+package oblivmc
+
+import (
+	"testing"
+
+	"oblivmc/internal/prng"
+	"oblivmc/internal/trace"
+)
+
+func mustTable(t *testing.T, rows []Row) Table {
+	t.Helper()
+	tab, err := NewTable(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(nil); err == nil {
+		t.Fatal("empty table should be rejected")
+	}
+	if _, err := NewTable([]Row{{Key: 1 << 40, Val: 0}}); err == nil {
+		t.Fatal("out-of-range key should be rejected")
+	}
+	if _, err := NewTable([]Row{{Key: (1 << 40) - 1, Val: ^uint64(0)}}); err != nil {
+		t.Fatalf("legal table rejected: %v", err)
+	}
+}
+
+func TestFilterTable(t *testing.T) {
+	tab := mustTable(t, []Row{{1, 10}, {2, 25}, {3, 30}, {4, 45}, {5, 50}})
+	got, _, err := Filter(Config{Mode: ModeSerial}, tab, func(r Row) bool { return r.Val%10 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Row{{1, 10}, {3, 30}, {5, 50}}
+	if len(got.Rows()) != len(want) {
+		t.Fatalf("got %v, want %v", got.Rows(), want)
+	}
+	for i, r := range want {
+		if got.Rows()[i] != r {
+			t.Fatalf("got %v, want %v", got.Rows(), want)
+		}
+	}
+}
+
+func TestGroupByAndTopKTable(t *testing.T) {
+	// Departments and salaries; top-2 departments by total salary.
+	tab := mustTable(t, []Row{
+		{1, 120}, {2, 95}, {1, 140}, {3, 80}, {2, 105}, {1, 130}, {3, 75},
+	})
+	grouped, _, err := GroupBy(Config{Mode: ModeSerial}, tab, AggSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotals := map[uint64]uint64{1: 390, 2: 200, 3: 155}
+	if len(grouped.Rows()) != len(wantTotals) {
+		t.Fatalf("grouped rows %v", grouped.Rows())
+	}
+	for _, r := range grouped.Rows() {
+		if wantTotals[r.Key] != r.Val {
+			t.Fatalf("group %d total %d, want %d", r.Key, r.Val, wantTotals[r.Key])
+		}
+	}
+
+	top, _, err := TopK(Config{Mode: ModeSerial}, grouped, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Rows()) != 2 || top.Rows()[0] != (Row{1, 390}) || top.Rows()[1] != (Row{2, 200}) {
+		t.Fatalf("top-2 = %v", top.Rows())
+	}
+}
+
+func TestDistinctTable(t *testing.T) {
+	tab := mustTable(t, []Row{{4, 1}, {2, 2}, {4, 3}, {9, 4}, {2, 5}})
+	got, _, err := Distinct(Config{Mode: ModeSerial}, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Row{{4, 1}, {2, 2}, {9, 4}}
+	if len(got.Rows()) != len(want) {
+		t.Fatalf("got %v, want %v", got.Rows(), want)
+	}
+	for i, r := range want {
+		if got.Rows()[i] != r {
+			t.Fatalf("got %v, want %v", got.Rows(), want)
+		}
+	}
+}
+
+func TestJoinTable(t *testing.T) {
+	budgets := mustTable(t, []Row{{1, 1000}, {2, 800}, {3, 600}})
+	employees := mustTable(t, []Row{{1, 120}, {2, 95}, {7, 50}, {1, 140}})
+	got, _, err := Join(Config{Mode: ModeSerial}, budgets, employees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []JoinedRow{{1, 1000, 120}, {2, 800, 95}, {1, 1000, 140}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i, r := range want {
+		if got[i] != r {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+
+	dup := mustTable(t, []Row{{1, 1}, {1, 2}})
+	if _, _, err := Join(Config{Mode: ModeSerial}, dup, employees); err == nil {
+		t.Fatal("duplicate left keys should be rejected")
+	}
+}
+
+func refQuery(rows []Row, q Query) []Row {
+	cur := append([]Row(nil), rows...)
+	if q.Filter != nil {
+		var kept []Row
+		for _, r := range cur {
+			if q.Filter(r) {
+				kept = append(kept, r)
+			}
+		}
+		cur = kept
+	}
+	if q.Distinct {
+		seen := map[uint64]bool{}
+		var kept []Row
+		for _, r := range cur {
+			if !seen[r.Key] {
+				seen[r.Key] = true
+				kept = append(kept, r)
+			}
+		}
+		cur = kept
+	}
+	if q.GroupBy != AggNone {
+		aggs := map[uint64]uint64{}
+		var order []uint64
+		for _, r := range cur {
+			if _, ok := aggs[r.Key]; !ok {
+				order = append(order, r.Key)
+				switch q.GroupBy {
+				case AggCount:
+					aggs[r.Key] = 1
+				default:
+					aggs[r.Key] = r.Val
+				}
+				continue
+			}
+			switch q.GroupBy {
+			case AggSum:
+				aggs[r.Key] += r.Val
+			case AggCount:
+				aggs[r.Key]++
+			case AggMin:
+				if r.Val < aggs[r.Key] {
+					aggs[r.Key] = r.Val
+				}
+			case AggMax:
+				if r.Val > aggs[r.Key] {
+					aggs[r.Key] = r.Val
+				}
+			}
+		}
+		cur = cur[:0]
+		for _, k := range order {
+			cur = append(cur, Row{Key: k, Val: aggs[k]})
+		}
+	}
+	if q.TopK > 0 {
+		// Insertion-sort descending by value (stable enough for distinct vals).
+		sorted := append([]Row(nil), cur...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j].Val > sorted[j-1].Val; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		if q.TopK < len(sorted) {
+			sorted = sorted[:q.TopK]
+		}
+		cur = sorted
+	}
+	return cur
+}
+
+func TestRunQueryPipeline(t *testing.T) {
+	src := prng.New(88)
+	rows := make([]Row, 120)
+	for i := range rows {
+		rows[i] = Row{Key: src.Uint64n(9), Val: 10 + uint64(i)} // distinct vals
+	}
+	tab := mustTable(t, rows)
+	q := Query{
+		Filter:  func(r Row) bool { return r.Val%2 == 0 },
+		GroupBy: AggSum,
+		TopK:    3,
+	}
+	got, _, err := RunQuery(Config{Mode: ModeSerial, Seed: 1}, tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refQuery(rows, q)
+	if len(got.Rows()) != len(want) {
+		t.Fatalf("got %v, want %v", got.Rows(), want)
+	}
+	for i, r := range want {
+		if got.Rows()[i] != r {
+			t.Fatalf("row %d: got %v, want %v", i, got.Rows()[i], r)
+		}
+	}
+}
+
+func TestRunQueryParallelMatchesSerial(t *testing.T) {
+	src := prng.New(99)
+	rows := make([]Row, 200)
+	for i := range rows {
+		rows[i] = Row{Key: src.Uint64n(20), Val: src.Uint64n(1 << 30)}
+	}
+	tab := mustTable(t, rows)
+	q := Query{Filter: func(r Row) bool { return r.Val%3 != 0 }, GroupBy: AggMax, TopK: 5}
+	serial, _, err := RunQuery(Config{Mode: ModeSerial}, tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := RunQuery(Config{Workers: 4}, tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows()) != len(par.Rows()) {
+		t.Fatalf("serial %v != parallel %v", serial.Rows(), par.Rows())
+	}
+	for i := range serial.Rows() {
+		if serial.Rows()[i] != par.Rows()[i] {
+			t.Fatalf("serial %v != parallel %v", serial.Rows(), par.Rows())
+		}
+	}
+}
+
+// TestQueryObliviousTrace asserts the full public pipeline's adversary view
+// depends only on the table's shape, not its contents.
+func TestQueryObliviousTrace(t *testing.T) {
+	q := Query{Filter: func(r Row) bool { return r.Val > 500 }, GroupBy: AggSum, TopK: 4}
+	traceOf := func(rows []Row) trace.Fingerprint {
+		tab := mustTable(t, rows)
+		_, rep, err := RunQuery(Config{Mode: ModeMetered, Trace: true, Seed: 3}, tab, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TraceFingerprint
+	}
+	src := prng.New(77)
+	n := 90
+	a := make([]Row, n)
+	b := make([]Row, n)
+	for i := 0; i < n; i++ {
+		a[i] = Row{Key: 1, Val: 0}
+		b[i] = Row{Key: src.Uint64n(30), Val: src.Uint64n(1 << 35)}
+	}
+	if !traceOf(a).Equal(traceOf(b)) {
+		t.Fatal("query trace depends on table contents")
+	}
+}
