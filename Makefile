@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench regenerates the relational-layer trend artifact: elems/s for
+# Compact/GroupBy/Join and the end-to-end query (staged vs planner-fused)
+# at n ∈ {2^12, 2^16, 2^20}. CI uploads BENCH_2.json on every push so the
+# perf trajectory is tracked per commit. BENCH_ARGS can bound the sweep,
+# e.g. make bench BENCH_ARGS="-max 65536".
+bench:
+	$(GO) run ./cmd/relbench -out BENCH_2.json $(BENCH_ARGS)
+
+clean:
+	$(GO) clean ./...

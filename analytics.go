@@ -26,11 +26,11 @@ func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error)
 		return nil, nil, fmt.Errorf("oblivmc: %d groups but %d values", n, len(values))
 	}
 	if n > relops.MaxRows {
-		return nil, nil, fmt.Errorf("oblivmc: too many records")
+		return nil, nil, fmt.Errorf("%w (%d records)", ErrTooManyRows, n)
 	}
 	for i, g := range groups {
 		if g >= relops.KeyLimit {
-			return nil, nil, fmt.Errorf("oblivmc: group key %d (index %d) exceeds 2^40-1", g, i)
+			return nil, nil, fmt.Errorf("%w (group key %d, index %d)", ErrKeyTooLarge, g, i)
 		}
 	}
 	out := make([]uint64, n)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"oblivmc/internal/benchdata"
 	"oblivmc/internal/bitonic"
 	"oblivmc/internal/core"
 	"oblivmc/internal/forkjoin"
@@ -427,13 +428,16 @@ func BenchmarkORBA_Meta(b *testing.B)            { benchORBA(b, true, core.Param
 
 var relopsSizes = []int{1 << 12, 1 << 16, 1 << 20}
 
-func benchRecords(n int) []relops.Record {
-	src := prng.New(42)
-	recs := make([]relops.Record, n)
-	for i := range recs {
-		recs[i] = relops.Record{Key: src.Uint64n(uint64(n / 8)), Val: src.Uint64n(1 << 30)}
+// benchRecords is the canonical workload shared with cmd/relbench, so the
+// BENCH_2.json trend artifact stays comparable with these benchmarks.
+func benchRecords(n int) []relops.Record { return benchdata.Records(n) }
+
+func benchLoad(b *testing.B, sp *mem.Space, recs []relops.Record) *mem.Array[obliv.Elem] {
+	a, err := relops.Load(sp, recs)
+	if err != nil {
+		b.Fatal(err)
 	}
-	return recs
+	return a
 }
 
 func benchRelop(b *testing.B, n int, op func(c *forkjoin.Ctx, sp *mem.Space, recs []relops.Record)) {
@@ -451,8 +455,8 @@ func BenchmarkCompact(b *testing.B) {
 	for _, n := range relopsSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			benchRelop(b, n, func(c *forkjoin.Ctx, sp *mem.Space, recs []relops.Record) {
-				a := relops.Load(sp, recs)
-				relops.Compact(c, sp, a, func(r relops.Record) bool { return r.Val%2 == 0 }, bitonic.CacheAgnostic{})
+				a := benchLoad(b, sp, recs)
+				relops.Compact(c, sp, relops.NewArena(), a, func(r relops.Record) bool { return r.Val%2 == 0 }, bitonic.CacheAgnostic{})
 			})
 		})
 	}
@@ -462,8 +466,8 @@ func BenchmarkGroupBy(b *testing.B) {
 	for _, n := range relopsSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			benchRelop(b, n, func(c *forkjoin.Ctx, sp *mem.Space, recs []relops.Record) {
-				a := relops.Load(sp, recs)
-				relops.GroupBy(c, sp, a, relops.AggSum, bitonic.CacheAgnostic{})
+				a := benchLoad(b, sp, recs)
+				relops.GroupBy(c, sp, relops.NewArena(), a, relops.AggSum, bitonic.CacheAgnostic{})
 			})
 		})
 	}
@@ -472,24 +476,70 @@ func BenchmarkGroupBy(b *testing.B) {
 func BenchmarkJoin(b *testing.B) {
 	for _, n := range relopsSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			// Left: n/8 distinct keys; right: n records over the same key range.
-			nl := n / 8
-			lrecs := make([]relops.Record, nl)
-			for i := range lrecs {
-				lrecs[i] = relops.Record{Key: uint64(i), Val: uint64(i) * 3}
-			}
+			// Left: primary relation with distinct keys; right: n records
+			// over the same key range.
+			lrecs := benchdata.LeftRecords(n)
 			recs := benchRecords(n)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				benchPool.Run(func(c *forkjoin.Ctx) {
 					sp := mem.NewSpace()
-					l := relops.Load(sp, lrecs)
-					r := relops.Load(sp, recs)
-					relops.Join(c, sp, l, r, bitonic.CacheAgnostic{})
+					l := benchLoad(b, sp, lrecs)
+					r := benchLoad(b, sp, recs)
+					relops.Join(c, sp, relops.NewArena(), l, r, bitonic.CacheAgnostic{})
 				})
 			}
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
 		})
+	}
+}
+
+// --- End-to-end query pipeline: planner (fused) vs staged baseline ------------
+//
+// The multi-stage Filter→Distinct→GroupBy→TopK pipeline the sort-fusion
+// planner targets: 6 staged sorting-network passes collapse to 2 fused
+// ones (see internal/plan), with the remaining sorts on the cached-key
+// comparator fast path.
+
+func benchQuery(n int) (Table, Query) {
+	recs := benchRecords(n)
+	rows := make([]Row, len(recs))
+	for i, r := range recs {
+		rows[i] = Row(r)
+	}
+	t, err := NewTable(rows)
+	if err != nil {
+		panic(err)
+	}
+	return t, Query{
+		Filter:   func(r Row) bool { return benchdata.FilterPred(r.Val) },
+		Distinct: true,
+		GroupBy:  AggSum,
+		TopK:     benchdata.TopK,
+	}
+}
+
+func benchRunQuery(b *testing.B, n int, optimize bool) {
+	t, q := benchQuery(n)
+	q.NoOptimize = !optimize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := RunQuery(Config{}, t, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+}
+
+func BenchmarkQueryFused(b *testing.B) {
+	for _, n := range relopsSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchRunQuery(b, n, true) })
+	}
+}
+
+func BenchmarkQueryStaged(b *testing.B) {
+	for _, n := range relopsSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchRunQuery(b, n, false) })
 	}
 }
 

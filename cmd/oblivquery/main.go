@@ -28,7 +28,10 @@ func main() {
 	groups := flag.Int("groups", 64, "distinct keys in the random workload")
 	useStdin := flag.Bool("stdin", false, "read \"key value\" rows (one per line) from stdin")
 	minVal := flag.Uint64("min", 0, "filter: keep rows with value >= min (0 = no filter)")
+	minKey := flag.Uint64("minkey", 0, "key-only filter: keep rows with key >= minkey (0 = none; plannable below distinct/group-by)")
 	distinct := flag.Bool("distinct", false, "deduplicate rows by key before aggregating")
+	explain := flag.Bool("explain", false, "print the planner's physical pass sequence before running")
+	noOpt := flag.Bool("noopt", false, "bypass the sort-fusion planner (staged baseline execution)")
 	agg := flag.String("agg", "sum", "aggregation: sum|count|min|max|none")
 	top := flag.Int("top", 0, "keep only the k largest-value result rows (0 = all)")
 	limit := flag.Int("limit", 20, "print at most this many result rows")
@@ -79,10 +82,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	q := oblivmc.Query{Distinct: *distinct, TopK: *top}
-	if *minVal > 0 {
+	q := oblivmc.Query{Distinct: *distinct, TopK: *top, NoOptimize: *noOpt}
+	switch {
+	case *minVal > 0 && *minKey > 0:
+		log.Fatal("-min and -minkey are mutually exclusive")
+	case *minVal > 0:
 		m := *minVal
 		q.Filter = func(r oblivmc.Row) bool { return r.Val >= m }
+	case *minKey > 0:
+		m := *minKey
+		q.Filter = func(r oblivmc.Row) bool { return r.Key >= m }
+		q.FilterKeyOnly = true
 	}
 	switch *agg {
 	case "sum":
@@ -97,6 +107,14 @@ func main() {
 		q.GroupBy = oblivmc.AggNone
 	default:
 		log.Fatalf("unknown aggregation %q", *agg)
+	}
+
+	if *explain {
+		pl, err := oblivmc.Explain(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "plan: %s\n", pl)
 	}
 
 	cfg := oblivmc.Config{Seed: *seed, Workers: *workers}

@@ -1,0 +1,185 @@
+// Command relbench measures the wall-clock throughput (elements/second) of
+// the oblivious relational layer — Compact, GroupBy, Join, and the
+// end-to-end Filter→Distinct→GroupBy→TopK query pipeline in both its
+// planner-fused and staged-baseline form — at n ∈ {2^12, 2^16, 2^20}, and
+// writes the results as JSON (the BENCH_2.json trend artifact CI uploads).
+//
+// Usage:
+//
+//	relbench -out BENCH_2.json            # full sweep
+//	relbench -max 65536 -iters 5          # bounded sweep for quick checks
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"oblivmc"
+	"oblivmc/internal/benchdata"
+	"oblivmc/internal/bitonic"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/relops"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Iters       int     `json:"iters"`
+	SecPerOp    float64 `json:"sec_per_op"`
+	ElemsPerSec float64 `json:"elems_per_sec"`
+}
+
+// File is the BENCH_2.json document.
+type File struct {
+	Schema    string   `json:"schema"`
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	MaxProcs  int      `json:"max_procs"`
+	Sizes     []int    `json:"sizes"`
+	Results   []Result `json:"results"`
+}
+
+// The workload is the canonical one shared with bench_test.go via
+// internal/benchdata, so this artifact stays comparable with
+// `go test -bench` numbers.
+func rows(n int) []oblivmc.Row {
+	recs := benchdata.Records(n)
+	out := make([]oblivmc.Row, n)
+	for i, r := range recs {
+		out[i] = oblivmc.Row(r)
+	}
+	return out
+}
+
+func main() {
+	out := flag.String("out", "BENCH_2.json", "output file (\"-\" = stdout)")
+	max := flag.Int("max", 1<<20, "largest relation size to measure")
+	iters := flag.Int("iters", 0, "iterations per point (0 = auto: more for small n)")
+	flag.Parse()
+
+	pool := forkjoin.NewPool(0)
+	query := oblivmc.Query{
+		Filter:   func(r oblivmc.Row) bool { return benchdata.FilterPred(r.Val) },
+		Distinct: true,
+		GroupBy:  oblivmc.AggSum,
+		TopK:     benchdata.TopK,
+	}
+
+	measure := func(n int, body func()) (float64, int) {
+		it := *iters
+		if it == 0 {
+			it = 3
+			if n >= 1<<20 {
+				it = 1
+			}
+		}
+		body() // warm-up (pool spin-up, allocator)
+		start := time.Now()
+		for i := 0; i < it; i++ {
+			body()
+		}
+		return time.Since(start).Seconds() / float64(it), it
+	}
+
+	doc := File{
+		Schema:    "oblivmc-relbench/1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		if n > *max {
+			break
+		}
+		doc.Sizes = append(doc.Sizes, n)
+		recs := benchdata.Records(n)
+		lrecs := benchdata.LeftRecords(n)
+		table, err := oblivmc.NewTable(rows(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		points := []struct {
+			name string
+			body func()
+		}{
+			{"compact", func() {
+				pool.Run(func(c *forkjoin.Ctx) {
+					sp := mem.NewSpace()
+					a, err := relops.Load(sp, recs)
+					if err != nil {
+						log.Fatal(err)
+					}
+					relops.Compact(c, sp, relops.NewArena(), a, func(r relops.Record) bool { return r.Val%2 == 0 }, bitonic.CacheAgnostic{})
+				})
+			}},
+			{"groupby", func() {
+				pool.Run(func(c *forkjoin.Ctx) {
+					sp := mem.NewSpace()
+					a, err := relops.Load(sp, recs)
+					if err != nil {
+						log.Fatal(err)
+					}
+					relops.GroupBy(c, sp, relops.NewArena(), a, relops.AggSum, bitonic.CacheAgnostic{})
+				})
+			}},
+			{"join", func() {
+				pool.Run(func(c *forkjoin.Ctx) {
+					sp := mem.NewSpace()
+					l, err := relops.Load(sp, lrecs)
+					if err != nil {
+						log.Fatal(err)
+					}
+					r, err := relops.Load(sp, recs)
+					if err != nil {
+						log.Fatal(err)
+					}
+					relops.Join(c, sp, relops.NewArena(), l, r, bitonic.CacheAgnostic{})
+				})
+			}},
+			{"query_staged", func() {
+				q := query
+				q.NoOptimize = true
+				if _, _, err := oblivmc.RunQuery(oblivmc.Config{}, table, q); err != nil {
+					log.Fatal(err)
+				}
+			}},
+			{"query_fused", func() {
+				if _, _, err := oblivmc.RunQuery(oblivmc.Config{}, table, query); err != nil {
+					log.Fatal(err)
+				}
+			}},
+		}
+		for _, p := range points {
+			sec, it := measure(n, p.body)
+			doc.Results = append(doc.Results, Result{
+				Name: p.name, N: n, Iters: it,
+				SecPerOp:    sec,
+				ElemsPerSec: float64(n) / sec,
+			})
+			fmt.Fprintf(os.Stderr, "%-14s n=%-8d %10.4fs/op %14.0f elems/s\n", p.name, n, sec, float64(n)/sec)
+		}
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

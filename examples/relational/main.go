@@ -29,11 +29,18 @@ func main() {
 
 	// One declarative oblivious pipeline: keep sales >= 100, total them per
 	// product, return the top-3 products by revenue.
-	top3, _, err := oblivmc.RunQuery(oblivmc.Config{Seed: 1}, facts, oblivmc.Query{
+	q := oblivmc.Query{
 		Filter:  func(r oblivmc.Row) bool { return r.Val >= 100 },
 		GroupBy: oblivmc.AggSum,
 		TopK:    3,
-	})
+	}
+	if pl, err := oblivmc.Explain(q); err == nil {
+		// The sort-fusion planner compiles the public query shape into a
+		// pass sequence with fewer sorting-network passes than running the
+		// stages one operator at a time.
+		fmt.Printf("plan: %s\n\n", pl)
+	}
+	top3, _, err := oblivmc.RunQuery(oblivmc.Config{Seed: 1}, facts, q)
 	if err != nil {
 		log.Fatal(err)
 	}

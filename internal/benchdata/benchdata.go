@@ -1,0 +1,50 @@
+// Package benchdata defines the canonical relational benchmark workload
+// shared by the in-repo benchmarks (bench_test.go) and the BENCH_2.json
+// trend tool (cmd/relbench). Keeping one definition makes the CI artifact
+// comparable with `go test -bench` numbers across commits — edit here, and
+// both surfaces move together.
+package benchdata
+
+import (
+	"oblivmc/internal/prng"
+	"oblivmc/internal/relops"
+)
+
+// Query pipeline parameters of the end-to-end benchmark
+// (Filter→Distinct→GroupBy(Sum)→TopK).
+const (
+	// FilterDiv drops every FilterDiv-th value: the benchmark filter keeps
+	// rows with Val % FilterDiv != 0.
+	FilterDiv = 4
+	// TopK is the benchmark's top-k cutoff.
+	TopK = 10
+	// JoinLeftFraction: the join benchmark's primary relation has
+	// n/JoinLeftFraction distinct keys.
+	JoinLeftFraction = 8
+)
+
+// FilterPred is the benchmark query's filter predicate over a row value.
+func FilterPred(val uint64) bool { return val%FilterDiv != 0 }
+
+// Records generates the benchmark relation: n records, keys drawn from
+// n/8 distinct values, values below 2^30, fixed seed 42.
+func Records(n int) []relops.Record {
+	src := prng.New(42)
+	recs := make([]relops.Record, n)
+	for i := range recs {
+		recs[i] = relops.Record{Key: src.Uint64n(uint64(n / 8)), Val: src.Uint64n(1 << 30)}
+	}
+	return recs
+}
+
+// LeftRecords generates the join benchmark's primary relation for a
+// foreign relation of n records: n/JoinLeftFraction distinct keys covering
+// the low end of Records' key range.
+func LeftRecords(n int) []relops.Record {
+	nl := n / JoinLeftFraction
+	recs := make([]relops.Record, nl)
+	for i := range recs {
+		recs[i] = relops.Record{Key: uint64(i), Val: uint64(i) * 3}
+	}
+	return recs
+}

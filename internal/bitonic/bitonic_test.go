@@ -232,6 +232,93 @@ func TestTraceObliviousAllVariants(t *testing.T) {
 	}
 }
 
+// TestScheduledMatchesClosureSort pins the keysched contract for all three
+// networks: SortScheduled against a cached key schedule must produce
+// exactly the permutation the closure-keyed Sort produces (same comparator
+// schedule, same outcomes), and must keep the key array in lockstep.
+func TestScheduledMatchesClosureSort(t *testing.T) {
+	variants := []obliv.ScheduledSorter{CacheAgnostic{}, CacheAgnostic{Leaf: 2}, Naive{}, OddEven{}}
+	for _, v := range variants {
+		for _, n := range []int{1, 2, 8, 64, 256, 1024} {
+			for seed := uint64(0); seed < 3; seed++ {
+				raw := randElems(seed*31+uint64(n), n)
+
+				s1 := mem.NewSpace()
+				want := mem.FromSlice(s1, raw)
+				v.Sort(forkjoin.Serial(), s1, want, 0, n, keyFn)
+
+				s2 := mem.NewSpace()
+				got := mem.FromSlice(s2, raw)
+				ks := mem.Alloc[uint64](s2, n)
+				obliv.BuildKeySchedule(forkjoin.Serial(), got, ks, 0, n, keyFn)
+				scr := mem.Alloc[obliv.Elem](s2, n)
+				kscr := mem.Alloc[uint64](s2, n)
+				v.SortScheduled(forkjoin.Serial(), got, ks, scr, kscr, 0, n)
+
+				for i := 0; i < n; i++ {
+					if got.Data()[i] != want.Data()[i] {
+						t.Fatalf("%s n=%d seed=%d: keyed sort diverges from closure sort at %d (%v vs %v)",
+							v.Name(), n, seed, i, got.Data()[i], want.Data()[i])
+					}
+					if ks.Data()[i] != keyFn(got.Data()[i]) {
+						t.Fatalf("%s n=%d seed=%d: key schedule out of lockstep at %d", v.Name(), n, seed, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScheduledSubrange checks the keyed networks honor [lo, lo+n) bounds.
+func TestScheduledSubrange(t *testing.T) {
+	variants := []obliv.ScheduledSorter{CacheAgnostic{Leaf: 4}, Naive{}, OddEven{}}
+	for _, v := range variants {
+		raw := randElems(17, 96)
+		s := mem.NewSpace()
+		a := mem.FromSlice(s, raw)
+		ks := mem.Alloc[uint64](s, 96)
+		obliv.BuildKeySchedule(forkjoin.Serial(), a, ks, 16, 64, keyFn)
+		scr := mem.Alloc[obliv.Elem](s, 64)
+		kscr := mem.Alloc[uint64](s, 64)
+		v.SortScheduled(forkjoin.Serial(), a, ks, scr, kscr, 16, 64)
+		for i := 0; i < 16; i++ {
+			if a.Data()[i] != raw[i] {
+				t.Fatalf("%s: prefix modified", v.Name())
+			}
+		}
+		for i := 80; i < 96; i++ {
+			if a.Data()[i] != raw[i] {
+				t.Fatalf("%s: suffix modified", v.Name())
+			}
+		}
+		assertSorted(t, a.Data()[16:80], v.Name()+" keyed subrange")
+	}
+}
+
+// TestScheduledTraceOblivious extends the variant trace test to the keyed
+// path: the cached-key comparator always reads and rewrites all four
+// positions, so the view must be data-independent.
+func TestScheduledTraceOblivious(t *testing.T) {
+	const n = 128
+	for _, v := range []obliv.ScheduledSorter{CacheAgnostic{}, Naive{}, OddEven{}} {
+		run := func(seed uint64) *forkjoin.Metrics {
+			raw := randElems(seed, n)
+			s := mem.NewSpace()
+			a := mem.FromSlice(s, raw)
+			ks := mem.Alloc[uint64](s, n)
+			scr := mem.Alloc[obliv.Elem](s, n)
+			kscr := mem.Alloc[uint64](s, n)
+			return forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
+				obliv.BuildKeySchedule(c, a, ks, 0, n, keyFn)
+				v.SortScheduled(c, a, ks, scr, kscr, 0, n)
+			})
+		}
+		if !run(1).Trace.Equal(run(2).Trace) {
+			t.Fatalf("%s: keyed access pattern depends on data", v.Name())
+		}
+	}
+}
+
 func TestWorkMatchesComparatorCount(t *testing.T) {
 	// Bitonic on n=2^k has exactly n/2 * k(k+1)/2 comparators; each does
 	// 2 reads + 2 writes + 1 comparison op = 5 work in the iterative net.

@@ -1,0 +1,158 @@
+// Keyed (key-schedule) variants of the three sorting networks: the
+// comparator schedule is identical to the closure-keyed networks — same
+// layers, same positions, same directions — but each comparator reads the
+// two cached key words built by obliv.BuildKeySchedule instead of invoking
+// the key closure twice. The key array moves in lockstep with the element
+// array (including through the cache-agnostic merge's transposes), so the
+// resulting permutation is exactly the one the closure network produces.
+package bitonic
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/matrix"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+)
+
+// SortIterativeKeyed is SortIterative against a cached key schedule. ks is
+// indexed identically to a: ks[i] caches the key of a[i].
+func SortIterativeKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], lo, n int, asc bool) {
+	if !obliv.IsPow2(n) {
+		panic("bitonic: n must be a power of two")
+	}
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			layerKeyed(c, a, ks, lo, n, k, j, asc)
+		}
+	}
+}
+
+func layerKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], lo, n, k, j int, asc bool) {
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, from, to int) {
+		for i := from; i < to; i++ {
+			if i&j != 0 {
+				continue
+			}
+			dir := (i&k == 0) == asc
+			obliv.CompareExchangeCached(c, a, ks, lo+i, lo+(i|j), dir)
+		}
+	})
+}
+
+func mergeSerialKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], lo, m int, asc bool) {
+	for j := m >> 1; j > 0; j >>= 1 {
+		for i := 0; i < m; i++ {
+			if i&j == 0 {
+				obliv.CompareExchangeCached(c, a, ks, lo+i, lo+(i|j), asc)
+			}
+		}
+	}
+}
+
+func sortSerialKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], lo, n int, asc bool) {
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := 0; i < n; i++ {
+				if i&j == 0 {
+					dir := (i&k == 0) == asc
+					obliv.CompareExchangeCached(c, a, ks, lo+i, lo+(i|j), dir)
+				}
+			}
+		}
+	}
+}
+
+// SortCAKeyed is the cache-agnostic BITONIC-SORT (§E.1.1) against a cached
+// key schedule: scratch/kscr must have length >= n and alias neither a nor
+// ks. ks is indexed identically to a (ks[lo:lo+n) cache the keys of
+// a[lo:lo+n)). n must be a power of two.
+func SortCAKeyed(c *forkjoin.Ctx, a, scratch *mem.Array[obliv.Elem], ks, kscr *mem.Array[uint64], lo, n int, asc bool, leaf int) {
+	if !obliv.IsPow2(n) {
+		panic("bitonic: n must be a power of two")
+	}
+	if leaf < 2 {
+		leaf = DefaultLeaf
+	}
+	if c.Metered() {
+		// Grain-1 policy: measure the span of the fully forked network.
+		leaf = 2
+	}
+	if n == 1 {
+		return
+	}
+	sortCAKeyedRec(c, a.View(lo, n), scratch.View(0, n), ks.View(lo, n), kscr.View(0, n), 0, n, asc, leaf)
+}
+
+func sortCAKeyedRec(c *forkjoin.Ctx, buf, scr *mem.Array[obliv.Elem], kbuf, kscr *mem.Array[uint64], lo, n int, asc bool, leaf int) {
+	if n == 1 {
+		return
+	}
+	if n <= leaf {
+		sortSerialKeyed(c, buf, kbuf, lo, n, asc)
+		return
+	}
+	half := n / 2
+	c.Fork(
+		func(c *forkjoin.Ctx) { sortCAKeyedRec(c, buf, scr, kbuf, kscr, lo, half, true, leaf) },
+		func(c *forkjoin.Ctx) { sortCAKeyedRec(c, buf, scr, kbuf, kscr, lo+half, half, false, leaf) },
+	)
+	mergeCAKeyedRec(c, buf, scr, kbuf, kscr, lo, n, asc, leaf)
+}
+
+func mergeCAKeyedRec(c *forkjoin.Ctx, buf, scr *mem.Array[obliv.Elem], kbuf, kscr *mem.Array[uint64], lo, m int, asc bool, leaf int) {
+	if m <= leaf {
+		mergeSerialKeyed(c, buf, kbuf, lo, m, asc)
+		return
+	}
+	k := obliv.Log2(m)
+	k1 := (k + 1) / 2
+	m1 := 1 << k1
+	m2 := m / m1
+
+	bv, sv := buf.View(lo, m), scr.View(lo, m)
+	kbv, ksv := kbuf.View(lo, m), kscr.View(lo, m)
+
+	// Phase 1: transpose the m1×m2 row-major view (elements and cached keys
+	// in lockstep) and run the first k1 butterfly layers as contiguous
+	// merges of length m1.
+	matrix.Transpose(c, sv, bv, m1, m2)
+	matrix.Transpose(c, ksv, kbv, m1, m2)
+	forkjoin.ParallelFor(c, 0, m2, 1, func(c *forkjoin.Ctx, i int) {
+		mergeCAKeyedRec(c, scr, buf, kscr, kbuf, lo+i*m1, m1, asc, leaf)
+	})
+
+	// Phase 2: transpose back and run the remaining k-k1 layers as merges
+	// of length m2 on the now-contiguous rows.
+	matrix.Transpose(c, bv, sv, m2, m1)
+	matrix.Transpose(c, kbv, ksv, m2, m1)
+	forkjoin.ParallelFor(c, 0, m1, 1, func(c *forkjoin.Ctx, i int) {
+		mergeCAKeyedRec(c, buf, scr, kbuf, kscr, lo+i*m2, m2, asc, leaf)
+	})
+}
+
+// SortOddEvenKeyed is Batcher's odd–even merge network against a cached key
+// schedule. n must be a power of two.
+func SortOddEvenKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], lo, n int) {
+	if !obliv.IsPow2(n) {
+		panic("bitonic: n must be a power of two")
+	}
+	for p := 1; p < n; p <<= 1 {
+		for k := p; k >= 1; k >>= 1 {
+			off := k % p
+			forkjoin.ParallelRange(c, 0, n-k, 0, func(c *forkjoin.Ctx, from, to int) {
+				for t := from; t < to; t++ {
+					if t < off {
+						continue
+					}
+					if ((t-off)/k)%2 != 0 {
+						continue
+					}
+					if t/(2*p) != (t+k)/(2*p) {
+						continue
+					}
+					obliv.CompareExchangeCached(c, a, ks, lo+t, lo+t+k, true)
+				}
+			})
+		}
+	}
+}

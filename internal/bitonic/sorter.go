@@ -27,6 +27,14 @@ func (s CacheAgnostic) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.E
 	SortCA(c, a, scratch, lo, n, true, s.Leaf, key)
 }
 
+// SortScheduled implements obliv.ScheduledSorter.
+func (s CacheAgnostic) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], scr *mem.Array[obliv.Elem], kscr *mem.Array[uint64], lo, n int) {
+	if n <= 1 {
+		return
+	}
+	SortCAKeyed(c, a, scr, ks, kscr, lo, n, true, s.Leaf)
+}
+
 // Naive is the obliv.Sorter backed by the iterative network with per-layer
 // forking — the baseline whose span and caching §E.1 improves. n must be a
 // power of two.
@@ -43,6 +51,15 @@ func (Naive) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo, 
 	SortIterative(c, a, lo, n, true, key)
 }
 
+// SortScheduled implements obliv.ScheduledSorter (in-place network; the
+// scratch arguments are ignored).
+func (Naive) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], _ *mem.Array[obliv.Elem], _ *mem.Array[uint64], lo, n int) {
+	if n <= 1 {
+		return
+	}
+	SortIterativeKeyed(c, a, ks, lo, n, true)
+}
+
 // OddEven is the obliv.Sorter backed by Batcher's odd–even merge network.
 // n must be a power of two.
 type OddEven struct{}
@@ -56,4 +73,13 @@ func (OddEven) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo
 		return
 	}
 	SortOddEven(c, a, lo, n, key)
+}
+
+// SortScheduled implements obliv.ScheduledSorter (in-place network; the
+// scratch arguments are ignored).
+func (OddEven) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], _ *mem.Array[obliv.Elem], _ *mem.Array[uint64], lo, n int) {
+	if n <= 1 {
+		return
+	}
+	SortOddEvenKeyed(c, a, ks, lo, n)
 }

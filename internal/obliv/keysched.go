@@ -1,0 +1,66 @@
+package obliv
+
+import (
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+)
+
+// This file implements the key-schedule fast path for the sorting-network
+// primitives. A sort's comparator schedule is data-independent (the core
+// property of the paper's §E.1 bitonic construction and of Batcher's
+// networks), so the key of every element can be materialized once, up
+// front, into a parallel word array — one instrumented linear pass — and
+// the network then compares cached uint64 words instead of re-deriving the
+// key from the 48-byte element twice per comparator. The cached keys move
+// through the network in lockstep with the elements, so the element
+// permutation is identical to the closure-keyed network's and the access
+// pattern remains a function of n only.
+
+// BuildKeySchedule materializes key(e) for a[lo:lo+n) into ks[lo:lo+n) in
+// one fixed elementwise pass (the "keysched" pass). ks is indexed
+// identically to a: ks[i] caches the key of a[i].
+func BuildKeySchedule(c *forkjoin.Ctx, a *mem.Array[Elem], ks *mem.Array[uint64], lo, n int, key func(Elem) uint64) {
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, from, to int) {
+		for i := from; i < to; i++ {
+			e := a.Get(c, lo+i)
+			c.Op(1) // the key derivation
+			ks.Set(c, lo+i, key(e))
+		}
+	})
+}
+
+// CompareExchangeCached is the cached-key comparator: it orders positions i
+// and j of a (ascending by cached key if asc) using the key words ks[i],
+// ks[j], keeping ks in lockstep with a. All four positions are always read
+// and always rewritten, so the access pattern is independent of the
+// comparison outcome, exactly as in CompareExchange.
+func CompareExchangeCached(c *forkjoin.Ctx, a *mem.Array[Elem], ks *mem.Array[uint64], i, j int, asc bool) {
+	x := a.Get(c, i)
+	y := a.Get(c, j)
+	kx := ks.Get(c, i)
+	ky := ks.Get(c, j)
+	c.Op(1) // the comparison
+	if (kx > ky) == asc {
+		x, y = y, x
+		kx, ky = ky, kx
+	}
+	a.Set(c, i, x)
+	a.Set(c, j, y)
+	ks.Set(c, i, kx)
+	ks.Set(c, j, ky)
+}
+
+// ScheduledSorter is implemented by sorters that can run against a
+// precomputed key schedule (the keysched fast path). SortScheduled sorts
+// a[lo:lo+n) ascending by the cached keys ks[lo:lo+n) (ks is indexed
+// identically to a), keeping ks in lockstep. scr and kscr are
+// caller-provided scratch of length >= n that must not alias a or ks;
+// sorters that sort strictly in place ignore them (nil is then permitted).
+//
+// Callers that hold a multi-pass scratch arena use this interface to avoid
+// both the per-comparator key recomputation and the per-sort scratch
+// allocation of Sorter.Sort.
+type ScheduledSorter interface {
+	Sorter
+	SortScheduled(c *forkjoin.Ctx, a *mem.Array[Elem], ks *mem.Array[uint64], scr *mem.Array[Elem], kscr *mem.Array[uint64], lo, n int)
+}

@@ -1,0 +1,279 @@
+// Package plan is the sort-fusion query planner for the oblivious
+// relational engine (internal/relops). It rewrites a declarative pipeline
+// of logical stages (Filter → Distinct → GroupBy → TopK) into a sequence of
+// physical passes that runs strictly fewer O(n log² n) sorting-network
+// passes than executing the stages one operator at a time.
+//
+// Obliviousness: every planner decision is a pure function of the *query
+// shape* — which stages are present, the aggregation kind, k, and the
+// declared key-only-ness of the filter — never of the relation contents.
+// The physical passes themselves are the same data-independent primitives
+// the stand-alone operators use (sorting networks, segmented scans, fixed
+// elementwise passes), so a planned pipeline's trace remains a function of
+// the relation size and the public query shape only. Rewriting *which*
+// sorts run is safe precisely because comparator schedules are
+// data-independent (the property the paper's §E.1 bitonic construction and
+// Batcher's networks provide): dropping or merging a sorting pass changes
+// the trace as a function of the shape, not of the data.
+//
+// The three rewrite rules, expressed over a "sorted-by" order token carried
+// on the intermediate relation:
+//
+//  1. Compaction deferral. A stage that merely marks its victims (Filter,
+//     the duplicate-drop of Distinct, the non-head drop of GroupBy) does
+//     not need its own compaction sort when a later stage re-sorts the
+//     relation anyway: victims become fillers in place (one fixed
+//     elementwise pass, zero sorts) and the next sort carries them to the
+//     tail. Only the *last* stage pays a compaction sort, and only when the
+//     pipeline's output order demands it.
+//
+//  2. Sort fusion. Adjacent stages that need the same key order share one
+//     sort: Distinct immediately followed by GroupBy runs a single
+//     (key, position) sort and a single combined dedup+aggregate pass.
+//
+//  3. Filter pushdown. A filter declared key-only commutes with Distinct
+//     and GroupBy (it drops whole key groups, so neither the surviving
+//     heads nor the group aggregates change); the planner pushes it below
+//     them and merges its predicate into their existing elementwise pass,
+//     eliminating the filter's own pass altogether.
+package plan
+
+import "fmt"
+
+// Order is the public "sorted-by" token tracked on the intermediate
+// relation: it describes the relative order of the *real* records (fillers
+// are interchangeable padding — a sort keyed to send them to the tail
+// restores contiguity without disturbing real-record order).
+type Order uint8
+
+const (
+	// OrderInput — original input order (positions 0..n), fillers anywhere.
+	OrderInput Order = iota
+	// OrderPos — survivors at the front, ascending original position,
+	// fillers at the tail (the operators' public output order).
+	OrderPos
+	// OrderKeyPos — ascending (key, original position); fillers possibly
+	// interleaved where dropped records sat.
+	OrderKeyPos
+	// OrderValDesc — descending value; fillers at the tail.
+	OrderValDesc
+)
+
+// String implements fmt.Stringer.
+func (o Order) String() string {
+	switch o {
+	case OrderInput:
+		return "input"
+	case OrderPos:
+		return "pos"
+	case OrderKeyPos:
+		return "key,pos"
+	case OrderValDesc:
+		return "val↓"
+	}
+	return fmt.Sprintf("order(%d)", uint8(o))
+}
+
+// Shape is the public shape of a query: exactly the information the
+// adversary already holds. Build's output is a deterministic function of a
+// Shape and nothing else.
+type Shape struct {
+	// Filter reports whether a filter stage is present.
+	Filter bool
+	// FilterKeyOnly declares the filter predicate a function of the key
+	// alone, enabling pushdown below Distinct/GroupBy.
+	FilterKeyOnly bool
+	// Distinct reports whether a distinct stage is present.
+	Distinct bool
+	// GroupBy reports whether a group-by stage is present; Agg then holds
+	// the aggregation kind (an opaque code forwarded to the executor).
+	GroupBy bool
+	Agg     uint8
+	// TopK > 0 keeps only the k largest-value rows.
+	TopK int
+}
+
+// OpKind enumerates the physical passes of the fused execution.
+type OpKind uint8
+
+const (
+	// OpFilterMark drops records failing the predicate to fillers in one
+	// fixed elementwise pass. No sort; preserves real-record order.
+	OpFilterMark OpKind = iota
+	// OpSortKey sorts by (key, original position), fillers last. One sort.
+	OpSortKey
+	// OpDedup marks key-group heads and drops duplicates to fillers
+	// (requires OrderKeyPos with contiguous key groups). No sort.
+	OpDedup
+	// OpAggregate runs the segmented aggregate, installs each group's
+	// aggregate on its head and drops non-heads to fillers (requires
+	// OrderKeyPos with contiguous key groups). No sort.
+	OpAggregate
+	// OpDedupAggregate is the fused Distinct→GroupBy pass: group heads
+	// survive carrying the singleton aggregate of the deduplicated
+	// relation. No sort.
+	OpDedupAggregate
+	// OpSortValDesc sorts by descending value, fillers last. One sort.
+	OpSortValDesc
+	// OpTopK drops records of oblivious rank > k to fillers (requires
+	// OrderValDesc). No sort.
+	OpTopK
+	// OpCompactPos restores the public output order: survivors to the
+	// front by original position, fillers to the tail. One sort.
+	OpCompactPos
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpFilterMark:
+		return "filter-mark"
+	case OpSortKey:
+		return "sort(key,pos)"
+	case OpDedup:
+		return "dedup"
+	case OpAggregate:
+		return "aggregate"
+	case OpDedupAggregate:
+		return "dedup+aggregate"
+	case OpSortValDesc:
+		return "sort(val↓)"
+	case OpTopK:
+		return "topk"
+	case OpCompactPos:
+		return "compact(pos)"
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Op is one physical pass.
+type Op struct {
+	Kind OpKind
+	// Agg is the aggregation code for OpAggregate / OpDedupAggregate.
+	Agg uint8
+	// K is the rank cutoff for OpTopK.
+	K int
+	// WithFilter merges the (key-only) filter predicate into this pass's
+	// elementwise survivor test (rewrite rule 3).
+	WithFilter bool
+}
+
+// Plan is the physical pass sequence for one query, plus the public
+// bookkeeping the tests and tools assert on.
+type Plan struct {
+	Ops []Op
+	// SortPasses counts the full sorting-network passes the plan runs.
+	SortPasses int
+	// StagedSortPasses counts the sorts the same shape costs when executed
+	// one stand-alone operator at a time (the pre-planner baseline).
+	StagedSortPasses int
+	// Output is the order token of the result relation.
+	Output Order
+}
+
+// String renders the pass sequence, e.g.
+// "filter-mark → sort(key,pos) → aggregate → sort(val↓) → topk [2 sorts]".
+func (p Plan) String() string {
+	s := ""
+	for i, op := range p.Ops {
+		if i > 0 {
+			s += " → "
+		}
+		s += op.Kind.String()
+		if op.WithFilter {
+			s += "+filter"
+		}
+	}
+	if s == "" {
+		s = "identity"
+	}
+	return fmt.Sprintf("%s [%d sorts, staged %d]", s, p.SortPasses, p.StagedSortPasses)
+}
+
+// sorts reports whether k is a sorting-network pass.
+func (k OpKind) sorts() bool {
+	return k == OpSortKey || k == OpSortValDesc || k == OpCompactPos
+}
+
+// Build compiles a query shape into its fused physical plan. It is a pure
+// function of s: two queries of equal shape get identical plans regardless
+// of their table contents, which is what keeps the planned trace a function
+// of (relation size, query shape) only.
+func Build(s Shape) Plan {
+	var ops []Op
+	cur := OrderInput
+
+	// Rule 3: a key-only filter below a Distinct/GroupBy stage merges into
+	// that stage's elementwise pass.
+	pushFilter := s.Filter && s.FilterKeyOnly && (s.Distinct || s.GroupBy)
+	if s.Filter && !pushFilter {
+		// Rule 1: mark only; a later sort (or the final compaction) carries
+		// the dropped records to the tail.
+		ops = append(ops, Op{Kind: OpFilterMark})
+	}
+
+	if s.Distinct || s.GroupBy {
+		if cur != OrderKeyPos {
+			ops = append(ops, Op{Kind: OpSortKey})
+			cur = OrderKeyPos
+		}
+		switch {
+		case s.Distinct && s.GroupBy:
+			// Rule 2: one sort, one combined pass.
+			ops = append(ops, Op{Kind: OpDedupAggregate, Agg: s.Agg, WithFilter: pushFilter})
+		case s.Distinct:
+			ops = append(ops, Op{Kind: OpDedup, WithFilter: pushFilter})
+		default:
+			ops = append(ops, Op{Kind: OpAggregate, Agg: s.Agg, WithFilter: pushFilter})
+		}
+		// Victims became fillers in place: real records remain key-sorted.
+	}
+
+	if s.TopK > 0 {
+		if cur != OrderValDesc {
+			ops = append(ops, Op{Kind: OpSortValDesc})
+			cur = OrderValDesc
+		}
+		ops = append(ops, Op{Kind: OpTopK, K: s.TopK})
+	}
+
+	// Output-order restoration (rule 1's deferred compaction): TopK's
+	// public order is descending value, already established; every other
+	// stage promises survivors in original order at the front.
+	output := cur
+	if s.TopK == 0 && (s.Filter || s.Distinct || s.GroupBy) {
+		if cur != OrderPos {
+			ops = append(ops, Op{Kind: OpCompactPos})
+			cur = OrderPos
+		}
+		output = OrderPos
+	}
+
+	p := Plan{Ops: ops, StagedSortPasses: stagedSorts(s), Output: output}
+	for _, op := range ops {
+		if op.Kind.sorts() {
+			p.SortPasses++
+		}
+	}
+	return p
+}
+
+// stagedSorts counts the sorting passes of the pre-planner execution: each
+// stand-alone operator pays its own sorts (Filter 1, Distinct 2, GroupBy 2,
+// TopK 1 — see internal/relops).
+func stagedSorts(s Shape) int {
+	n := 0
+	if s.Filter {
+		n++
+	}
+	if s.Distinct {
+		n += 2
+	}
+	if s.GroupBy {
+		n += 2
+	}
+	if s.TopK > 0 {
+		n++
+	}
+	return n
+}

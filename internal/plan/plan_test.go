@@ -1,0 +1,124 @@
+package plan
+
+import "testing"
+
+// shapes enumerates all 16 stage combinations (plus key-only variants where
+// a filter is present).
+func shapes() []Shape {
+	var out []Shape
+	for _, f := range []bool{false, true} {
+		for _, d := range []bool{false, true} {
+			for _, g := range []bool{false, true} {
+				for _, k := range []int{0, 5} {
+					out = append(out, Shape{Filter: f, Distinct: d, GroupBy: g, Agg: 0, TopK: k})
+					if f {
+						out = append(out, Shape{Filter: f, FilterKeyOnly: true, Distinct: d, GroupBy: g, Agg: 0, TopK: k})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestPlansNeverBeatenByStaged(t *testing.T) {
+	for _, s := range shapes() {
+		p := Build(s)
+		if p.SortPasses > p.StagedSortPasses {
+			t.Errorf("shape %+v: fused plan uses %d sorts, staged only %d (%s)", s, p.SortPasses, p.StagedSortPasses, p)
+		}
+	}
+}
+
+func TestMultiStagePlansSaveSorts(t *testing.T) {
+	// Any shape with >= 2 stages must run strictly fewer sorts than the
+	// staged baseline — that is the planner's whole point.
+	for _, s := range shapes() {
+		stages := 0
+		for _, b := range []bool{s.Filter, s.Distinct, s.GroupBy, s.TopK > 0} {
+			if b {
+				stages++
+			}
+		}
+		if stages < 2 {
+			continue
+		}
+		p := Build(s)
+		if p.SortPasses >= p.StagedSortPasses {
+			t.Errorf("shape %+v: fused %d sorts >= staged %d (%s)", s, p.SortPasses, p.StagedSortPasses, p)
+		}
+	}
+}
+
+func TestFullPipelinePlan(t *testing.T) {
+	// The benchmark pipeline Filter→Distinct→GroupBy→TopK: 6 staged sorts
+	// collapse to 2 (one key sort feeding the fused dedup+aggregate, one
+	// value sort feeding top-k).
+	p := Build(Shape{Filter: true, Distinct: true, GroupBy: true, Agg: 1, TopK: 3})
+	if p.SortPasses != 2 || p.StagedSortPasses != 6 {
+		t.Fatalf("full pipeline: sorts = %d (staged %d), want 2 (6): %s", p.SortPasses, p.StagedSortPasses, p)
+	}
+	if p.Output != OrderValDesc {
+		t.Fatalf("full pipeline output order = %v, want %v", p.Output, OrderValDesc)
+	}
+	want := []OpKind{OpFilterMark, OpSortKey, OpDedupAggregate, OpSortValDesc, OpTopK}
+	if len(p.Ops) != len(want) {
+		t.Fatalf("ops = %s, want kinds %v", p, want)
+	}
+	for i, k := range want {
+		if p.Ops[i].Kind != k {
+			t.Fatalf("op %d = %v, want %v (%s)", i, p.Ops[i].Kind, k, p)
+		}
+	}
+}
+
+func TestKeyOnlyFilterPushdown(t *testing.T) {
+	p := Build(Shape{Filter: true, FilterKeyOnly: true, GroupBy: true, Agg: 0})
+	for _, op := range p.Ops {
+		if op.Kind == OpFilterMark {
+			t.Fatalf("key-only filter not pushed below group-by: %s", p)
+		}
+	}
+	found := false
+	for _, op := range p.Ops {
+		if op.Kind == OpAggregate && op.WithFilter {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pushed filter not merged into aggregate pass: %s", p)
+	}
+}
+
+func TestSingleStagePlansMatchSeedCosts(t *testing.T) {
+	cases := []struct {
+		s     Shape
+		sorts int
+		out   Order
+	}{
+		{Shape{Filter: true}, 1, OrderPos},
+		{Shape{Distinct: true}, 2, OrderPos},
+		{Shape{GroupBy: true}, 2, OrderPos},
+		{Shape{TopK: 4}, 1, OrderValDesc},
+		{Shape{}, 0, OrderInput},
+	}
+	for _, tc := range cases {
+		p := Build(tc.s)
+		if p.SortPasses != tc.sorts || p.Output != tc.out {
+			t.Errorf("shape %+v: %d sorts / output %v, want %d / %v (%s)",
+				tc.s, p.SortPasses, p.Output, tc.sorts, tc.out, p)
+		}
+	}
+}
+
+// TestShapeOnlyDeterminism pins the planner contract: equal shapes yield
+// identical plans (Build takes nothing else, so this guards against future
+// signature drift more than current behavior).
+func TestShapeOnlyDeterminism(t *testing.T) {
+	for _, s := range shapes() {
+		a, b := Build(s), Build(s)
+		if a.String() != b.String() {
+			t.Fatalf("shape %+v: plans differ: %s vs %s", s, a, b)
+		}
+	}
+}

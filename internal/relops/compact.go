@@ -15,7 +15,8 @@ import (
 // a pure function of the record (register arithmetic only — it is handed
 // values, not memory). The rest of the operator is one data-independent
 // sort plus elementwise passes, so the trace depends only on len(a).
-func Compact(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], pred func(Record) bool, srt obliv.Sorter) int {
+// ar supplies reusable scratch (nil = allocate fresh).
+func Compact(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], pred func(Record) bool, srt obliv.Sorter) int {
 	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
@@ -27,5 +28,5 @@ func Compact(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], pred func
 			a.Set(c, i, e)
 		}
 	})
-	return compactMarked(c, sp, a, srt)
+	return compactMarked(c, sp, ar, a, srt)
 }

@@ -13,9 +13,10 @@ import (
 // Pipeline: sort by (key, position) so duplicates are adjacent with the
 // earliest record first, mark group heads with a fixed neighbor-compare
 // pass, then compact the marked records — two data-independent sorts and
-// two elementwise passes, trace a function of len(a) only.
-func Distinct(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) int {
-	srt.Sort(c, sp, a, 0, a.Len(), keyIdx)
-	markBoundaries(c, sp, a)
-	return compactMarked(c, sp, a, srt)
+// two elementwise passes, trace a function of len(a) only. ar supplies
+// reusable scratch (nil = allocate fresh).
+func Distinct(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter) int {
+	sortBy(c, sp, ar, a, keyIdx, srt)
+	markBoundaries(c, sp, ar, a)
+	return compactMarked(c, sp, ar, a, srt)
 }

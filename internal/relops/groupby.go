@@ -59,8 +59,9 @@ func combineOf(agg AggKind) (valOf func(obliv.Elem) uint64, combine func(x, y ui
 // full-group aggregate, a fixed neighbor-compare pass marks the heads and
 // installs the aggregate as their Val, and compaction keeps only the heads.
 // All phases are data-independent; the trace depends only on len(a).
-func GroupBy(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], agg AggKind, srt obliv.Sorter) int {
-	srt.Sort(c, sp, a, 0, a.Len(), keyIdx)
+// ar supplies reusable scratch (nil = allocate fresh).
+func GroupBy(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], agg AggKind, srt obliv.Sorter) int {
+	sortBy(c, sp, ar, a, keyIdx, srt)
 
 	valOf, combine := combineOf(agg)
 	obliv.AggregateSuffix(c, sp, a, groupKey, valOf, combine,
@@ -71,7 +72,7 @@ func GroupBy(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], agg AggKi
 
 	// Group heads (inclusive suffix aggregate over the whole group) adopt
 	// the aggregate as their value; markBoundaries then flags exactly them.
-	markBoundaries(c, sp, a)
+	markBoundaries(c, sp, ar, a)
 	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
@@ -83,5 +84,5 @@ func GroupBy(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], agg AggKi
 			a.Set(c, i, e)
 		}
 	})
-	return compactMarked(c, sp, a, srt)
+	return compactMarked(c, sp, ar, a, srt)
 }

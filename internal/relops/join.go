@@ -26,8 +26,9 @@ type Joined struct {
 // followed by its right records, obliviously propagate the left value
 // through the group, then compact the matched right records. Two
 // data-independent sorts, one propagation, elementwise passes — the trace
-// depends only on (len(left), len(right)).
-func Join(c *forkjoin.Ctx, sp *mem.Space, left, right *mem.Array[obliv.Elem], srt obliv.Sorter) (*mem.Array[obliv.Elem], int) {
+// depends only on (len(left), len(right)). ar supplies reusable scratch
+// (nil = allocate fresh).
+func Join(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right *mem.Array[obliv.Elem], srt obliv.Sorter) (*mem.Array[obliv.Elem], int) {
 	nl, nr := left.Len(), right.Len()
 	wLen := obliv.NextPow2(nl + nr)
 	w := mem.Alloc[obliv.Elem](sp, wLen) // trailing slots are fillers
@@ -59,7 +60,7 @@ func Join(c *forkjoin.Ctx, sp *mem.Space, left, right *mem.Array[obliv.Elem], sr
 		}
 		return e.Key<<(idxBits+1) | uint64(e.Tag)<<idxBits | e.Aux
 	}
-	srt.Sort(c, sp, w, 0, wLen, sideKey)
+	sortBy(c, sp, ar, w, sideKey, srt)
 
 	// Propagate each key group's left value to the group's right records;
 	// matched right records get Mark=1, everything else Mark=0.
@@ -76,7 +77,7 @@ func Join(c *forkjoin.Ctx, sp *mem.Space, left, right *mem.Array[obliv.Elem], sr
 			return e
 		})
 
-	matched := compactMarked(c, sp, w, srt)
+	matched := compactMarked(c, sp, ar, w, srt)
 	return w, matched
 }
 

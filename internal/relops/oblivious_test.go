@@ -57,8 +57,8 @@ func TestCompactObliviousTrace(t *testing.T) {
 	srt := bitonic.CacheAgnostic{}
 	run := func(recs []Record) *forkjoin.Metrics {
 		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
-			a := Load(sp, recs)
-			Compact(c, sp, a, func(r Record) bool { return r.Val%2 == 0 }, srt)
+			a := mustLoad(t, sp, recs)
+			Compact(c, sp, NewArena(), a, func(r Record) bool { return r.Val%2 == 0 }, srt)
 		})
 	}
 	assertSameTrace(t, "Compact", run, traceInputs(64))
@@ -68,8 +68,8 @@ func TestDistinctObliviousTrace(t *testing.T) {
 	srt := bitonic.CacheAgnostic{}
 	run := func(recs []Record) *forkjoin.Metrics {
 		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
-			a := Load(sp, recs)
-			Distinct(c, sp, a, srt)
+			a := mustLoad(t, sp, recs)
+			Distinct(c, sp, NewArena(), a, srt)
 		})
 	}
 	assertSameTrace(t, "Distinct", run, traceInputs(64))
@@ -80,8 +80,8 @@ func TestGroupByObliviousTrace(t *testing.T) {
 	for _, agg := range []AggKind{AggSum, AggCount, AggMin, AggMax} {
 		run := func(recs []Record) *forkjoin.Metrics {
 			return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
-				a := Load(sp, recs)
-				GroupBy(c, sp, a, agg, srt)
+				a := mustLoad(t, sp, recs)
+				GroupBy(c, sp, NewArena(), a, agg, srt)
 			})
 		}
 		assertSameTrace(t, "GroupBy", run, traceInputs(64))
@@ -99,8 +99,8 @@ func TestJoinObliviousTrace(t *testing.T) {
 	}
 	run := func(i int) *forkjoin.Metrics {
 		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
-			left, right := Load(sp, lefts[i]), Load(sp, inputs[i])
-			Join(c, sp, left, right, srt)
+			left, right := mustLoad(t, sp, lefts[i]), mustLoad(t, sp, inputs[i])
+			Join(c, sp, NewArena(), left, right, srt)
 		})
 	}
 	ref := run(0)
@@ -115,8 +115,8 @@ func TestTopKObliviousTrace(t *testing.T) {
 	srt := bitonic.CacheAgnostic{}
 	run := func(recs []Record) *forkjoin.Metrics {
 		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
-			a := Load(sp, recs)
-			TopK(c, sp, a, 5, srt)
+			a := mustLoad(t, sp, recs)
+			TopK(c, sp, NewArena(), a, 5, srt)
 		})
 	}
 	assertSameTrace(t, "TopK", run, traceInputs(64))
@@ -128,8 +128,8 @@ func TestTraceDependsOnShape(t *testing.T) {
 	srt := bitonic.CacheAgnostic{}
 	run := func(n int) *forkjoin.Metrics {
 		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
-			a := Load(sp, traceInputs(n)[2])
-			GroupBy(c, sp, a, AggSum, srt)
+			a := mustLoad(t, sp, traceInputs(n)[2])
+			GroupBy(c, sp, NewArena(), a, AggSum, srt)
 		})
 	}
 	if run(32).Trace.Equal(run(64).Trace) {

@@ -27,9 +27,19 @@
 // visible in the access pattern. Survivor counts are computed from raw
 // memory outside the adversary's view (harness diagnostics, same
 // convention as obliv.BinPlace's overflow count).
+//
+// Two execution surfaces share these passes: the stand-alone operators
+// (Compact, Distinct, GroupBy, Join, TopK) and the fused executor
+// (Execute, engine.go) that runs the pass sequence produced by the
+// internal/plan sort-fusion planner. Both sort through the key-schedule
+// fast path (obliv.ScheduledSorter) when the sorter supports it, and both
+// draw their scratch from an Arena when one is supplied.
 package relops
 
 import (
+	"errors"
+	"fmt"
+
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
@@ -46,20 +56,40 @@ const (
 	KeyLimit = uint64(1) << 40
 )
 
+// Boundary errors: out-of-range inputs would silently corrupt the packed
+// (key, position) composite sort keys, so Load rejects them up front.
+var (
+	// ErrKeyTooLarge is returned for a record key >= KeyLimit.
+	ErrKeyTooLarge = errors.New("relops: record key exceeds KeyLimit (2^40-1)")
+	// ErrTooManyRows is returned for a relation of more than MaxRows
+	// records.
+	ErrTooManyRows = errors.New("relops: relation exceeds MaxRows (2^20)")
+)
+
 // Record is one relational (key, value) record.
 type Record struct {
 	Key, Val uint64
 }
 
-// Load places recs into a fresh power-of-two element array padded with
-// fillers, recording each record's original position in Aux. The copy is a
-// harness operation (input loading) and is not instrumented.
-func Load(sp *mem.Space, recs []Record) *mem.Array[obliv.Elem] {
+// Load validates recs against the packing bounds (keys < KeyLimit, at most
+// MaxRows records — violations return ErrKeyTooLarge / ErrTooManyRows) and
+// places them into a fresh power-of-two element array padded with fillers,
+// recording each record's original position in Aux. The copy is a harness
+// operation (input loading) and is not instrumented.
+func Load(sp *mem.Space, recs []Record) (*mem.Array[obliv.Elem], error) {
+	if len(recs) > MaxRows {
+		return nil, fmt.Errorf("%w: %d records", ErrTooManyRows, len(recs))
+	}
+	for i, r := range recs {
+		if r.Key >= KeyLimit {
+			return nil, fmt.Errorf("%w: record %d key %d", ErrKeyTooLarge, i, r.Key)
+		}
+	}
 	a := mem.Alloc[obliv.Elem](sp, obliv.NextPow2(len(recs)))
 	for i, r := range recs {
 		a.Data()[i] = obliv.Elem{Key: r.Key, Val: r.Val, Aux: uint64(i), Kind: obliv.Real}
 	}
-	return a
+	return a, nil
 }
 
 // Unload extracts the real records of a in array order. Like Load it is a
@@ -104,15 +134,56 @@ func groupKey(e obliv.Elem) uint64 {
 	return e.Key
 }
 
+// posKey orders real elements by original position with fillers last — the
+// compaction key that restores the operators' public output order.
+func posKey(e obliv.Elem) uint64 {
+	if e.Kind != obliv.Real {
+		return obliv.InfKey
+	}
+	return e.Aux
+}
+
+// descValKey orders real elements by descending value with fillers last
+// (TopK's sort key; a record with Val == 0 shares obliv.InfKey with the
+// fillers, which every pass here tolerates).
+func descValKey(e obliv.Elem) uint64 {
+	if e.Kind != obliv.Real {
+		return obliv.InfKey
+	}
+	return ^e.Val
+}
+
+// sortBy sorts all of a ascending by key. When srt supports the
+// key-schedule fast path and an arena is supplied, the key is materialized
+// once into an arena-backed word array (one fixed linear pass) and the
+// network compares cached words; otherwise it falls back to the
+// closure-keyed Sorter.Sort, which recomputes key twice per comparator (the
+// pre-keysched behavior, kept as the nil-arena baseline). Either way the
+// comparator schedule — and hence the trace shape — depends only on a's
+// length.
+func sortBy(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], key func(obliv.Elem) uint64, srt obliv.Sorter) {
+	n := a.Len()
+	if n <= 1 {
+		return
+	}
+	if ss, ok := srt.(obliv.ScheduledSorter); ok && ar != nil {
+		ks := ar.Keys(sp, n)
+		obliv.BuildKeySchedule(c, a, ks, 0, n, key)
+		ss.SortScheduled(c, a, ks, ar.ElemScratch(sp, n), ar.KeyScratch(sp, n), 0, n)
+		return
+	}
+	srt.Sort(c, sp, a, 0, n, key)
+}
+
 // markBoundaries sets Mark=1 on every real element whose predecessor
 // belongs to a different Key group (the group heads of a key-sorted array)
 // and Mark=0 elsewhere. The neighbor reads form a fixed access pattern.
 // Like obliv.PropagateFirst, the boundary scan writes to a scratch array
 // so no leaf reads a position another leaf writes (a read-and-write pass
 // over the same positions would race under the parallel executor).
-func markBoundaries(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem]) {
+func markBoundaries(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem]) {
 	n := a.Len()
-	head := mem.Alloc[uint8](sp, n)
+	head := ar.Marks(sp, n)
 	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
@@ -142,16 +213,16 @@ func markBoundaries(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem]) {
 // to the front ordered by original position (Aux), everything else becomes
 // a filler, and all marks are cleared. Returns the survivor count (raw
 // read, outside the adversary's view). This is the oblivious tight
-// compaction at the heart of Filter/Distinct/GroupBy/Join: one
+// compaction at the heart of the stand-alone operators: one
 // data-independent sort plus one elementwise pass.
-func compactMarked(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) int {
+func compactMarked(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter) int {
 	key := func(e obliv.Elem) uint64 {
 		if e.Kind != obliv.Real || e.Mark == 0 {
 			return obliv.InfKey
 		}
 		return e.Aux
 	}
-	srt.Sort(c, sp, a, 0, a.Len(), key)
+	sortBy(c, sp, ar, a, key, srt)
 	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)

@@ -1,6 +1,7 @@
 package relops
 
 import (
+	"errors"
 	"sort"
 	"testing"
 
@@ -10,6 +11,18 @@ import (
 	"oblivmc/internal/obliv"
 	"oblivmc/internal/prng"
 )
+
+// mustLoad is Load for known-in-range test data; the error path has its own
+// tests (TestLoadRejectsOutOfRange). It panics rather than t.Fatal-ing so it
+// is safe inside closures running on pool workers.
+func mustLoad(t *testing.T, sp *mem.Space, recs []Record) *mem.Array[obliv.Elem] {
+	t.Helper()
+	a, err := Load(sp, recs)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
 
 // testSorter picks a cheap exact sorter for tiny inputs and the real
 // cache-agnostic bitonic sorter otherwise, so the suite exercises both.
@@ -54,8 +67,8 @@ func TestCompactRandom(t *testing.T) {
 			}
 		}
 		sp := mem.NewSpace()
-		a := Load(sp, recs)
-		count := Compact(forkjoin.Serial(), sp, a, pred, testSorter(a.Len()))
+		a := mustLoad(t, sp, recs)
+		count := Compact(forkjoin.Serial(), sp, NewArena(), a, pred, testSorter(a.Len()))
 		if count != len(want) {
 			t.Fatalf("n=%d: Compact count = %d, want %d", n, count, len(want))
 		}
@@ -65,8 +78,8 @@ func TestCompactRandom(t *testing.T) {
 
 func TestCompactNoneSurvive(t *testing.T) {
 	sp := mem.NewSpace()
-	a := Load(sp, randRecords(prng.New(5), 16, 10, 10))
-	count := Compact(forkjoin.Serial(), sp, a, func(Record) bool { return false }, obliv.SelectionNetwork{})
+	a := mustLoad(t, sp, randRecords(prng.New(5), 16, 10, 10))
+	count := Compact(forkjoin.Serial(), sp, NewArena(), a, func(Record) bool { return false }, obliv.SelectionNetwork{})
 	if count != 0 || len(Unload(a)) != 0 {
 		t.Fatalf("expected empty result, got count=%d records=%v", count, Unload(a))
 	}
@@ -85,8 +98,8 @@ func TestDistinctRandom(t *testing.T) {
 			}
 		}
 		sp := mem.NewSpace()
-		a := Load(sp, recs)
-		count := Distinct(forkjoin.Serial(), sp, a, testSorter(a.Len()))
+		a := mustLoad(t, sp, recs)
+		count := Distinct(forkjoin.Serial(), sp, NewArena(), a, testSorter(a.Len()))
 		if count != len(want) {
 			t.Fatalf("n=%d: Distinct count = %d, want %d", n, count, len(want))
 		}
@@ -138,8 +151,8 @@ func TestGroupByRandom(t *testing.T) {
 			recs := randRecords(src, n, 10, 500)
 			want := refGroupBy(recs, agg)
 			sp := mem.NewSpace()
-			a := Load(sp, recs)
-			count := GroupBy(forkjoin.Serial(), sp, a, agg, testSorter(a.Len()))
+			a := mustLoad(t, sp, recs)
+			count := GroupBy(forkjoin.Serial(), sp, NewArena(), a, agg, testSorter(a.Len()))
 			if count != len(want) {
 				t.Fatalf("agg=%d n=%d: GroupBy count = %d, want %d", agg, n, count, len(want))
 			}
@@ -172,8 +185,8 @@ func TestJoinRandom(t *testing.T) {
 			}
 
 			sp := mem.NewSpace()
-			left, right := Load(sp, lrecs), Load(sp, rrecs)
-			out, count := Join(forkjoin.Serial(), sp, left, right, testSorter(obliv.NextPow2(left.Len()+right.Len())))
+			left, right := mustLoad(t, sp, lrecs), mustLoad(t, sp, rrecs)
+			out, count := Join(forkjoin.Serial(), sp, NewArena(), left, right, testSorter(obliv.NextPow2(left.Len()+right.Len())))
 			if count != len(want) {
 				t.Fatalf("nl=%d nr=%d: Join count = %d, want %d", nl, nr, count, len(want))
 			}
@@ -192,9 +205,9 @@ func TestJoinRandom(t *testing.T) {
 
 func TestJoinNoMatches(t *testing.T) {
 	sp := mem.NewSpace()
-	left := Load(sp, []Record{{Key: 1, Val: 10}, {Key: 2, Val: 20}})
-	right := Load(sp, []Record{{Key: 7, Val: 1}, {Key: 8, Val: 2}, {Key: 9, Val: 3}})
-	out, count := Join(forkjoin.Serial(), sp, left, right, obliv.SelectionNetwork{})
+	left := mustLoad(t, sp, []Record{{Key: 1, Val: 10}, {Key: 2, Val: 20}})
+	right := mustLoad(t, sp, []Record{{Key: 7, Val: 1}, {Key: 8, Val: 2}, {Key: 9, Val: 3}})
+	out, count := Join(forkjoin.Serial(), sp, NewArena(), left, right, obliv.SelectionNetwork{})
 	if count != 0 || len(UnloadJoined(out)) != 0 {
 		t.Fatalf("expected no matches, got count=%d %v", count, UnloadJoined(out))
 	}
@@ -221,8 +234,8 @@ func TestTopKRandom(t *testing.T) {
 			}
 
 			sp := mem.NewSpace()
-			a := Load(sp, recs)
-			count := TopK(forkjoin.Serial(), sp, a, k, testSorter(a.Len()))
+			a := mustLoad(t, sp, recs)
+			count := TopK(forkjoin.Serial(), sp, NewArena(), a, k, testSorter(a.Len()))
 			wantCount := k
 			if wantCount > n {
 				wantCount = n
@@ -253,8 +266,8 @@ func TestTopKTiesAndZeros(t *testing.T) {
 		sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
 
 		sp := mem.NewSpace()
-		a := Load(sp, recs)
-		count := TopK(forkjoin.Serial(), sp, a, k, obliv.SelectionNetwork{})
+		a := mustLoad(t, sp, recs)
+		count := TopK(forkjoin.Serial(), sp, NewArena(), a, k, obliv.SelectionNetwork{})
 		got := Unload(a)
 		wantCount := k
 		if wantCount > n {
@@ -274,6 +287,76 @@ func TestTopKTiesAndZeros(t *testing.T) {
 	}
 }
 
+// TestLoadRejectsOutOfRange pins the boundary contract: keys >= KeyLimit
+// and relations > MaxRows would silently corrupt the packed composite sort
+// keys, so Load must reject both with its typed errors.
+func TestLoadRejectsOutOfRange(t *testing.T) {
+	sp := mem.NewSpace()
+	if _, err := Load(sp, []Record{{Key: KeyLimit, Val: 1}}); !errors.Is(err, ErrKeyTooLarge) {
+		t.Fatalf("key = KeyLimit: err = %v, want ErrKeyTooLarge", err)
+	}
+	if a, err := Load(sp, []Record{{Key: KeyLimit - 1, Val: 1}}); err != nil || a == nil {
+		t.Fatalf("key = KeyLimit-1 rejected: %v", err)
+	}
+	big := make([]Record, MaxRows+1)
+	if _, err := Load(sp, big); !errors.Is(err, ErrTooManyRows) {
+		t.Fatalf("MaxRows+1 records: err = %v, want ErrTooManyRows", err)
+	}
+}
+
+// TestArenaReuseMatchesFreshScratch runs the same operator pipeline with a
+// shared arena and with fresh per-call scratch and asserts identical
+// results — scratch reuse must be invisible to the operator semantics.
+func TestArenaReuseMatchesFreshScratch(t *testing.T) {
+	src := prng.New(909)
+	recs := randRecords(src, 100, 12, 1000)
+	run := func(ar *Arena) ([]Record, []Record) {
+		sp := mem.NewSpace()
+		srt := bitonic.CacheAgnostic{}
+		a := mustLoad(t, sp, recs)
+		Distinct(forkjoin.Serial(), sp, ar, a, srt)
+		b := mustLoad(t, sp, recs)
+		GroupBy(forkjoin.Serial(), sp, ar, b, AggSum, srt)
+		return Unload(a), Unload(b)
+	}
+	d1, g1 := run(NewArena())
+	d2, g2 := run(nil)
+	checkRecords(t, d1, d2, "Distinct arena vs fresh")
+	checkRecords(t, g1, g2, "GroupBy arena vs fresh")
+}
+
+// TestArenaRebindsAcrossSpaces holds one arena across two independent
+// address spaces: cached arrays from the first space must not be handed
+// out in the second (their addresses would alias the second space's own
+// allocations), so the arena must transparently reallocate.
+func TestArenaRebindsAcrossSpaces(t *testing.T) {
+	ar := NewArena()
+	s1 := mem.NewSpace()
+	a1 := ar.ElemScratch(s1, 64)
+	s2 := mem.NewSpace()
+	a2 := ar.ElemScratch(s2, 64)
+	if &a1.Data()[0] == &a2.Data()[0] {
+		t.Fatal("arena handed out a cached array across address spaces")
+	}
+	a3 := ar.ElemScratch(s2, 64)
+	if &a2.Data()[0] != &a3.Data()[0] {
+		t.Fatal("arena failed to reuse its cache within one space")
+	}
+
+	// End to end: one arena across two spaces/runs yields the same rows.
+	src := prng.New(1001)
+	recs := randRecords(src, 80, 9, 500)
+	arr := NewArena()
+	var got [2][]Record
+	for round := 0; round < 2; round++ {
+		sp := mem.NewSpace()
+		a := mustLoad(t, sp, recs)
+		GroupBy(forkjoin.Serial(), sp, arr, a, AggSum, bitonic.CacheAgnostic{})
+		got[round] = Unload(a)
+	}
+	checkRecords(t, got[1], got[0], "arena across spaces")
+}
+
 // TestMarkBoundariesParallelRace stresses the boundary scan with many
 // forked leaves so the race detector can see any neighbor read racing a
 // write (markBoundaries writes marks via a scratch array for this reason).
@@ -283,8 +366,8 @@ func TestMarkBoundariesParallelRace(t *testing.T) {
 	forkjoin.RunParallel(8, func(c *forkjoin.Ctx) {
 		sp := mem.NewSpace()
 		srt := bitonic.CacheAgnostic{}
-		a := Load(sp, recs)
-		if got, want := Distinct(c, sp, a, srt), 64; got != want {
+		a := mustLoad(t, sp, recs)
+		if got, want := Distinct(c, sp, NewArena(), a, srt), 64; got != want {
 			t.Errorf("Distinct under parallel pool: %d keys, want %d", got, want)
 		}
 	})
@@ -299,20 +382,20 @@ func TestOperatorsParallel(t *testing.T) {
 		sp := mem.NewSpace()
 		srt := bitonic.CacheAgnostic{}
 
-		a := Load(sp, recs)
-		Compact(c, sp, a, func(r Record) bool { return r.Val%2 == 0 }, srt)
+		a := mustLoad(t, sp, recs)
+		Compact(c, sp, NewArena(), a, func(r Record) bool { return r.Val%2 == 0 }, srt)
 
-		b := Load(sp, recs)
-		Distinct(c, sp, b, srt)
+		b := mustLoad(t, sp, recs)
+		Distinct(c, sp, nil, b, srt)
 
-		g := Load(sp, recs)
-		GroupBy(c, sp, g, AggSum, srt)
+		g := mustLoad(t, sp, recs)
+		GroupBy(c, sp, NewArena(), g, AggSum, srt)
 
-		tk := Load(sp, recs)
-		TopK(c, sp, tk, 10, srt)
+		tk := mustLoad(t, sp, recs)
+		TopK(c, sp, NewArena(), tk, 10, srt)
 
-		left := Load(sp, []Record{{Key: 1, Val: 5}, {Key: 2, Val: 6}})
-		right := Load(sp, recs[:50])
-		Join(c, sp, left, right, srt)
+		left := mustLoad(t, sp, []Record{{Key: 1, Val: 5}, {Key: 2, Val: 6}})
+		right := mustLoad(t, sp, recs[:50])
+		Join(c, sp, NewArena(), left, right, srt)
 	})
 }

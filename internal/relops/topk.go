@@ -19,18 +19,19 @@ import (
 // than by position: within the tied tail a filler may precede a real
 // record, which every operator in this package tolerates (fillers carry
 // key obliv.InfKey in all sort phases).
-func TopK(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], k int, srt obliv.Sorter) int {
-	n := a.Len()
-	desc := func(e obliv.Elem) uint64 {
-		if e.Kind != obliv.Real {
-			return obliv.InfKey
-		}
-		return ^e.Val
-	}
-	srt.Sort(c, sp, a, 0, n, desc)
+// ar supplies reusable scratch (nil = allocate fresh).
+func TopK(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], k int, srt obliv.Sorter) int {
+	sortBy(c, sp, ar, a, descValKey, srt)
+	rankCut(c, sp, ar, a, k)
+	return countReal(a)
+}
 
-	// Oblivious inclusive prefix count of real records.
-	rank := mem.Alloc[uint64](sp, n)
+// rankCut keeps the first k real records of a (by oblivious inclusive
+// prefix rank) and drops everything else to fillers — TopK minus its sort,
+// reused by the fused executor on an already value-sorted relation.
+func rankCut(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], k int) {
+	n := a.Len()
+	rank := ar.Ranks(sp, n)
 	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
@@ -55,5 +56,4 @@ func TopK(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], k int, srt o
 			a.Set(c, i, e)
 		}
 	})
-	return countReal(a)
 }

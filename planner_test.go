@@ -1,0 +1,306 @@
+package oblivmc
+
+// Planner-level tests: the sort-fusion planner must (a) produce the same
+// rows as the staged reference for every query shape, (b) run strictly
+// fewer sorting-network passes than the staged execution on multi-stage
+// pipelines, and (c) keep the trace a function of (row count, query shape)
+// only — fusing and reordering passes must not let record contents leak.
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+	"oblivmc/internal/prng"
+	"oblivmc/internal/relops"
+	"oblivmc/internal/trace"
+)
+
+// countingSorter wraps a Sorter and counts full sorting passes. It
+// deliberately does not implement obliv.ScheduledSorter, so both the
+// planned and the staged executors route every sort through Sort.
+type countingSorter struct {
+	inner obliv.Sorter
+	n     *int
+}
+
+func (s countingSorter) Name() string { return "counting:" + s.inner.Name() }
+
+func (s countingSorter) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo, n int, key func(obliv.Elem) uint64) {
+	*s.n++
+	s.inner.Sort(c, sp, a, lo, n, key)
+}
+
+// queryShapes enumerates every stage combination, with both filter
+// declarations where a filter is present.
+func queryShapes() []Query {
+	var out []Query
+	for _, filter := range []int{0, 1, 2} { // none, value-filter, key-only filter
+		for _, distinct := range []bool{false, true} {
+			for _, agg := range []Agg{AggNone, AggSum, AggCount, AggMin} {
+				for _, k := range []int{0, 3} {
+					q := Query{Distinct: distinct, GroupBy: agg, TopK: k}
+					switch filter {
+					case 1:
+						q.Filter = func(r Row) bool { return r.Val%3 != 0 }
+					case 2:
+						q.Filter = func(r Row) bool { return r.Key%2 == 0 }
+						q.FilterKeyOnly = true
+					}
+					out = append(out, q)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func queryRows(n int) []Row {
+	src := prng.New(4242)
+	rows := make([]Row, n)
+	for i := range rows {
+		// Distinct values (and practically distinct group aggregates) keep
+		// the TopK reference exact.
+		rows[i] = Row{Key: src.Uint64n(11), Val: uint64(i)*977 + src.Uint64n(900)}
+	}
+	return rows
+}
+
+// checkQueryResult compares got against the reference semantics of q over
+// rows. For shapes without TopK the row sequence must match exactly. With
+// TopK, value ties make the k-th row's identity implementation-defined
+// ("broken deterministically but arbitrarily"), so the check accepts any
+// valid top-k: correct length, descending values, the top-k value multiset
+// of the pre-TopK relation, and every row present in that relation.
+func checkQueryResult(t *testing.T, label string, got, rows []Row, q Query) {
+	t.Helper()
+	if q.TopK == 0 {
+		want := refQuery(rows, q)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d rows, want %d\ngot  %v\nwant %v", label, len(got), len(want), got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("%s: row %d = %v, want %v", label, j, got[j], want[j])
+			}
+		}
+		return
+	}
+	pre := q
+	pre.TopK = 0
+	preRows := refQuery(rows, pre)
+	preCount := map[Row]int{}
+	vals := make([]uint64, 0, len(preRows))
+	for _, r := range preRows {
+		preCount[r]++
+		vals = append(vals, r.Val)
+	}
+	for i := 1; i < len(vals); i++ { // insertion-sort descending
+		for j := i; j > 0 && vals[j] > vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	wantLen := q.TopK
+	if wantLen > len(preRows) {
+		wantLen = len(preRows)
+	}
+	if len(got) != wantLen {
+		t.Fatalf("%s: %d rows, want %d (%v)", label, len(got), wantLen, got)
+	}
+	for j, r := range got {
+		if r.Val != vals[j] {
+			t.Fatalf("%s: row %d val %d, want %d (top vals %v, got %v)", label, j, r.Val, vals[j], vals[:wantLen], got)
+		}
+		if preCount[r] == 0 {
+			t.Fatalf("%s: row %d = %v is not a pre-TopK result row", label, j, r)
+		}
+		preCount[r]--
+	}
+}
+
+// TestPlannedMatchesReferenceAllShapes runs every query shape through the
+// fused planner path and the staged baseline and compares both against the
+// plain-Go reference semantics.
+func TestPlannedMatchesReferenceAllShapes(t *testing.T) {
+	rows := queryRows(96)
+	tab := mustTable(t, rows)
+	for i, q := range queryShapes() {
+		label := fmt.Sprintf("shape %d (filter=%v keyonly=%v distinct=%v agg=%d topk=%d)",
+			i, q.Filter != nil, q.FilterKeyOnly, q.Distinct, q.GroupBy, q.TopK)
+
+		fused, _, err := RunQuery(Config{Mode: ModeSerial}, tab, q)
+		if err != nil {
+			t.Fatalf("%s: fused: %v", label, err)
+		}
+		staged := q
+		staged.NoOptimize = true
+		base, _, err := RunQuery(Config{Mode: ModeSerial}, tab, staged)
+		if err != nil {
+			t.Fatalf("%s: staged: %v", label, err)
+		}
+		checkQueryResult(t, label+" fused", fused.Rows(), rows, q)
+		checkQueryResult(t, label+" staged", base.Rows(), rows, q)
+	}
+}
+
+// TestFusedRunsFewerSorts is the sort-pass counter test: the fused
+// Filter→Distinct→GroupBy→TopK pipeline must run strictly fewer sorts than
+// the staged seed path — concretely 2 against 6 — and every multi-stage
+// shape must save at least one sort.
+func TestFusedRunsFewerSorts(t *testing.T) {
+	rows := queryRows(64)
+	tab := mustTable(t, rows)
+
+	sortsOf := func(q Query, staged bool) int {
+		n := 0
+		srt := countingSorter{inner: obliv.SelectionNetwork{}, n: &n}
+		kind, err := queryAgg(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if staged {
+			_, _, err = runQueryStaged(Config{Mode: ModeSerial}, tab, q, kind, srt)
+		} else {
+			_, _, err = runQueryPlanned(Config{Mode: ModeSerial}, tab, q, kind, srt)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+
+	full := Query{
+		Filter:   func(r Row) bool { return r.Val%2 == 0 },
+		Distinct: true,
+		GroupBy:  AggSum,
+		TopK:     5,
+	}
+	if fused, staged := sortsOf(full, false), sortsOf(full, true); fused != 2 || staged != 6 {
+		t.Fatalf("full pipeline: fused %d sorts, staged %d — want 2 and 6", fused, staged)
+	}
+
+	for i, q := range queryShapes() {
+		stages := 0
+		for _, b := range []bool{q.Filter != nil, q.Distinct, q.GroupBy != AggNone, q.TopK > 0} {
+			if b {
+				stages++
+			}
+		}
+		if stages < 2 {
+			continue
+		}
+		if fused, staged := sortsOf(q, false), sortsOf(q, true); fused >= staged {
+			t.Errorf("shape %d: fused %d sorts >= staged %d", i, fused, staged)
+		}
+	}
+}
+
+// TestPlannedQueryObliviousTrace asserts trace-fingerprint equality for
+// fused/reordered plans across same-shape, different-content tables: the
+// planner's rewrites must leave the adversary's view a function of (row
+// count, query shape) only.
+func TestPlannedQueryObliviousTrace(t *testing.T) {
+	shapes := []Query{
+		{Filter: func(r Row) bool { return r.Val > 100 }, Distinct: true, GroupBy: AggSum, TopK: 4},
+		{Filter: func(r Row) bool { return r.Key%2 == 0 }, FilterKeyOnly: true, Distinct: true},
+		{Filter: func(r Row) bool { return r.Key < 5 }, FilterKeyOnly: true, GroupBy: AggMax},
+		{Distinct: true, GroupBy: AggCount},
+		{Filter: func(r Row) bool { return r.Val%2 == 1 }, TopK: 7},
+		{GroupBy: AggMin},
+	}
+	const n = 80
+	src := prng.New(555)
+	contents := [][]Row{make([]Row, n), make([]Row, n), make([]Row, n)}
+	for i := 0; i < n; i++ {
+		contents[0][i] = Row{Key: 3, Val: 0}                                         // one group, constant
+		contents[1][i] = Row{Key: uint64(i), Val: uint64(1<<40) - uint64(i)}         // all distinct
+		contents[2][i] = Row{Key: src.Uint64n(6), Val: src.Uint64n(uint64(1 << 33))} // random dups
+	}
+	for si, q := range shapes {
+		traceOf := func(rows []Row) trace.Fingerprint {
+			tab := mustTable(t, rows)
+			_, rep, err := RunQuery(Config{Mode: ModeMetered, Trace: true, Seed: 9}, tab, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep.TraceFingerprint
+		}
+		ref := traceOf(contents[0])
+		for ci := 1; ci < len(contents); ci++ {
+			if !traceOf(contents[ci]).Equal(ref) {
+				t.Fatalf("shape %d: planned trace differs between contents 0 and %d — record contents leak", si, ci)
+			}
+		}
+	}
+}
+
+// TestPlannedTraceDependsOnShape is the sanity inverse: different query
+// shapes (and different row counts) must change the view.
+func TestPlannedTraceDependsOnShape(t *testing.T) {
+	rows := queryRows(64)
+	traceOf := func(rows []Row, q Query) trace.Fingerprint {
+		tab := mustTable(t, rows)
+		_, rep, err := RunQuery(Config{Mode: ModeMetered, Trace: true}, tab, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TraceFingerprint
+	}
+	withTopK := traceOf(rows, Query{GroupBy: AggSum, TopK: 3})
+	withoutTopK := traceOf(rows, Query{GroupBy: AggSum})
+	if withTopK.Equal(withoutTopK) {
+		t.Fatal("different query shapes should yield different traces")
+	}
+	small := traceOf(queryRows(32), Query{GroupBy: AggSum, TopK: 3})
+	if small.Equal(withTopK) {
+		t.Fatal("different row counts should yield different traces")
+	}
+}
+
+// TestExplain pins the plan rendering the CLI exposes.
+func TestExplain(t *testing.T) {
+	got, err := Explain(Query{
+		Filter:   func(r Row) bool { return r.Val > 0 },
+		Distinct: true,
+		GroupBy:  AggSum,
+		TopK:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "filter-mark → sort(key,pos) → dedup+aggregate → sort(val↓) → topk [2 sorts, staged 6]"
+	if got != want {
+		t.Fatalf("Explain = %q, want %q", got, want)
+	}
+
+	// A NoOptimize query explains what actually runs: the staged sequence.
+	got, err = Explain(Query{Distinct: true, GroupBy: AggSum, TopK: 2, NoOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "staged: distinct → group-by → top-k [5 sorts]"; got != want {
+		t.Fatalf("Explain(NoOptimize) = %q, want %q", got, want)
+	}
+
+	// Explain validates like RunQuery.
+	if _, err := Explain(Query{TopK: -1}); err == nil {
+		t.Fatal("Explain accepted negative k")
+	}
+}
+
+// TestTableBoundaryErrors pins the typed boundary errors at both layers.
+func TestTableBoundaryErrors(t *testing.T) {
+	if _, err := NewTable([]Row{{Key: 1 << 40, Val: 1}}); !errors.Is(err, ErrKeyTooLarge) {
+		t.Fatalf("NewTable key overflow: err = %v, want ErrKeyTooLarge", err)
+	}
+	if _, err := NewTable(make([]Row, relops.MaxRows+1)); !errors.Is(err, ErrTooManyRows) {
+		t.Fatalf("NewTable row overflow: err = %v, want ErrTooManyRows", err)
+	}
+	// The public errors wrap the relops ones, so either layer matches.
+	if !errors.Is(ErrKeyTooLarge, relops.ErrKeyTooLarge) || !errors.Is(ErrTooManyRows, relops.ErrTooManyRows) {
+		t.Fatal("public boundary errors must wrap the relops typed errors")
+	}
+}

@@ -7,7 +7,18 @@ import (
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
+	"oblivmc/internal/plan"
 	"oblivmc/internal/relops"
+)
+
+// Typed boundary errors of the Table API. They wrap the corresponding
+// internal/relops errors, so errors.Is matches across both layers.
+var (
+	// ErrKeyTooLarge is returned for a row key >= 2^40 (composite sort
+	// keys must stay below 2^62; see internal/relops).
+	ErrKeyTooLarge = fmt.Errorf("oblivmc: row key exceeds 2^40-1: %w", relops.ErrKeyTooLarge)
+	// ErrTooManyRows is returned for a table of more than 2^20 rows.
+	ErrTooManyRows = fmt.Errorf("oblivmc: table exceeds 2^20 rows: %w", relops.ErrTooManyRows)
 )
 
 // Row is one (key, value) record of a Table.
@@ -24,17 +35,18 @@ type Table struct {
 	rows []Row
 }
 
-// NewTable validates rows and wraps them in a Table.
+// NewTable validates rows and wraps them in a Table. Violations of the
+// bounds return ErrKeyTooLarge / ErrTooManyRows (matchable with errors.Is).
 func NewTable(rows []Row) (Table, error) {
 	if len(rows) == 0 {
 		return Table{}, ErrEmptyInput
 	}
 	if len(rows) > relops.MaxRows {
-		return Table{}, fmt.Errorf("oblivmc: table has %d rows, limit %d", len(rows), relops.MaxRows)
+		return Table{}, fmt.Errorf("%w (%d rows)", ErrTooManyRows, len(rows))
 	}
 	for i, r := range rows {
 		if r.Key >= relops.KeyLimit {
-			return Table{}, fmt.Errorf("oblivmc: row %d key %d exceeds 2^40-1", i, r.Key)
+			return Table{}, fmt.Errorf("%w (row %d key %d)", ErrKeyTooLarge, i, r.Key)
 		}
 	}
 	return Table{rows: rows}, nil
@@ -75,15 +87,25 @@ func (a Agg) kind() (relops.AggKind, error) {
 }
 
 // runTableOp moves a table into the oblivious element representation and
-// runs body on it under cfg's executor, returning the surviving rows.
-func runTableOp(cfg Config, t Table, body func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter)) (Table, *Report) {
+// runs body on it under cfg's executor with a per-run scratch arena,
+// returning the surviving rows.
+func runTableOp(cfg Config, t Table, body func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter)) (Table, *Report, error) {
 	var out []Row
+	var loadErr error
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
-		a := relops.Load(sp, recordsOf(t.rows))
-		body(c, sp, a, bitonic.CacheAgnostic{})
+		a, err := relops.Load(sp, recordsOf(t.rows))
+		if err != nil {
+			loadErr = err
+			return
+		}
+		body(c, sp, relops.NewArena(), a, bitonic.CacheAgnostic{})
 		out = rowsOf(a)
 	})
-	return Table{rows: out}, rep
+	if loadErr != nil {
+		// Unreachable via NewTable, but Load re-checks its own bounds.
+		return Table{}, nil, loadErr
+	}
+	return Table{rows: out}, rep, nil
 }
 
 // rowsOf converts surviving records back to rows (harness operation,
@@ -92,7 +114,7 @@ func rowsOf(a *mem.Array[obliv.Elem]) []Row {
 	recs := relops.Unload(a)
 	rows := make([]Row, len(recs))
 	for i, r := range recs {
-		rows[i] = Row{Key: r.Key, Val: r.Val}
+		rows[i] = Row(r)
 	}
 	return rows
 }
@@ -106,10 +128,9 @@ func Filter(cfg Config, t Table, pred func(Row) bool) (Table, *Report, error) {
 	if t.Len() == 0 {
 		return Table{}, nil, ErrEmptyInput
 	}
-	out, rep := runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
-		relops.Compact(c, sp, a, func(r relops.Record) bool { return pred(Row(r)) }, srt)
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
+		relops.Compact(c, sp, ar, a, func(r relops.Record) bool { return pred(Row(r)) }, srt)
 	})
-	return out, rep, nil
 }
 
 // Distinct obliviously deduplicates the table by key: the earliest row of
@@ -118,10 +139,9 @@ func Distinct(cfg Config, t Table) (Table, *Report, error) {
 	if t.Len() == 0 {
 		return Table{}, nil, ErrEmptyInput
 	}
-	out, rep := runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
-		relops.Distinct(c, sp, a, srt)
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
+		relops.Distinct(c, sp, ar, a, srt)
 	})
-	return out, rep, nil
 }
 
 // GroupBy obliviously aggregates the table by key: the result holds one
@@ -137,10 +157,9 @@ func GroupBy(cfg Config, t Table, agg Agg) (Table, *Report, error) {
 	if err != nil {
 		return Table{}, nil, err
 	}
-	out, rep := runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
-		relops.GroupBy(c, sp, a, kind, srt)
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
+		relops.GroupBy(c, sp, ar, a, kind, srt)
 	})
-	return out, rep, nil
 }
 
 // TopK obliviously keeps the k rows with the largest values, in descending
@@ -153,10 +172,9 @@ func TopK(cfg Config, t Table, k int) (Table, *Report, error) {
 	if k < 0 {
 		return Table{}, nil, fmt.Errorf("oblivmc: negative k %d", k)
 	}
-	out, rep := runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
-		relops.TopK(c, sp, a, k, srt)
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
+		relops.TopK(c, sp, ar, a, k, srt)
 	})
-	return out, rep, nil
 }
 
 // JoinedRow is one output row of Join: a right row paired with the value
@@ -182,14 +200,26 @@ func Join(cfg Config, left, right Table) ([]JoinedRow, *Report, error) {
 		seen[r.Key] = true
 	}
 	var out []JoinedRow
+	var loadErr error
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
-		l := relops.Load(sp, recordsOf(left.rows))
-		r := relops.Load(sp, recordsOf(right.rows))
-		j, _ := relops.Join(c, sp, l, r, bitonic.CacheAgnostic{})
+		l, err := relops.Load(sp, recordsOf(left.rows))
+		if err != nil {
+			loadErr = err
+			return
+		}
+		r, err := relops.Load(sp, recordsOf(right.rows))
+		if err != nil {
+			loadErr = err
+			return
+		}
+		j, _ := relops.Join(c, sp, relops.NewArena(), l, r, bitonic.CacheAgnostic{})
 		for _, rec := range relops.UnloadJoined(j) {
 			out = append(out, JoinedRow(rec))
 		}
 	})
+	if loadErr != nil {
+		return nil, nil, loadErr
+	}
 	return out, rep, nil
 }
 
@@ -201,24 +231,106 @@ func recordsOf(rows []Row) []relops.Record {
 	return recs
 }
 
-// Query is a declarative oblivious analytics pipeline over one table,
-// executed stage by stage on a single fixed-size oblivious array:
+// Query is a declarative oblivious analytics pipeline over one table:
 //
 //	Filter (optional) → Distinct (optional) → GroupBy (optional) → TopK (optional)
 //
-// The query structure (which stages run, the aggregation, k) is public;
-// the table contents, including how many rows survive each stage, are not:
-// every stage processes the full padded array, so the trace depends only
-// on the table's row count and the query shape.
+// The query structure (which stages run, the aggregation, k, the declared
+// key-only-ness of the filter) is public; the table contents, including how
+// many rows survive each stage, are not: every stage processes the full
+// padded array, so the trace depends only on the table's row count and the
+// query shape.
+//
+// RunQuery compiles the stages through the internal/plan sort-fusion
+// planner before executing: stages that only drop rows defer their
+// compaction to the next sort, adjacent stages needing the same key order
+// share one sorting pass, and a filter declared FilterKeyOnly is pushed
+// below Distinct/GroupBy into their existing passes. A multi-stage query
+// therefore runs strictly fewer O(n log² n) sorting-network passes than
+// calling the stand-alone operators in sequence (the full four-stage
+// pipeline: 2 sorts instead of 6) while producing the same rows.
 type Query struct {
 	// Filter keeps the rows satisfying the predicate (nil = keep all).
 	Filter func(Row) bool
+	// FilterKeyOnly declares that Filter depends only on Row.Key. This is
+	// public query shape: it allows the planner to push the filter below
+	// Distinct/GroupBy (a key-only predicate drops whole key groups, so
+	// dedup heads and group aggregates are unchanged by the reorder). A
+	// predicate that reads Row.Val despite this declaration yields
+	// unspecified results — though still an oblivious trace.
+	FilterKeyOnly bool
 	// Distinct deduplicates by key before aggregation.
 	Distinct bool
 	// GroupBy aggregates values per key (AggNone = no aggregation).
 	GroupBy Agg
 	// TopK keeps only the k largest-value rows (0 = keep all).
 	TopK int
+	// NoOptimize executes the stages one stand-alone operator at a time,
+	// bypassing the planner — the pre-fusion baseline kept for A/B
+	// benchmarking and differential testing.
+	NoOptimize bool
+}
+
+// shape extracts the public planner shape of q.
+func (q Query) shape(kind relops.AggKind) plan.Shape {
+	return plan.Shape{
+		Filter:        q.Filter != nil,
+		FilterKeyOnly: q.FilterKeyOnly,
+		Distinct:      q.Distinct,
+		GroupBy:       q.GroupBy != AggNone,
+		Agg:           uint8(kind),
+		TopK:          q.TopK,
+	}
+}
+
+// Explain returns the pass sequence q will execute, e.g.
+// "filter-mark → sort(key,pos) → dedup+aggregate → sort(val↓) → topk
+// [2 sorts, staged 6]" — or, for a NoOptimize query, the staged operator
+// sequence. It validates q exactly like RunQuery and depends only on the
+// query shape.
+func Explain(q Query) (string, error) {
+	kind, err := queryAgg(q)
+	if err != nil {
+		return "", err
+	}
+	pl := plan.Build(q.shape(kind))
+	if !q.NoOptimize {
+		return pl.String(), nil
+	}
+	s := ""
+	for _, st := range []struct {
+		on   bool
+		name string
+	}{
+		{q.Filter != nil, "filter"},
+		{q.Distinct, "distinct"},
+		{q.GroupBy != AggNone, "group-by"},
+		{q.TopK > 0, "top-k"},
+	} {
+		if !st.on {
+			continue
+		}
+		if s != "" {
+			s += " → "
+		}
+		s += st.name
+	}
+	if s == "" {
+		s = "identity"
+	}
+	return fmt.Sprintf("staged: %s [%d sorts]", s, pl.StagedSortPasses), nil
+}
+
+// queryAgg validates q's shape parameters (shared by RunQuery and Explain)
+// and resolves the aggregation kind.
+func queryAgg(q Query) (relops.AggKind, error) {
+	if q.TopK < 0 {
+		return 0, fmt.Errorf("oblivmc: negative k %d", q.TopK)
+	}
+	if q.GroupBy == AggNone {
+		return 0, nil
+	}
+	return q.GroupBy.kind()
 }
 
 // RunQuery executes q over t under one executor run, so a metered Config
@@ -227,29 +339,44 @@ func RunQuery(cfg Config, t Table, q Query) (Table, *Report, error) {
 	if t.Len() == 0 {
 		return Table{}, nil, ErrEmptyInput
 	}
-	var kind relops.AggKind
-	if q.GroupBy != AggNone {
-		var err error
-		if kind, err = q.GroupBy.kind(); err != nil {
-			return Table{}, nil, err
-		}
+	kind, err := queryAgg(q)
+	if err != nil {
+		return Table{}, nil, err
 	}
-	if q.TopK < 0 {
-		return Table{}, nil, fmt.Errorf("oblivmc: negative k %d", q.TopK)
+	if q.NoOptimize {
+		return runQueryStaged(cfg, t, q, kind, bitonic.CacheAgnostic{})
 	}
-	out, rep := runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
+	return runQueryPlanned(cfg, t, q, kind, bitonic.CacheAgnostic{})
+}
+
+// runQueryPlanned compiles q's shape and executes the fused pass sequence.
+func runQueryPlanned(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv.Sorter) (Table, *Report, error) {
+	pl := plan.Build(q.shape(kind))
+	var pred func(relops.Record) bool
+	if q.Filter != nil {
+		pred = func(r relops.Record) bool { return q.Filter(Row(r)) }
+	}
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, a *mem.Array[obliv.Elem], _ obliv.Sorter) {
+		relops.Execute(c, sp, ar, a, pl, pred, srt)
+	})
+}
+
+// runQueryStaged is the pre-planner execution: each stage is a stand-alone
+// operator paying its own sorts, with per-call scratch and closure-keyed
+// comparators — the seed behavior, kept as the benchmarking baseline.
+func runQueryStaged(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv.Sorter) (Table, *Report, error) {
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, _ *relops.Arena, a *mem.Array[obliv.Elem], _ obliv.Sorter) {
 		if q.Filter != nil {
-			relops.Compact(c, sp, a, func(r relops.Record) bool { return q.Filter(Row(r)) }, srt)
+			relops.Compact(c, sp, nil, a, func(r relops.Record) bool { return q.Filter(Row(r)) }, srt)
 		}
 		if q.Distinct {
-			relops.Distinct(c, sp, a, srt)
+			relops.Distinct(c, sp, nil, a, srt)
 		}
 		if q.GroupBy != AggNone {
-			relops.GroupBy(c, sp, a, kind, srt)
+			relops.GroupBy(c, sp, nil, a, kind, srt)
 		}
 		if q.TopK > 0 {
-			relops.TopK(c, sp, a, q.TopK, srt)
+			relops.TopK(c, sp, nil, a, q.TopK, srt)
 		}
 	})
-	return out, rep, nil
 }
