@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench clean
+.PHONY: all build test vet race bench benchdiff clean
 
 all: vet build test
 
@@ -17,12 +17,18 @@ vet:
 	$(GO) vet ./...
 
 # bench regenerates the relational-layer trend artifact: elems/s for
-# Compact/GroupBy/Join and the end-to-end query (staged vs planner-fused)
-# at n ∈ {2^12, 2^16, 2^20}. CI uploads BENCH_2.json on every push so the
-# perf trajectory is tracked per commit. BENCH_ARGS can bound the sweep,
-# e.g. make bench BENCH_ARGS="-max 65536".
+# Compact/GroupBy (narrow and wide)/Join and the end-to-end query (staged
+# vs planner-fused) at n ∈ {2^12, 2^16, 2^20}. CI uploads BENCH_3.json on
+# every push so the perf trajectory is tracked per commit. BENCH_ARGS can
+# bound the sweep, e.g. make bench BENCH_ARGS="-max 65536".
 bench:
-	$(GO) run ./cmd/relbench -out BENCH_2.json $(BENCH_ARGS)
+	$(GO) run ./cmd/relbench -out BENCH_3.json $(BENCH_ARGS)
+
+# benchdiff compares a fresh artifact against the committed baseline and
+# flags elems/s regressions beyond the noise threshold (warn-only in CI;
+# drop -warn locally to gate).
+benchdiff:
+	$(GO) run ./cmd/benchdiff -base BENCH_2.json -new BENCH_3.json -warn
 
 clean:
 	$(GO) clean ./...

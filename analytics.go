@@ -15,8 +15,11 @@ import (
 // of the paper's motivating private-analytics workload (§1). The access
 // pattern depends only on the number of records: neither the group
 // structure nor the values leak. Group keys may repeat (they need not be
-// distinct); keys must be < 2^40 and record count at most 2^20 (the
-// relational-layer bounds, see internal/relops).
+// distinct); keys may span the full uint64 range below relops.KeyLimit and
+// the record count is bounded by relops.MaxRows — the schedule-derived
+// relational-layer bounds (the sorts run against an obliv.KeySchedule with
+// the in-register TiePos position tie-break rather than a packed
+// composite, so no bit-packing headroom constrains the key range).
 func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error) {
 	n := len(groups)
 	if n == 0 {
@@ -25,7 +28,7 @@ func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error)
 	if len(values) != n {
 		return nil, nil, fmt.Errorf("oblivmc: %d groups but %d values", n, len(values))
 	}
-	if n > relops.MaxRows {
+	if int64(n) > relops.MaxRows {
 		return nil, nil, fmt.Errorf("%w (%d records)", ErrTooManyRows, n)
 	}
 	for i, g := range groups {
@@ -40,22 +43,27 @@ func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error)
 		for i := 0; i < n; i++ {
 			w.Data()[i] = obliv.Elem{Key: groups[i], Val: values[i], Aux: uint64(i), Kind: obliv.Real}
 		}
-		// Deterministic composite key handles duplicate group keys.
-		key1 := func(e obliv.Elem) uint64 {
+		m := w.Len()
+		ks := obliv.AllocKeySchedule(sp, m, 1)
+		kscr := obliv.AllocKeySchedule(sp, m, 1)
+		ks.Tie, kscr.Tie = obliv.TiePos, obliv.TiePos
+		scr := mem.Alloc[obliv.Elem](sp, m)
+		// (key, position) order: one cached key plane, the position
+		// tie-break read in-register (TiePos) — deterministic under
+		// duplicate group keys, fillers (InfKey sentinel) last.
+		obliv.BuildKeySchedule(c, w, ks, 0, m, func(e obliv.Elem, kw []uint64) {
 			if e.Kind != obliv.Real {
-				return obliv.InfKey
+				kw[0] = obliv.InfKey
+				return
 			}
-			return e.Key<<20 | e.Aux
-		}
-		srt.Sort(c, sp, w, 0, w.Len(), key1)
-		groupOf := func(e obliv.Elem) uint64 {
-			if e.Kind != obliv.Real {
-				return obliv.InfKey
-			}
-			return e.Key
+			kw[0] = e.Key
+		})
+		srt.SortScheduled(c, w, ks, scr, kscr, 0, m)
+		sameGroup := func(x, y obliv.Elem) bool {
+			return x.Kind == y.Kind && (x.Kind != obliv.Real || x.Key == y.Key)
 		}
 		// Suffix sums per group; the group's first entry holds the total.
-		obliv.AggregateSuffix(c, sp, w, groupOf,
+		obliv.AggregateSuffixBy(c, sp, w, sameGroup,
 			func(e obliv.Elem) uint64 { return e.Val },
 			func(x, y uint64) uint64 { return x + y },
 			func(e obliv.Elem, i int, agg uint64) obliv.Elem {
@@ -63,7 +71,7 @@ func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error)
 				return e
 			})
 		// Propagate the total from the group's first entry to everyone.
-		obliv.PropagateFirst(c, sp, w, groupOf,
+		obliv.PropagateFirstBy(c, sp, w, sameGroup,
 			func(e obliv.Elem, i int) (uint64, bool) { return e.Lbl, e.Kind == obliv.Real },
 			func(e obliv.Elem, i int, v uint64, ok bool) obliv.Elem {
 				if ok {
@@ -71,14 +79,15 @@ func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error)
 				}
 				return e
 			})
-		// Back to input order.
-		key2 := func(e obliv.Elem) uint64 {
+		// Back to input order (single-word position schedule).
+		obliv.BuildKeySchedule(c, w, ks, 0, m, func(e obliv.Elem, kw []uint64) {
 			if e.Kind != obliv.Real {
-				return obliv.InfKey
+				kw[0] = obliv.InfKey
+				return
 			}
-			return e.Aux
-		}
-		srt.Sort(c, sp, w, 0, w.Len(), key2)
+			kw[0] = e.Aux
+		})
+		srt.SortScheduled(c, w, ks, scr, kscr, 0, m)
 		for i := 0; i < n; i++ {
 			out[i] = w.Data()[i].Lbl
 		}

@@ -71,8 +71,13 @@ func TestGroupTotalsValidation(t *testing.T) {
 	if _, _, err := GroupTotals(Config{}, []uint64{1}, []uint64{1, 2}); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
-	if _, _, err := GroupTotals(Config{}, []uint64{1 << 41}, []uint64{1}); err == nil {
-		t.Fatal("oversized group key accepted")
+	// The old 2^40 packed-key ceiling is lifted: any key below the filler
+	// sentinel is legal.
+	if _, _, err := GroupTotals(Config{Mode: ModeSerial}, []uint64{1 << 41, ^uint64(0) - 1}, []uint64{1, 2}); err != nil {
+		t.Fatalf("full-range group key rejected: %v", err)
+	}
+	if _, _, err := GroupTotals(Config{}, []uint64{^uint64(0)}, []uint64{1}); err == nil {
+		t.Fatal("sentinel group key accepted")
 	}
 }
 

@@ -432,12 +432,16 @@ var relopsSizes = []int{1 << 12, 1 << 16, 1 << 20}
 // BENCH_2.json trend artifact stays comparable with these benchmarks.
 func benchRecords(n int) []relops.Record { return benchdata.Records(n) }
 
-func benchLoad(b *testing.B, sp *mem.Space, recs []relops.Record) *mem.Array[obliv.Elem] {
-	a, err := relops.Load(sp, recs)
+func benchLoad(b *testing.B, sp *mem.Space, recs []relops.Record) relops.Rel {
+	return benchLoadW(b, sp, recs, 1)
+}
+
+func benchLoadW(b *testing.B, sp *mem.Space, recs []relops.Record, w int) relops.Rel {
+	r, err := relops.Load(sp, recs, w)
 	if err != nil {
 		b.Fatal(err)
 	}
-	return a
+	return r
 }
 
 func benchRelop(b *testing.B, n int, op func(c *forkjoin.Ctx, sp *mem.Space, recs []relops.Record)) {
@@ -469,6 +473,26 @@ func BenchmarkGroupBy(b *testing.B) {
 				a := benchLoad(b, sp, recs)
 				relops.GroupBy(c, sp, relops.NewArena(), a, relops.AggSum, bitonic.CacheAgnostic{})
 			})
+		})
+	}
+}
+
+// BenchmarkGroupByWide is the width-2 GROUP BY (a, b) point: the same
+// pipeline against a three-word (col, col, position) key schedule with the
+// one-pass (sum, count) moment aggregate.
+func BenchmarkGroupByWide(b *testing.B) {
+	for _, n := range relopsSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			wrecs := benchdata.WideRecords(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchPool.Run(func(c *forkjoin.Ctx) {
+					sp := mem.NewSpace()
+					a := benchLoadW(b, sp, wrecs, 2)
+					relops.GroupBy(c, sp, relops.NewArena(), a, relops.AggAvg, bitonic.CacheAgnostic{})
+				})
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
 		})
 	}
 }
@@ -505,7 +529,7 @@ func benchQuery(n int) (Table, Query) {
 	recs := benchRecords(n)
 	rows := make([]Row, len(recs))
 	for i, r := range recs {
-		rows[i] = Row(r)
+		rows[i] = Row{Key: r.Key, Val: r.Val}
 	}
 	t, err := NewTable(rows)
 	if err != nil {

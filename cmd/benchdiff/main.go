@@ -1,0 +1,148 @@
+// Command benchdiff compares two relational-layer benchmark artifacts
+// (the BENCH_*.json documents written by cmd/relbench) and flags elems/s
+// regressions beyond a noise threshold — the ROADMAP follow-on to the CI
+// perf-trend upload.
+//
+// Points are matched by (name, n). New points (present only in the new
+// artifact) and retired points (present only in the base) are reported but
+// never flagged. Exit status is 1 when any matched point regresses beyond
+// the threshold, unless -warn is set (CI runs warn-only: shared runners
+// are noisy and the artifact is a trend indicator, not a gate).
+//
+// Usage:
+//
+//	benchdiff -base BENCH_2.json -new BENCH_3.json
+//	benchdiff -base BENCH_2.json -new BENCH_3.json -threshold 0.30 -warn
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// Result mirrors cmd/relbench's per-point measurement (the fields benchdiff
+// consumes; unknown fields are ignored).
+type Result struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	ElemsPerSec float64 `json:"elems_per_sec"`
+}
+
+// File mirrors the artifact envelope.
+type File struct {
+	Schema    string   `json:"schema"`
+	Generated string   `json:"generated"`
+	Results   []Result `json:"results"`
+}
+
+type pointKey struct {
+	Name string
+	N    int
+}
+
+// diffLine is one matched point's comparison.
+type diffLine struct {
+	Key        pointKey
+	Base, New  float64
+	Ratio      float64 // new/base
+	Regression bool
+}
+
+// diff matches the two artifacts' points by (name, n) and flags matched
+// points whose new throughput falls below base*(1-threshold). It returns
+// the matched comparisons plus the unmatched point keys of either side.
+func diff(base, cur File, threshold float64) (lines []diffLine, onlyBase, onlyNew []pointKey) {
+	baseBy := map[pointKey]float64{}
+	for _, r := range base.Results {
+		baseBy[pointKey{r.Name, r.N}] = r.ElemsPerSec
+	}
+	seen := map[pointKey]bool{}
+	for _, r := range cur.Results {
+		k := pointKey{r.Name, r.N}
+		seen[k] = true
+		b, ok := baseBy[k]
+		if !ok {
+			onlyNew = append(onlyNew, k)
+			continue
+		}
+		l := diffLine{Key: k, Base: b, New: r.ElemsPerSec}
+		if b > 0 {
+			l.Ratio = r.ElemsPerSec / b
+			l.Regression = l.Ratio < 1-threshold
+		}
+		lines = append(lines, l)
+	}
+	for _, r := range base.Results {
+		if k := (pointKey{r.Name, r.N}); !seen[k] {
+			onlyBase = append(onlyBase, k)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool {
+		if lines[i].Key.Name != lines[j].Key.Name {
+			return lines[i].Key.Name < lines[j].Key.Name
+		}
+		return lines[i].Key.N < lines[j].Key.N
+	})
+	return lines, onlyBase, onlyNew
+}
+
+func load(path string) (File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func main() {
+	basePath := flag.String("base", "BENCH_2.json", "baseline artifact")
+	newPath := flag.String("new", "BENCH_3.json", "new artifact")
+	threshold := flag.Float64("threshold", 0.20, "flag matched points slower than base by more than this fraction")
+	warn := flag.Bool("warn", false, "report regressions but exit 0 (CI trend mode)")
+	flag.Parse()
+
+	base, err := load(*basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lines, onlyBase, onlyNew := diff(base, cur, *threshold)
+	regressions := 0
+	fmt.Printf("%-14s %10s %14s %14s %8s\n", "benchmark", "n", "base elems/s", "new elems/s", "ratio")
+	for _, l := range lines {
+		flagStr := ""
+		if l.Regression {
+			flagStr = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-14s %10d %14.0f %14.0f %7.2fx%s\n", l.Key.Name, l.Key.N, l.Base, l.New, l.Ratio, flagStr)
+	}
+	for _, k := range onlyNew {
+		fmt.Printf("%-14s %10d %14s %14s   (new point, no baseline)\n", k.Name, k.N, "-", "-")
+	}
+	for _, k := range onlyBase {
+		fmt.Printf("%-14s %10d %14s %14s   (retired point)\n", k.Name, k.N, "-", "-")
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d point(s) regressed beyond %.0f%% (%s → %s)\n",
+			regressions, *threshold*100, base.Generated, cur.Generated)
+		if !*warn {
+			os.Exit(1)
+		}
+		fmt.Println("(warn-only mode: exiting 0)")
+		return
+	}
+	fmt.Printf("\nno regressions beyond %.0f%%\n", *threshold*100)
+}

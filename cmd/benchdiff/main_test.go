@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+func TestDiffFlagsRegressionsBeyondThreshold(t *testing.T) {
+	base := File{Results: []Result{
+		{Name: "groupby", N: 4096, ElemsPerSec: 1000},
+		{Name: "groupby", N: 65536, ElemsPerSec: 2000},
+		{Name: "join", N: 4096, ElemsPerSec: 500},
+		{Name: "retired", N: 4096, ElemsPerSec: 9},
+	}}
+	cur := File{Results: []Result{
+		{Name: "groupby", N: 4096, ElemsPerSec: 850},  // -15%: within 20% noise
+		{Name: "groupby", N: 65536, ElemsPerSec: 1500}, // -25%: regression
+		{Name: "join", N: 4096, ElemsPerSec: 600},      // improvement
+		{Name: "fresh", N: 4096, ElemsPerSec: 7},
+	}}
+	lines, onlyBase, onlyNew := diff(base, cur, 0.20)
+	if len(lines) != 3 {
+		t.Fatalf("matched %d points, want 3", len(lines))
+	}
+	flagged := map[pointKey]bool{}
+	for _, l := range lines {
+		flagged[l.Key] = l.Regression
+	}
+	if flagged[pointKey{"groupby", 4096}] {
+		t.Fatal("-15% flagged at a 20% threshold")
+	}
+	if !flagged[pointKey{"groupby", 65536}] {
+		t.Fatal("-25% not flagged at a 20% threshold")
+	}
+	if flagged[pointKey{"join", 4096}] {
+		t.Fatal("improvement flagged as regression")
+	}
+	if len(onlyBase) != 1 || onlyBase[0] != (pointKey{"retired", 4096}) {
+		t.Fatalf("retired points = %v", onlyBase)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != (pointKey{"fresh", 4096}) {
+		t.Fatalf("new points = %v", onlyNew)
+	}
+}
+
+func TestDiffZeroBaselineNeverFlags(t *testing.T) {
+	base := File{Results: []Result{{Name: "x", N: 1, ElemsPerSec: 0}}}
+	cur := File{Results: []Result{{Name: "x", N: 1, ElemsPerSec: 5}}}
+	lines, _, _ := diff(base, cur, 0.2)
+	if len(lines) != 1 || lines[0].Regression {
+		t.Fatalf("zero-baseline point mishandled: %+v", lines)
+	}
+}

@@ -1,13 +1,17 @@
 // Command oblivquery runs a data-oblivious relational query pipeline
-// (filter → distinct → group-by → top-k) over a (key, value) table read
-// from stdin or generated randomly, reporting throughput and (optionally)
-// the metered cost profile plus the adversary's-view fingerprint.
+// (filter → distinct → group-by → top-k) over a table read from stdin or
+// generated randomly, reporting throughput and (optionally) the metered
+// cost profile plus the adversary's-view fingerprint. Tables may declare
+// one or two key columns (-cols); multi-column tables group by the full
+// key tuple — GROUP BY (a, b).
 //
 // Usage:
 //
 //	oblivquery -n 65536 -agg sum -top 10        # top-10 groups by total value
 //	printf "1 120\n2 95\n1 140\n" | oblivquery -stdin -agg sum
+//	printf "1 7 120\n1 8 95\n1 7 140\n" | oblivquery -stdin -cols 2 -agg avg
 //	oblivquery -n 4096 -min 100 -agg count -metered
+//	oblivquery -n 4096 -cols 2 -agg var -explain
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"oblivmc"
@@ -25,14 +30,15 @@ import (
 
 func main() {
 	n := flag.Int("n", 1<<14, "random workload size (ignored with -stdin)")
-	groups := flag.Int("groups", 64, "distinct keys in the random workload")
-	useStdin := flag.Bool("stdin", false, "read \"key value\" rows (one per line) from stdin")
-	minVal := flag.Uint64("min", 0, "filter: keep rows with value >= min (0 = no filter)")
+	groups := flag.Int("groups", 64, "distinct keys per column in the random workload")
+	cols := flag.Int("cols", 1, "key columns per row (1 or 2; 2 groups by the full (a, b) tuple)")
+	useStdin := flag.Bool("stdin", false, "read \"key... value\" rows (one per line, -cols keys) from stdin")
+	minVal := flag.Uint64("min", 0, "filter: keep rows with value >= min (0 = no filter; single-column tables only)")
 	minKey := flag.Uint64("minkey", 0, "key-only filter: keep rows with key >= minkey (0 = none; plannable below distinct/group-by)")
-	distinct := flag.Bool("distinct", false, "deduplicate rows by key before aggregating")
+	distinct := flag.Bool("distinct", false, "deduplicate rows by key tuple before aggregating")
 	explain := flag.Bool("explain", false, "print the planner's physical pass sequence before running")
 	noOpt := flag.Bool("noopt", false, "bypass the sort-fusion planner (staged baseline execution)")
-	agg := flag.String("agg", "sum", "aggregation: sum|count|min|max|none")
+	agg := flag.String("agg", "sum", "aggregation: sum|count|min|max|avg|var|none")
 	top := flag.Int("top", 0, "keep only the k largest-value result rows (0 = all)")
 	limit := flag.Int("limit", 20, "print at most this many result rows")
 	metered := flag.Bool("metered", false, "report exact work/span/cache metrics and trace fingerprint")
@@ -40,11 +46,17 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *cols < 1 || *cols > 2 {
+		log.Fatalf("-cols must be 1 or 2 (got %d)", *cols)
+	}
 	if !*useStdin && (*n < 1 || *groups < 1) {
 		log.Fatalf("-n and -groups must be >= 1 (got %d, %d)", *n, *groups)
 	}
+	if *cols > 1 && (*minVal > 0 || *minKey > 0) {
+		log.Fatal("-min/-minkey filters require -cols 1 (wide filters are a ROADMAP follow-on)")
+	}
 
-	var rows []oblivmc.Row
+	var rows []oblivmc.WideRow
 	if *useStdin {
 		sc := bufio.NewScanner(os.Stdin)
 		sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -60,24 +72,37 @@ func main() {
 			return v, true
 		}
 		for {
-			k, ok := words()
+			keys := make([]uint64, *cols)
+			k0, ok := words()
 			if !ok {
 				break
 			}
+			keys[0] = k0
+			for c := 1; c < *cols; c++ {
+				k, ok := words()
+				if !ok {
+					log.Fatalf("truncated input: rows are %d key(s) plus a value", *cols)
+				}
+				keys[c] = k
+			}
 			v, ok := words()
 			if !ok {
-				log.Fatal("odd number of input words: rows are \"key value\" pairs")
+				log.Fatalf("truncated input: rows are %d key(s) plus a value", *cols)
 			}
-			rows = append(rows, oblivmc.Row{Key: k, Val: v})
+			rows = append(rows, oblivmc.WideRow{Keys: keys, Val: v})
 		}
 	} else {
 		src := prng.New(*seed ^ 0xbeef)
-		rows = make([]oblivmc.Row, *n)
+		rows = make([]oblivmc.WideRow, *n)
 		for i := range rows {
-			rows[i] = oblivmc.Row{Key: src.Uint64n(uint64(*groups)), Val: src.Uint64n(1 << 20)}
+			keys := make([]uint64, *cols)
+			for c := range keys {
+				keys[c] = src.Uint64n(uint64(*groups))
+			}
+			rows[i] = oblivmc.WideRow{Keys: keys, Val: src.Uint64n(1 << 20)}
 		}
 	}
-	table, err := oblivmc.NewTable(rows)
+	table, err := oblivmc.NewWideTable(rows)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -103,6 +128,10 @@ func main() {
 		q.GroupBy = oblivmc.AggMin
 	case "max":
 		q.GroupBy = oblivmc.AggMax
+	case "avg":
+		q.GroupBy = oblivmc.AggAvg
+	case "var":
+		q.GroupBy = oblivmc.AggVar
 	case "none":
 		q.GroupBy = oblivmc.AggNone
 	default:
@@ -110,7 +139,7 @@ func main() {
 	}
 
 	if *explain {
-		pl, err := oblivmc.Explain(q)
+		pl, err := oblivmc.ExplainWidth(q, table.Width())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -131,21 +160,25 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Fprintf(os.Stderr, "queried %d rows obliviously in %v (%.0f rows/s), %d result rows\n",
-		table.Len(), elapsed, float64(table.Len())/elapsed.Seconds(), res.Len())
+	fmt.Fprintf(os.Stderr, "queried %d rows (%d key column(s)) obliviously in %v (%.0f rows/s), %d result rows\n",
+		table.Len(), table.Width(), elapsed, float64(table.Len())/elapsed.Seconds(), res.Len())
 	if rep != nil {
 		fmt.Fprintf(os.Stderr, "work=%d span=%d parallelism=%.0fx memops=%d cache-misses=%d\n",
 			rep.Work, rep.Span, float64(rep.Work)/float64(rep.Span), rep.MemOps, rep.CacheMisses)
-		fmt.Fprintf(os.Stderr, "adversary's view: %016x/%d (depends only on row count and query shape)\n",
+		fmt.Fprintf(os.Stderr, "adversary's view: %016x/%d (depends only on row count, width, and query shape)\n",
 			rep.TraceFingerprint.Hash, rep.TraceFingerprint.Count)
 	}
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	for i, r := range res.Rows() {
+	for i, r := range res.WideRows() {
 		if i >= *limit {
 			fmt.Fprintf(w, "... (%d more rows)\n", res.Len()-*limit)
 			break
 		}
-		fmt.Fprintf(w, "%d\t%d\n", r.Key, r.Val)
+		keys := make([]string, len(r.Keys))
+		for c, k := range r.Keys {
+			keys[c] = strconv.FormatUint(k, 10)
+		}
+		fmt.Fprintf(w, "%s\t%d\n", strings.Join(keys, "\t"), r.Val)
 	}
 }

@@ -53,13 +53,13 @@ func rows(n int) []oblivmc.Row {
 	recs := benchdata.Records(n)
 	out := make([]oblivmc.Row, n)
 	for i, r := range recs {
-		out[i] = oblivmc.Row(r)
+		out[i] = oblivmc.Row{Key: r.Key, Val: r.Val}
 	}
 	return out
 }
 
 func main() {
-	out := flag.String("out", "BENCH_2.json", "output file (\"-\" = stdout)")
+	out := flag.String("out", "BENCH_3.json", "output file (\"-\" = stdout)")
 	max := flag.Int("max", 1<<20, "largest relation size to measure")
 	iters := flag.Int("iters", 0, "iterations per point (0 = auto: more for small n)")
 	flag.Parse()
@@ -101,6 +101,7 @@ func main() {
 		}
 		doc.Sizes = append(doc.Sizes, n)
 		recs := benchdata.Records(n)
+		wrecs := benchdata.WideRecords(n)
 		lrecs := benchdata.LeftRecords(n)
 		table, err := oblivmc.NewTable(rows(n))
 		if err != nil {
@@ -114,7 +115,7 @@ func main() {
 			{"compact", func() {
 				pool.Run(func(c *forkjoin.Ctx) {
 					sp := mem.NewSpace()
-					a, err := relops.Load(sp, recs)
+					a, err := relops.Load(sp, recs, 1)
 					if err != nil {
 						log.Fatal(err)
 					}
@@ -124,21 +125,31 @@ func main() {
 			{"groupby", func() {
 				pool.Run(func(c *forkjoin.Ctx) {
 					sp := mem.NewSpace()
-					a, err := relops.Load(sp, recs)
+					a, err := relops.Load(sp, recs, 1)
 					if err != nil {
 						log.Fatal(err)
 					}
 					relops.GroupBy(c, sp, relops.NewArena(), a, relops.AggSum, bitonic.CacheAgnostic{})
 				})
 			}},
-			{"join", func() {
+			{"groupby_w2", func() {
 				pool.Run(func(c *forkjoin.Ctx) {
 					sp := mem.NewSpace()
-					l, err := relops.Load(sp, lrecs)
+					a, err := relops.Load(sp, wrecs, 2)
 					if err != nil {
 						log.Fatal(err)
 					}
-					r, err := relops.Load(sp, recs)
+					relops.GroupBy(c, sp, relops.NewArena(), a, relops.AggAvg, bitonic.CacheAgnostic{})
+				})
+			}},
+			{"join", func() {
+				pool.Run(func(c *forkjoin.Ctx) {
+					sp := mem.NewSpace()
+					l, err := relops.Load(sp, lrecs, 1)
+					if err != nil {
+						log.Fatal(err)
+					}
+					r, err := relops.Load(sp, recs, 1)
 					if err != nil {
 						log.Fatal(err)
 					}

@@ -66,6 +66,28 @@ func main() {
 		fmt.Printf("  product %d: amount %d at unit price %d\n", j.Key, j.RightVal, j.LeftVal)
 	}
 
+	// Composite keys: GROUP BY (region, product) with a one-pass average.
+	// Key columns span the full uint64 range — region ids here are hashes
+	// far above the old 2^40 packed-key ceiling — and the key tuple, like
+	// the row count, is public schema while its values stay secret.
+	const west, east = 0x9e3779b97f4a7c15, 0x517cc1b727220a95
+	regional, err := oblivmc.NewWideTable([]oblivmc.WideRow{
+		{Keys: []uint64{west, 1}, Val: 40}, {Keys: []uint64{east, 1}, Val: 500},
+		{Keys: []uint64{west, 2}, Val: 310}, {Keys: []uint64{west, 1}, Val: 130},
+		{Keys: []uint64{east, 2}, Val: 75}, {Keys: []uint64{east, 1}, Val: 220},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	avg, _, err := oblivmc.GroupByCols(oblivmc.Config{Seed: 3}, regional, oblivmc.AggAvg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\naverage sale per (region, product) — oblivious GROUP BY (a, b) with AggAvg:")
+	for _, r := range avg.WideRows() {
+		fmt.Printf("  region %x, product %d: avg %d\n", r.Keys[0], r.Keys[1], r.Val)
+	}
+
 	// The proof of privacy: run the same query on a database with totally
 	// different contents (different products, amounts, duplication) and
 	// compare the adversary's views.

@@ -37,6 +37,28 @@ func Records(n int) []relops.Record {
 	return recs
 }
 
+// WideRecords generates the width-2 benchmark relation: n records whose
+// two key columns are drawn from n/32 and 8 distinct values respectively
+// (so GROUP BY (a, b) sees ~n/4 composite groups), values below 2^30,
+// fixed seed 43. Column values span the full uint64 range scaled by a
+// large odd multiplier to exercise wide-key comparisons beyond 2^40.
+func WideRecords(n int) []relops.Record {
+	src := prng.New(43)
+	spread := uint64(n / 32)
+	if spread == 0 {
+		spread = 1
+	}
+	recs := make([]relops.Record, n)
+	for i := range recs {
+		recs[i] = relops.Record{
+			Key:  src.Uint64n(spread) * 0x9e3779b97f4a7c15,
+			Key2: src.Uint64n(8) * 0x517cc1b727220a95,
+			Val:  src.Uint64n(1 << 30),
+		}
+	}
+	return recs
+}
+
 // LeftRecords generates the join benchmark's primary relation for a
 // foreign relation of n records: n/JoinLeftFraction distinct keys covering
 // the low end of Records' key range.

@@ -13,6 +13,9 @@ import (
 
 var keyFn = func(e obliv.Elem) uint64 { return e.Key }
 
+// keyWords is keyFn as a width-1 key-schedule emitter.
+var keyWords = func(e obliv.Elem, out []uint64) { out[0] = e.Key }
+
 func randElems(seed uint64, n int) []obliv.Elem {
 	src := prng.New(seed)
 	out := make([]obliv.Elem, n)
@@ -249,10 +252,10 @@ func TestScheduledMatchesClosureSort(t *testing.T) {
 
 				s2 := mem.NewSpace()
 				got := mem.FromSlice(s2, raw)
-				ks := mem.Alloc[uint64](s2, n)
-				obliv.BuildKeySchedule(forkjoin.Serial(), got, ks, 0, n, keyFn)
+				ks := obliv.AllocKeySchedule(s2, n, 1)
+				obliv.BuildKeySchedule(forkjoin.Serial(), got, ks, 0, n, keyWords)
 				scr := mem.Alloc[obliv.Elem](s2, n)
-				kscr := mem.Alloc[uint64](s2, n)
+				kscr := obliv.AllocKeySchedule(s2, n, 1)
 				v.SortScheduled(forkjoin.Serial(), got, ks, scr, kscr, 0, n)
 
 				for i := 0; i < n; i++ {
@@ -260,7 +263,7 @@ func TestScheduledMatchesClosureSort(t *testing.T) {
 						t.Fatalf("%s n=%d seed=%d: keyed sort diverges from closure sort at %d (%v vs %v)",
 							v.Name(), n, seed, i, got.Data()[i], want.Data()[i])
 					}
-					if ks.Data()[i] != keyFn(got.Data()[i]) {
+					if ks.Plane(0).Data()[i] != keyFn(got.Data()[i]) {
 						t.Fatalf("%s n=%d seed=%d: key schedule out of lockstep at %d", v.Name(), n, seed, i)
 					}
 				}
@@ -276,10 +279,10 @@ func TestScheduledSubrange(t *testing.T) {
 		raw := randElems(17, 96)
 		s := mem.NewSpace()
 		a := mem.FromSlice(s, raw)
-		ks := mem.Alloc[uint64](s, 96)
-		obliv.BuildKeySchedule(forkjoin.Serial(), a, ks, 16, 64, keyFn)
+		ks := obliv.AllocKeySchedule(s, 96, 1)
+		obliv.BuildKeySchedule(forkjoin.Serial(), a, ks, 16, 64, keyWords)
 		scr := mem.Alloc[obliv.Elem](s, 64)
-		kscr := mem.Alloc[uint64](s, 64)
+		kscr := obliv.AllocKeySchedule(s, 64, 1)
 		v.SortScheduled(forkjoin.Serial(), a, ks, scr, kscr, 16, 64)
 		for i := 0; i < 16; i++ {
 			if a.Data()[i] != raw[i] {
@@ -305,11 +308,11 @@ func TestScheduledTraceOblivious(t *testing.T) {
 			raw := randElems(seed, n)
 			s := mem.NewSpace()
 			a := mem.FromSlice(s, raw)
-			ks := mem.Alloc[uint64](s, n)
+			ks := obliv.AllocKeySchedule(s, n, 1)
 			scr := mem.Alloc[obliv.Elem](s, n)
-			kscr := mem.Alloc[uint64](s, n)
+			kscr := obliv.AllocKeySchedule(s, n, 1)
 			return forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
-				obliv.BuildKeySchedule(c, a, ks, 0, n, keyFn)
+				obliv.BuildKeySchedule(c, a, ks, 0, n, keyWords)
 				v.SortScheduled(c, a, ks, scr, kscr, 0, n)
 			})
 		}
@@ -425,4 +428,149 @@ func TestNonPow2Panics(t *testing.T) {
 		}
 	}()
 	SortIterative(forkjoin.Serial(), a, 0, 12, true, keyFn)
+}
+
+// wideKeyWords emits the (Key, Key2) two-word lexicographic schedule.
+var wideKeyWords = func(e obliv.Elem, out []uint64) { out[0], out[1] = e.Key, e.Key2 }
+
+// randWideElems draws elements whose two key columns exercise the full
+// word range (including values far above 2^40) with plenty of column-0
+// ties, so the lexicographic comparator's second word matters.
+func randWideElems(seed uint64, n int) []obliv.Elem {
+	src := prng.New(seed)
+	out := make([]obliv.Elem, n)
+	for i := range out {
+		out[i] = obliv.Elem{
+			Key:  src.Uint64n(8) * 0x9e3779b97f4a7c15, // few huge col-0 values
+			Key2: src.Uint64n(uint64(2 * n)),
+			Val:  uint64(i),
+			Kind: obliv.Real,
+		}
+	}
+	return out
+}
+
+// TestScheduledWideKeysMatchReference pins the width-2 schedule contract
+// for all three networks: sorting against a two-word schedule must order
+// elements by (Key, Key2) lexicographically and keep both planes in
+// lockstep.
+func TestScheduledWideKeysMatchReference(t *testing.T) {
+	variants := []obliv.ScheduledSorter{CacheAgnostic{}, CacheAgnostic{Leaf: 2}, Naive{}, OddEven{}, obliv.SelectionNetwork{}}
+	for _, v := range variants {
+		for _, n := range []int{1, 2, 8, 64, 256} {
+			raw := randWideElems(uint64(n)*7+1, n)
+
+			want := append([]obliv.Elem(nil), raw...)
+			sort.SliceStable(want, func(i, j int) bool {
+				if want[i].Key != want[j].Key {
+					return want[i].Key < want[j].Key
+				}
+				return want[i].Key2 < want[j].Key2
+			})
+
+			s := mem.NewSpace()
+			a := mem.FromSlice(s, raw)
+			ks := obliv.AllocKeySchedule(s, n, 2)
+			obliv.BuildKeySchedule(forkjoin.Serial(), a, ks, 0, n, wideKeyWords)
+			scr := mem.Alloc[obliv.Elem](s, n)
+			kscr := obliv.AllocKeySchedule(s, n, 2)
+			v.SortScheduled(forkjoin.Serial(), a, ks, scr, kscr, 0, n)
+
+			for i := 0; i < n; i++ {
+				g := a.Data()[i]
+				if g.Key != want[i].Key || g.Key2 != want[i].Key2 {
+					t.Fatalf("%s n=%d: wide sort out of order at %d: (%d,%d) want (%d,%d)",
+						v.Name(), n, i, g.Key, g.Key2, want[i].Key, want[i].Key2)
+				}
+				if ks.Plane(0).Data()[i] != g.Key || ks.Plane(1).Data()[i] != g.Key2 {
+					t.Fatalf("%s n=%d: wide key schedule out of lockstep at %d", v.Name(), n, i)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduledWideTraceOblivious extends the keyed trace test to width 2:
+// the wide comparator reads and rewrites every word of both positions
+// unconditionally, so the view must be data-independent at any width.
+func TestScheduledWideTraceOblivious(t *testing.T) {
+	const n = 128
+	for _, v := range []obliv.ScheduledSorter{CacheAgnostic{}, Naive{}, OddEven{}} {
+		run := func(seed uint64) *forkjoin.Metrics {
+			raw := randWideElems(seed, n)
+			s := mem.NewSpace()
+			a := mem.FromSlice(s, raw)
+			ks := obliv.AllocKeySchedule(s, n, 2)
+			scr := mem.Alloc[obliv.Elem](s, n)
+			kscr := obliv.AllocKeySchedule(s, n, 2)
+			return forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
+				obliv.BuildKeySchedule(c, a, ks, 0, n, wideKeyWords)
+				v.SortScheduled(c, a, ks, scr, kscr, 0, n)
+			})
+		}
+		if !run(1).Trace.Equal(run(2).Trace) {
+			t.Fatalf("%s: wide keyed access pattern depends on data", v.Name())
+		}
+	}
+}
+
+// TestScheduledTiePosIsStable pins the TiePos tie-break contract the
+// relational key sorts rely on: a keyed sort whose schedule breaks ties by
+// the elements' (Kind, Tag, Aux) must order duplicate keys by tag then
+// original position, with fillers at the tail — i.e. behave like a stable
+// sort — for every network.
+func TestScheduledTiePosIsStable(t *testing.T) {
+	variants := []obliv.ScheduledSorter{CacheAgnostic{}, CacheAgnostic{Leaf: 2}, Naive{}, OddEven{}, obliv.SelectionNetwork{}}
+	for _, v := range variants {
+		for _, n := range []int{2, 8, 64, 256} {
+			src := prng.New(uint64(n) * 13)
+			raw := make([]obliv.Elem, n)
+			for i := range raw {
+				raw[i] = obliv.Elem{Key: src.Uint64n(4), Tag: uint32(src.Uint64n(2)), Aux: uint64(i), Kind: obliv.Real}
+				if src.Uint64n(5) == 0 {
+					raw[i] = obliv.Elem{} // filler
+				}
+			}
+			want := append([]obliv.Elem(nil), raw...)
+			sort.SliceStable(want, func(i, j int) bool {
+				xf, yf := want[i].Kind != obliv.Real, want[j].Kind != obliv.Real
+				if xf != yf {
+					return yf
+				}
+				if xf {
+					return false
+				}
+				if want[i].Key != want[j].Key {
+					return want[i].Key < want[j].Key
+				}
+				if want[i].Tag != want[j].Tag {
+					return want[i].Tag < want[j].Tag
+				}
+				return want[i].Aux < want[j].Aux
+			})
+
+			s := mem.NewSpace()
+			a := mem.FromSlice(s, raw)
+			ks := obliv.AllocKeySchedule(s, n, 1)
+			ks.Tie = obliv.TiePos
+			kscr := obliv.AllocKeySchedule(s, n, 1)
+			kscr.Tie = obliv.TiePos
+			obliv.BuildKeySchedule(forkjoin.Serial(), a, ks, 0, n, func(e obliv.Elem, out []uint64) {
+				if e.Kind != obliv.Real {
+					out[0] = obliv.InfKey
+					return
+				}
+				out[0] = e.Key
+			})
+			scr := mem.Alloc[obliv.Elem](s, n)
+			v.SortScheduled(forkjoin.Serial(), a, ks, scr, kscr, 0, n)
+
+			for i := 0; i < n; i++ {
+				if a.Data()[i] != want[i] {
+					t.Fatalf("%s n=%d: TiePos sort not stable at %d: %+v want %+v",
+						v.Name(), n, i, a.Data()[i], want[i])
+				}
+			}
+		}
+	}
 }

@@ -1,10 +1,17 @@
 // Keyed (key-schedule) variants of the three sorting networks: the
 // comparator schedule is identical to the closure-keyed networks — same
 // layers, same positions, same directions — but each comparator reads the
-// two cached key words built by obliv.BuildKeySchedule instead of invoking
-// the key closure twice. The key array moves in lockstep with the element
-// array (including through the cache-agnostic merge's transposes), so the
-// resulting permutation is exactly the one the closure network produces.
+// cached key words built by obliv.BuildKeySchedule instead of invoking the
+// key closure twice. The key schedule moves in lockstep with the element
+// array (including through the cache-agnostic merge's transposes, applied
+// plane by plane), so the resulting permutation is exactly the one the
+// closure network produces.
+//
+// The networks are width-generic: a schedule of W words per element widens
+// each comparator's fixed read/write set and nothing else — the comparator
+// positions and directions are functions of n alone, so the trace shape is
+// the same at every width, and width 1 runs the identical single-word
+// comparator the pre-wide-key networks ran.
 package bitonic
 
 import (
@@ -15,8 +22,8 @@ import (
 )
 
 // SortIterativeKeyed is SortIterative against a cached key schedule. ks is
-// indexed identically to a: ks[i] caches the key of a[i].
-func SortIterativeKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], lo, n int, asc bool) {
+// indexed identically to a: ks words at i cache the key of a[i].
+func SortIterativeKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, lo, n int, asc bool) {
 	if !obliv.IsPow2(n) {
 		panic("bitonic: n must be a power of two")
 	}
@@ -27,46 +34,55 @@ func SortIterativeKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array
 	}
 }
 
-func layerKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], lo, n, k, j int, asc bool) {
+func layerKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, lo, n, k, j int, asc bool) {
 	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, from, to int) {
 		for i := from; i < to; i++ {
 			if i&j != 0 {
 				continue
 			}
 			dir := (i&k == 0) == asc
-			obliv.CompareExchangeCached(c, a, ks, lo+i, lo+(i|j), dir)
+			obliv.CompareExchangeCachedW(c, a, ks, lo+i, lo+(i|j), dir)
 		}
 	})
 }
 
-func mergeSerialKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], lo, m int, asc bool) {
+func mergeSerialKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, lo, m int, asc bool) {
 	for j := m >> 1; j > 0; j >>= 1 {
 		for i := 0; i < m; i++ {
 			if i&j == 0 {
-				obliv.CompareExchangeCached(c, a, ks, lo+i, lo+(i|j), asc)
+				obliv.CompareExchangeCachedW(c, a, ks, lo+i, lo+(i|j), asc)
 			}
 		}
 	}
 }
 
-func sortSerialKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], lo, n int, asc bool) {
+func sortSerialKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, lo, n int, asc bool) {
 	for k := 2; k <= n; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {
 			for i := 0; i < n; i++ {
 				if i&j == 0 {
 					dir := (i&k == 0) == asc
-					obliv.CompareExchangeCached(c, a, ks, lo+i, lo+(i|j), dir)
+					obliv.CompareExchangeCachedW(c, a, ks, lo+i, lo+(i|j), dir)
 				}
 			}
 		}
 	}
 }
 
+// transposeKeyed transposes every plane of src into dst (the schedules move
+// through the cache-agnostic merge in lockstep with the elements).
+func transposeKeyed(c *forkjoin.Ctx, dst, src *obliv.KeySchedule, rows, cols int) {
+	for p := 0; p < src.Width(); p++ {
+		matrix.Transpose(c, dst.Plane(p), src.Plane(p), rows, cols)
+	}
+}
+
 // SortCAKeyed is the cache-agnostic BITONIC-SORT (§E.1.1) against a cached
-// key schedule: scratch/kscr must have length >= n and alias neither a nor
-// ks. ks is indexed identically to a (ks[lo:lo+n) cache the keys of
-// a[lo:lo+n)). n must be a power of two.
-func SortCAKeyed(c *forkjoin.Ctx, a, scratch *mem.Array[obliv.Elem], ks, kscr *mem.Array[uint64], lo, n int, asc bool, leaf int) {
+// key schedule: scratch must have length >= n, kscr must match ks's width
+// and cover >= n elements, and neither may alias a or ks. ks is indexed
+// identically to a (ks[lo:lo+n) cache the keys of a[lo:lo+n)). n must be a
+// power of two.
+func SortCAKeyed(c *forkjoin.Ctx, a, scratch *mem.Array[obliv.Elem], ks, kscr *obliv.KeySchedule, lo, n int, asc bool, leaf int) {
 	if !obliv.IsPow2(n) {
 		panic("bitonic: n must be a power of two")
 	}
@@ -83,7 +99,7 @@ func SortCAKeyed(c *forkjoin.Ctx, a, scratch *mem.Array[obliv.Elem], ks, kscr *m
 	sortCAKeyedRec(c, a.View(lo, n), scratch.View(0, n), ks.View(lo, n), kscr.View(0, n), 0, n, asc, leaf)
 }
 
-func sortCAKeyedRec(c *forkjoin.Ctx, buf, scr *mem.Array[obliv.Elem], kbuf, kscr *mem.Array[uint64], lo, n int, asc bool, leaf int) {
+func sortCAKeyedRec(c *forkjoin.Ctx, buf, scr *mem.Array[obliv.Elem], kbuf, kscr *obliv.KeySchedule, lo, n int, asc bool, leaf int) {
 	if n == 1 {
 		return
 	}
@@ -99,7 +115,7 @@ func sortCAKeyedRec(c *forkjoin.Ctx, buf, scr *mem.Array[obliv.Elem], kbuf, kscr
 	mergeCAKeyedRec(c, buf, scr, kbuf, kscr, lo, n, asc, leaf)
 }
 
-func mergeCAKeyedRec(c *forkjoin.Ctx, buf, scr *mem.Array[obliv.Elem], kbuf, kscr *mem.Array[uint64], lo, m int, asc bool, leaf int) {
+func mergeCAKeyedRec(c *forkjoin.Ctx, buf, scr *mem.Array[obliv.Elem], kbuf, kscr *obliv.KeySchedule, lo, m int, asc bool, leaf int) {
 	if m <= leaf {
 		mergeSerialKeyed(c, buf, kbuf, lo, m, asc)
 		return
@@ -116,7 +132,7 @@ func mergeCAKeyedRec(c *forkjoin.Ctx, buf, scr *mem.Array[obliv.Elem], kbuf, ksc
 	// in lockstep) and run the first k1 butterfly layers as contiguous
 	// merges of length m1.
 	matrix.Transpose(c, sv, bv, m1, m2)
-	matrix.Transpose(c, ksv, kbv, m1, m2)
+	transposeKeyed(c, ksv, kbv, m1, m2)
 	forkjoin.ParallelFor(c, 0, m2, 1, func(c *forkjoin.Ctx, i int) {
 		mergeCAKeyedRec(c, scr, buf, kscr, kbuf, lo+i*m1, m1, asc, leaf)
 	})
@@ -124,7 +140,7 @@ func mergeCAKeyedRec(c *forkjoin.Ctx, buf, scr *mem.Array[obliv.Elem], kbuf, ksc
 	// Phase 2: transpose back and run the remaining k-k1 layers as merges
 	// of length m2 on the now-contiguous rows.
 	matrix.Transpose(c, bv, sv, m2, m1)
-	matrix.Transpose(c, kbv, ksv, m2, m1)
+	transposeKeyed(c, kbv, ksv, m2, m1)
 	forkjoin.ParallelFor(c, 0, m1, 1, func(c *forkjoin.Ctx, i int) {
 		mergeCAKeyedRec(c, buf, scr, kbuf, kscr, lo+i*m2, m2, asc, leaf)
 	})
@@ -132,7 +148,7 @@ func mergeCAKeyedRec(c *forkjoin.Ctx, buf, scr *mem.Array[obliv.Elem], kbuf, ksc
 
 // SortOddEvenKeyed is Batcher's odd–even merge network against a cached key
 // schedule. n must be a power of two.
-func SortOddEvenKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], lo, n int) {
+func SortOddEvenKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, lo, n int) {
 	if !obliv.IsPow2(n) {
 		panic("bitonic: n must be a power of two")
 	}
@@ -150,7 +166,7 @@ func SortOddEvenKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[u
 					if t/(2*p) != (t+k)/(2*p) {
 						continue
 					}
-					obliv.CompareExchangeCached(c, a, ks, lo+t, lo+t+k, true)
+					obliv.CompareExchangeCachedW(c, a, ks, lo+t, lo+t+k, true)
 				}
 			})
 		}

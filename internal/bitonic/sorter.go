@@ -28,7 +28,7 @@ func (s CacheAgnostic) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.E
 }
 
 // SortScheduled implements obliv.ScheduledSorter.
-func (s CacheAgnostic) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], scr *mem.Array[obliv.Elem], kscr *mem.Array[uint64], lo, n int) {
+func (s CacheAgnostic) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, scr *mem.Array[obliv.Elem], kscr *obliv.KeySchedule, lo, n int) {
 	if n <= 1 {
 		return
 	}
@@ -53,7 +53,7 @@ func (Naive) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo, 
 
 // SortScheduled implements obliv.ScheduledSorter (in-place network; the
 // scratch arguments are ignored).
-func (Naive) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], _ *mem.Array[obliv.Elem], _ *mem.Array[uint64], lo, n int) {
+func (Naive) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, _ *mem.Array[obliv.Elem], _ *obliv.KeySchedule, lo, n int) {
 	if n <= 1 {
 		return
 	}
@@ -77,7 +77,7 @@ func (OddEven) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo
 
 // SortScheduled implements obliv.ScheduledSorter (in-place network; the
 // scratch arguments are ignored).
-func (OddEven) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *mem.Array[uint64], _ *mem.Array[obliv.Elem], _ *mem.Array[uint64], lo, n int) {
+func (OddEven) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, _ *mem.Array[obliv.Elem], _ *obliv.KeySchedule, lo, n int) {
 	if n <= 1 {
 		return
 	}

@@ -30,6 +30,7 @@ const (
 // the fields varies by phase and is documented at each call site; broadly:
 //
 //	Key  — caller's sort key (preserved by ORBA/ORP)
+//	Key2 — second key column of wide-key records (relational layer)
 //	Val  — payload value
 //	Aux  — secondary payload (typically an original index)
 //	Lbl  — random routing label (ORBA bin choice, shuffle key)
@@ -40,6 +41,7 @@ const (
 // One Elem occupies one address in the instrumented memory model.
 type Elem struct {
 	Key  uint64
+	Key2 uint64
 	Val  uint64
 	Aux  uint64
 	Lbl  uint64

@@ -1,6 +1,8 @@
 package obliv
 
 import (
+	"fmt"
+
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 )
@@ -11,29 +13,125 @@ import (
 // networks), so the key of every element can be materialized once, up
 // front, into a parallel word array — one instrumented linear pass — and
 // the network then compares cached uint64 words instead of re-deriving the
-// key from the 48-byte element twice per comparator. The cached keys move
-// through the network in lockstep with the elements, so the element
-// permutation is identical to the closure-keyed network's and the access
-// pattern remains a function of n only.
+// key from the element twice per comparator. The cached keys move through
+// the network in lockstep with the elements, so the element permutation is
+// identical to the closure-keyed network's and the access pattern remains a
+// function of n only.
+//
+// Schedules are width-parameterized: a KeySchedule caches W words per
+// element and the cached comparator orders elements lexicographically by
+// their word vectors (word 0 most significant). Nothing in the networks'
+// comparator schedules depends on W — widening the key only widens each
+// comparator's fixed read/write set — so a width-W sort is exactly as
+// oblivious as a width-1 sort. Width 1 runs the same single-word code the
+// schedule path has always run.
 
-// BuildKeySchedule materializes key(e) for a[lo:lo+n) into ks[lo:lo+n) in
-// one fixed elementwise pass (the "keysched" pass). ks is indexed
-// identically to a: ks[i] caches the key of a[i].
-func BuildKeySchedule(c *forkjoin.Ctx, a *mem.Array[Elem], ks *mem.Array[uint64], lo, n int, key func(Elem) uint64) {
+// MaxScheduleWidth bounds the words per cached key (the comparator buffers
+// key vectors on the stack). Relational schedules need at most one word
+// per key column, far below this.
+const MaxScheduleWidth = 8
+
+// TieBreak selects the order of elements whose cached key vectors are
+// equal. The choice is part of the sort's public schedule, not of the
+// data: either rule reads and writes exactly the same positions.
+type TieBreak uint8
+
+const (
+	// TieNetwork reproduces the closure comparator's semantics: equal
+	// vectors swap on descending comparators and hold on ascending ones.
+	// The resulting permutation is deterministic (a function of the input
+	// ordering) but not stable.
+	TieNetwork TieBreak = iota
+	// TiePos breaks key-vector ties by the elements' (Kind, Tag, Aux)
+	// triple — fillers after real elements, then the side tag, then the
+	// original position — read from the element structs the comparator
+	// already holds in registers. Relational key sorts use it to get
+	// stable first-occurrence order without paying a dedicated position
+	// plane of memory traffic: the logical schedule is (key columns...,
+	// position), but the position word rides inside the elements.
+	TiePos
+)
+
+// KeySchedule is a width-W cached key schedule over one backing word array
+// in strided (plane-major) layout: word w of element i lives at
+// backing[w*n + i], exposed as per-word plane views indexed identically to
+// the element array. Plane 0 is the most significant word of the
+// lexicographic key; Tie resolves full-vector ties.
+type KeySchedule struct {
+	planes []*mem.Array[uint64]
+	// Tie is the tie-break rule of this schedule (default TieNetwork).
+	Tie TieBreak
+}
+
+// NewKeySchedule carves a width-w schedule for n elements out of backing
+// (which must hold at least n*w words). The backing array may be longer —
+// arenas reuse one maximal array across passes of different widths.
+func NewKeySchedule(backing *mem.Array[uint64], n, w int) *KeySchedule {
+	if w < 1 || w > MaxScheduleWidth {
+		panic(fmt.Sprintf("obliv: key-schedule width %d out of range [1, %d]", w, MaxScheduleWidth))
+	}
+	if backing.Len() < n*w {
+		panic("obliv: key-schedule backing too short")
+	}
+	ks := &KeySchedule{planes: make([]*mem.Array[uint64], w)}
+	for p := 0; p < w; p++ {
+		ks.planes[p] = backing.View(p*n, n)
+	}
+	return ks
+}
+
+// AllocKeySchedule allocates a fresh width-w schedule for n elements.
+func AllocKeySchedule(sp *mem.Space, n, w int) *KeySchedule {
+	return NewKeySchedule(mem.Alloc[uint64](sp, n*w), n, w)
+}
+
+// Width returns the number of words per cached key.
+func (ks *KeySchedule) Width() int { return len(ks.planes) }
+
+// Len returns the number of elements the schedule covers.
+func (ks *KeySchedule) Len() int { return ks.planes[0].Len() }
+
+// Plane returns the word-w plane (indexed identically to the element
+// array).
+func (ks *KeySchedule) Plane(w int) *mem.Array[uint64] { return ks.planes[w] }
+
+// View returns the schedule restricted to elements [lo, lo+n), aliasing the
+// parent exactly like mem.Array.View and keeping its tie-break rule.
+func (ks *KeySchedule) View(lo, n int) *KeySchedule {
+	v := &KeySchedule{planes: make([]*mem.Array[uint64], len(ks.planes)), Tie: ks.Tie}
+	for p := range ks.planes {
+		v.planes[p] = ks.planes[p].View(lo, n)
+	}
+	return v
+}
+
+// BuildKeySchedule materializes the key words of a[lo:lo+n) into
+// ks[lo:lo+n) in one fixed elementwise pass (the "keysched" pass). key must
+// fill out[0:ks.Width()) with the element's lexicographic key words (word 0
+// most significant); it is handed a reusable buffer and must not retain it.
+// ks is indexed identically to a: ks word w of position i caches word w of
+// the key of a[i].
+func BuildKeySchedule(c *forkjoin.Ctx, a *mem.Array[Elem], ks *KeySchedule, lo, n int, key func(e Elem, out []uint64)) {
+	w := ks.Width()
 	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, from, to int) {
+		var buf [MaxScheduleWidth]uint64
+		out := buf[:w]
 		for i := from; i < to; i++ {
 			e := a.Get(c, lo+i)
 			c.Op(1) // the key derivation
-			ks.Set(c, lo+i, key(e))
+			key(e, out)
+			for p := 0; p < w; p++ {
+				ks.planes[p].Set(c, lo+i, out[p])
+			}
 		}
 	})
 }
 
-// CompareExchangeCached is the cached-key comparator: it orders positions i
-// and j of a (ascending by cached key if asc) using the key words ks[i],
-// ks[j], keeping ks in lockstep with a. All four positions are always read
-// and always rewritten, so the access pattern is independent of the
-// comparison outcome, exactly as in CompareExchange.
+// CompareExchangeCached is the width-1 cached-key comparator: it orders
+// positions i and j of a (ascending by cached key if asc) using the key
+// words ks[i], ks[j], keeping ks in lockstep with a. All four positions are
+// always read and always rewritten, so the access pattern is independent of
+// the comparison outcome, exactly as in CompareExchange.
 func CompareExchangeCached(c *forkjoin.Ctx, a *mem.Array[Elem], ks *mem.Array[uint64], i, j int, asc bool) {
 	x := a.Get(c, i)
 	y := a.Get(c, j)
@@ -50,17 +148,151 @@ func CompareExchangeCached(c *forkjoin.Ctx, a *mem.Array[Elem], ks *mem.Array[ui
 	ks.Set(c, j, ky)
 }
 
+// posAfter reports whether x sorts strictly after y under the TiePos
+// tie-break: fillers after real elements, then by side tag, then by
+// original position. Pure register arithmetic on values the comparator
+// already holds.
+func posAfter(x, y Elem) bool {
+	xf, yf := x.Kind != Real, y.Kind != Real
+	if xf != yf {
+		return xf
+	}
+	if x.Tag != y.Tag {
+		return x.Tag > y.Tag
+	}
+	return x.Aux > y.Aux
+}
+
+// CompareExchangeCachedW is the width-parameterized cached-key comparator:
+// it orders positions i and j of a by the lexicographic order of their
+// cached key vectors (ascending if asc), keeping every plane of ks in
+// lockstep with a. All words of both positions are read and rewritten
+// unconditionally, so the access pattern is a function of (i, j, width)
+// only — the tie-break rule reads no additional memory. Under TieNetwork,
+// equal key vectors behave exactly like equal single words (the pair swaps
+// iff the comparator is descending, matching CompareExchangeCached); under
+// TiePos they order by the elements' (Kind, Tag, Aux). At width 1 with
+// TieNetwork it runs CompareExchangeCached itself — the schedule fast path
+// costs wide keys nothing when keys are narrow.
+func CompareExchangeCachedW(c *forkjoin.Ctx, a *mem.Array[Elem], ks *KeySchedule, i, j int, asc bool) {
+	if len(ks.planes) == 1 {
+		if ks.Tie == TieNetwork {
+			CompareExchangeCached(c, a, ks.planes[0], i, j, asc)
+			return
+		}
+		// Width-1 TiePos: one cached word per side, tie in registers.
+		x := a.Get(c, i)
+		y := a.Get(c, j)
+		p0 := ks.planes[0]
+		kx := p0.Get(c, i)
+		ky := p0.Get(c, j)
+		c.Op(1) // the comparison
+		gt := kx > ky
+		if kx == ky {
+			gt = posAfter(x, y)
+		}
+		if gt == asc {
+			a.Set(c, i, y)
+			a.Set(c, j, x)
+			p0.Set(c, i, ky)
+			p0.Set(c, j, kx)
+		} else {
+			a.Set(c, i, x)
+			a.Set(c, j, y)
+			p0.Set(c, i, kx)
+			p0.Set(c, j, ky)
+		}
+		return
+	}
+	if len(ks.planes) == 2 {
+		// Width-2 fast path: scalar registers, no stack vectors.
+		x := a.Get(c, i)
+		y := a.Get(c, j)
+		p0, p1 := ks.planes[0], ks.planes[1]
+		kx0, kx1 := p0.Get(c, i), p1.Get(c, i)
+		ky0, ky1 := p0.Get(c, j), p1.Get(c, j)
+		c.Op(1) // the comparison
+		gt := kx0 > ky0
+		if kx0 == ky0 {
+			gt = kx1 > ky1
+			if kx1 == ky1 && ks.Tie == TiePos {
+				gt = posAfter(x, y)
+			}
+		}
+		if gt == asc {
+			a.Set(c, i, y)
+			a.Set(c, j, x)
+			p0.Set(c, i, ky0)
+			p0.Set(c, j, kx0)
+			p1.Set(c, i, ky1)
+			p1.Set(c, j, kx1)
+		} else {
+			a.Set(c, i, x)
+			a.Set(c, j, y)
+			p0.Set(c, i, kx0)
+			p0.Set(c, j, ky0)
+			p1.Set(c, i, kx1)
+			p1.Set(c, j, ky1)
+		}
+		return
+	}
+	w := len(ks.planes)
+	x := a.Get(c, i)
+	y := a.Get(c, j)
+	var kx, ky [MaxScheduleWidth]uint64
+	for p := 0; p < w; p++ {
+		kx[p] = ks.planes[p].Get(c, i)
+		ky[p] = ks.planes[p].Get(c, j)
+	}
+	c.Op(1) // the comparison
+	gt := false
+	tied := true
+	for p := 0; p < w; p++ {
+		if kx[p] != ky[p] {
+			gt = kx[p] > ky[p]
+			tied = false
+			break
+		}
+	}
+	if tied && ks.Tie == TiePos {
+		gt = posAfter(x, y)
+	}
+	if gt == asc {
+		x, y = y, x
+		kx, ky = ky, kx
+	}
+	a.Set(c, i, x)
+	a.Set(c, j, y)
+	for p := 0; p < w; p++ {
+		ks.planes[p].Set(c, i, kx[p])
+		ks.planes[p].Set(c, j, ky[p])
+	}
+}
+
 // ScheduledSorter is implemented by sorters that can run against a
 // precomputed key schedule (the keysched fast path). SortScheduled sorts
-// a[lo:lo+n) ascending by the cached keys ks[lo:lo+n) (ks is indexed
-// identically to a), keeping ks in lockstep. scr and kscr are
-// caller-provided scratch of length >= n that must not alias a or ks;
-// sorters that sort strictly in place ignore them (nil is then permitted).
+// a[lo:lo+n) ascending by the cached lexicographic keys ks[lo:lo+n) (ks is
+// indexed identically to a), keeping every plane of ks in lockstep. scr and
+// kscr are caller-provided scratch — scr of length >= n, kscr of ks's width
+// covering >= n elements — that must not alias a or ks; sorters that sort
+// strictly in place ignore them (nil is then permitted).
 //
 // Callers that hold a multi-pass scratch arena use this interface to avoid
 // both the per-comparator key recomputation and the per-sort scratch
 // allocation of Sorter.Sort.
 type ScheduledSorter interface {
 	Sorter
-	SortScheduled(c *forkjoin.Ctx, a *mem.Array[Elem], ks *mem.Array[uint64], scr *mem.Array[Elem], kscr *mem.Array[uint64], lo, n int)
+	SortScheduled(c *forkjoin.Ctx, a *mem.Array[Elem], ks *KeySchedule, scr *mem.Array[Elem], kscr *KeySchedule, lo, n int)
+}
+
+// SortScheduled implements ScheduledSorter for the selection network: all
+// pairs through the cached comparator, any n, scratch ignored. It exists so
+// the tiny reference sorter remains usable wherever the relational layer
+// now requires schedule support.
+func (SelectionNetwork) SortScheduled(c *forkjoin.Ctx, a *mem.Array[Elem], ks *KeySchedule, _ *mem.Array[Elem], _ *KeySchedule, lo, n int) {
+	for i := 0; i < n-1; i++ {
+		for j := i + 1; j < n; j++ {
+			CompareExchangeCachedW(c, a, ks, lo+i, lo+j, true)
+		}
+	}
 }

@@ -11,6 +11,13 @@ import (
 // value to every member (span O(log n), work O(n), cache O(n/B)), and
 // aggregation gives every member the combine of the group members to its
 // right. Both have access patterns depending only on n.
+//
+// Two groupings are supported: the classic single-word groupOf key (the
+// paper's formulation) and an explicit sameGroup predicate over adjacent
+// elements (the *By variants), which the relational layer uses for
+// multi-column keys that no single word can express. Either way the
+// grouping only feeds the boundary flags of the scan carrier — the access
+// pattern is identical.
 
 // propVal is the carrier of the "copy first defined value within segment"
 // segmented scan. boundary marks the start of a new group at this position.
@@ -33,10 +40,25 @@ func propOp(x, y propVal) propVal {
 	return propVal{v: v, has: x.has || y.has, boundary: x.boundary}
 }
 
-// PropagateFirst performs oblivious propagation in a grouped array: within
-// each maximal run of positions with equal groupOf value, the value of the
-// *first* element for which src reports ok is delivered via
-// apply(e, i, v, ok) to every element at or after that source. Elements
+// PropagateFirst is PropagateFirstBy grouped by a single-word key: a run of
+// equal groupOf values forms one group. groupOf must be a pure function of
+// the element (fillers typically map to InfKey so they form their own
+// trailing group).
+func PropagateFirst(
+	c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[Elem],
+	groupOf func(Elem) uint64,
+	src func(e Elem, i int) (uint64, bool),
+	apply func(e Elem, i int, v uint64, ok bool) Elem,
+) {
+	PropagateFirstBy(c, sp, a,
+		func(x, y Elem) bool { return groupOf(x) == groupOf(y) },
+		src, apply)
+}
+
+// PropagateFirstBy performs oblivious propagation in a grouped array: within
+// each maximal run of positions whose adjacent elements satisfy sameGroup,
+// the value of the *first* element for which src reports ok is delivered
+// via apply(e, i, v, ok) to every element at or after that source. Elements
 // before the first source of their run — and all elements of runs with no
 // source — receive ok=false.
 //
@@ -44,11 +66,11 @@ func propOp(x, y propVal) propVal {
 // group representative is the leftmost element (§F), and send-receive sorts
 // sources before receivers within a key group.
 //
-// groupOf must be a pure function of the element (fillers typically map to
-// InfKey so they form their own trailing group).
-func PropagateFirst(
+// sameGroup must be a pure function of its two elements; it is evaluated on
+// every adjacent pair in a fixed neighbor-read pass.
+func PropagateFirstBy(
 	c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[Elem],
-	groupOf func(Elem) uint64,
+	sameGroup func(x, y Elem) bool,
 	src func(e Elem, i int) (uint64, bool),
 	apply func(e Elem, i int, v uint64, ok bool) Elem,
 ) {
@@ -64,7 +86,7 @@ func PropagateFirst(
 			if i > 0 {
 				prev := a.Get(c, i-1)
 				c.Op(1)
-				boundary = groupOf(prev) != groupOf(e)
+				boundary = !sameGroup(prev, e)
 			}
 			v, has := src(e, i)
 			p.Set(c, i, propVal{v: v, has: has, boundary: boundary})
@@ -81,18 +103,17 @@ func PropagateFirst(
 	})
 }
 
-// aggVal is the carrier for segmented aggregation.
-type aggVal struct {
-	v        uint64
+// segVal is the carrier for segmented aggregation over an arbitrary value
+// type V ((sum) words, (sum, count) pairs, (sum, sum-of-squares, count)
+// triples, ...).
+type segVal[V any] struct {
+	v        V
 	boundary bool
 }
 
-// AggregateSuffix performs oblivious aggregation in a grouped array: every
-// element receives, via apply, the combine of valOf over the elements of
-// its group at positions >= its own (an inclusive suffix aggregate; the
-// paper's exclusive "to its right" variant follows by combining out the
-// element's own value, which all callers in this module do inline).
-// combine must be commutative and associative.
+// AggregateSuffix is AggregateSuffixBy grouped by a single-word key and
+// aggregating single uint64 values — the paper's Table 2 formulation and
+// the API every pre-wide-key caller uses.
 func AggregateSuffix(
 	c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[Elem],
 	groupOf func(Elem) uint64,
@@ -100,13 +121,34 @@ func AggregateSuffix(
 	combine func(x, y uint64) uint64,
 	apply func(e Elem, i int, agg uint64) Elem,
 ) {
+	AggregateSuffixBy(c, sp, a,
+		func(x, y Elem) bool { return groupOf(x) == groupOf(y) },
+		valOf, combine, apply)
+}
+
+// AggregateSuffixBy performs oblivious aggregation in a grouped array:
+// every element receives, via apply, the combine of valOf over the elements
+// of its group at positions >= its own (an inclusive suffix aggregate; the
+// paper's exclusive "to its right" variant follows by combining out the
+// element's own value, which all callers in this module do inline). Groups
+// are maximal runs whose adjacent elements satisfy sameGroup. combine must
+// be commutative and associative over V; aggregating a compound V (e.g. a
+// (sum, count) pair) costs the same fixed pass as a single word — one
+// carrier element still occupies one address.
+func AggregateSuffixBy[V any](
+	c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[Elem],
+	sameGroup func(x, y Elem) bool,
+	valOf func(Elem) V,
+	combine func(x, y V) V,
+	apply func(e Elem, i int, agg V) Elem,
+) {
 	n := a.Len()
 	if n == 0 {
 		return
 	}
 	// Build the carrier in reversed order so a plain prefix scan computes
 	// the suffix aggregate; boundaries sit at original group *ends*.
-	p := mem.Alloc[aggVal](sp, n)
+	p := mem.Alloc[segVal[V]](sp, n)
 	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			i := n - 1 - j
@@ -115,18 +157,19 @@ func AggregateSuffix(
 			if i < n-1 {
 				next := a.Get(c, i+1)
 				c.Op(1)
-				boundary = groupOf(next) != groupOf(e)
+				boundary = !sameGroup(next, e)
 			}
-			p.Set(c, j, aggVal{v: valOf(e), boundary: boundary})
+			p.Set(c, j, segVal[V]{v: valOf(e), boundary: boundary})
 		}
 	})
-	op := func(x, y aggVal) aggVal {
+	op := func(x, y segVal[V]) segVal[V] {
 		if y.boundary {
 			return y
 		}
-		return aggVal{v: combine(x.v, y.v), boundary: x.boundary}
+		return segVal[V]{v: combine(x.v, y.v), boundary: x.boundary}
 	}
-	ScanOp(c, sp, p, op, aggVal{}, true)
+	var id segVal[V]
+	ScanOp(c, sp, p, op, id, true)
 	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)

@@ -78,6 +78,13 @@ func (o Order) String() string {
 // adversary already holds. Build's output is a deterministic function of a
 // Shape and nothing else.
 type Shape struct {
+	// KeyCols is the relation's key-column count (0 is treated as 1). The
+	// width is public schema, not data: it selects how many words the key
+	// sorts' schedules carry — (key columns..., position) — and nothing
+	// else. Widening the key never changes which passes run or how many
+	// sorts the plan costs, so width-1 queries keep the exact pass
+	// sequence (and sort-pass count) of the single-word planner.
+	KeyCols int
 	// Filter reports whether a filter stage is present.
 	Filter bool
 	// FilterKeyOnly declares the filter predicate a function of the key
@@ -162,6 +169,9 @@ type Op struct {
 // bookkeeping the tests and tools assert on.
 type Plan struct {
 	Ops []Op
+	// KeyCols is the key-column count the key sorts' schedules carry
+	// (>= 1; copied from the shape).
+	KeyCols int
 	// SortPasses counts the full sorting-network passes the plan runs.
 	SortPasses int
 	// StagedSortPasses counts the sorts the same shape costs when executed
@@ -172,14 +182,21 @@ type Plan struct {
 }
 
 // String renders the pass sequence, e.g.
-// "filter-mark → sort(key,pos) → aggregate → sort(val↓) → topk [2 sorts]".
+// "filter-mark → sort(key,pos) → aggregate → sort(val↓) → topk [2 sorts]";
+// multi-column shapes render their key sorts with the column count, e.g.
+// "sort(key×2,pos)". Width-1 plans render exactly as the single-word
+// planner always has.
 func (p Plan) String() string {
 	s := ""
 	for i, op := range p.Ops {
 		if i > 0 {
 			s += " → "
 		}
-		s += op.Kind.String()
+		if op.Kind == OpSortKey && p.KeyCols > 1 {
+			s += fmt.Sprintf("sort(key×%d,pos)", p.KeyCols)
+		} else {
+			s += op.Kind.String()
+		}
 		if op.WithFilter {
 			s += "+filter"
 		}
@@ -202,6 +219,10 @@ func (k OpKind) sorts() bool {
 func Build(s Shape) Plan {
 	var ops []Op
 	cur := OrderInput
+	keyCols := s.KeyCols
+	if keyCols < 1 {
+		keyCols = 1
+	}
 
 	// Rule 3: a key-only filter below a Distinct/GroupBy stage merges into
 	// that stage's elementwise pass.
@@ -249,7 +270,7 @@ func Build(s Shape) Plan {
 		output = OrderPos
 	}
 
-	p := Plan{Ops: ops, StagedSortPasses: stagedSorts(s), Output: output}
+	p := Plan{Ops: ops, KeyCols: keyCols, StagedSortPasses: stagedSorts(s), Output: output}
 	for _, op := range ops {
 		if op.Kind.sorts() {
 			p.SortPasses++

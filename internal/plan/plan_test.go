@@ -122,3 +122,33 @@ func TestShapeOnlyDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestKeyColsNeverChangeThePlan pins the width-awareness contract: the
+// key-column count selects schedule widths, never passes — every shape
+// compiles to the same op sequence and sort counts at width 1 and 2, and
+// width 1 renders exactly as the single-word planner always has.
+func TestKeyColsNeverChangeThePlan(t *testing.T) {
+	for _, s := range shapes() {
+		narrow := Build(s)
+		wide := s
+		wide.KeyCols = 2
+		w := Build(wide)
+		if len(w.Ops) != len(narrow.Ops) || w.SortPasses != narrow.SortPasses ||
+			w.StagedSortPasses != narrow.StagedSortPasses || w.Output != narrow.Output {
+			t.Fatalf("shape %+v: width changed the plan: %s vs %s", s, narrow, w)
+		}
+		for i := range w.Ops {
+			if w.Ops[i] != narrow.Ops[i] {
+				t.Fatalf("shape %+v: op %d differs across widths", s, i)
+			}
+		}
+	}
+	p := Build(Shape{KeyCols: 2, Distinct: true, GroupBy: true, Agg: 4, TopK: 3})
+	if want := "sort(key×2,pos) → dedup+aggregate → sort(val↓) → topk [2 sorts, staged 5]"; p.String() != want {
+		t.Fatalf("wide rendering = %q, want %q", p, want)
+	}
+	n := Build(Shape{Distinct: true, GroupBy: true, Agg: 4, TopK: 3})
+	if want := "sort(key,pos) → dedup+aggregate → sort(val↓) → topk [2 sorts, staged 5]"; n.String() != want {
+		t.Fatalf("narrow rendering = %q, want %q", n, want)
+	}
+}

@@ -9,8 +9,8 @@ import (
 // scratch, cached key schedules, boundary marks, rank counters — so a
 // multi-pass operator or a whole planned query allocates each of them once
 // instead of once per pass. Reuse is trace-safe: the allocation sequence,
-// like everything else here, is a function of the relation sizes only, and
-// every pass fully overwrites the region it reads.
+// like everything else here, is a function of the relation sizes and
+// schema widths only, and every pass fully overwrites the region it reads.
 //
 // A nil *Arena is valid and means "no reuse": every request allocates
 // fresh, which reproduces the pre-arena behavior. Arenas are not safe for
@@ -21,7 +21,10 @@ type Arena struct {
 	// arrays are only valid in their own space — addresses from one space
 	// would alias independently reserved ranges of another — so a request
 	// under a different space drops the cache and reallocates.
-	sp      *mem.Space
+	sp *mem.Space
+	// keys and keyScr back the key schedules: one maximal word array each,
+	// re-carved per request into a strided width-w schedule (passes of
+	// different widths share the same backing).
 	keys    *mem.Array[uint64]
 	keyScr  *mem.Array[uint64]
 	ranks   *mem.Array[uint64]
@@ -40,28 +43,29 @@ func (ar *Arena) rebind(sp *mem.Space) {
 	}
 }
 
-// Keys returns the cached-key-schedule array of length n.
-func (ar *Arena) Keys(sp *mem.Space, n int) *mem.Array[uint64] {
+// Keys returns a width-w cached key schedule covering n elements.
+func (ar *Arena) Keys(sp *mem.Space, n, w int) *obliv.KeySchedule {
 	if ar == nil {
-		return mem.Alloc[uint64](sp, n)
+		return obliv.AllocKeySchedule(sp, n, w)
 	}
 	ar.rebind(sp)
-	if ar.keys == nil || ar.keys.Len() < n {
-		ar.keys = mem.Alloc[uint64](sp, n)
+	if ar.keys == nil || ar.keys.Len() < n*w {
+		ar.keys = mem.Alloc[uint64](sp, n*w)
 	}
-	return ar.keys.View(0, n)
+	return obliv.NewKeySchedule(ar.keys, n, w)
 }
 
-// KeyScratch returns the key-schedule sorting scratch of length n.
-func (ar *Arena) KeyScratch(sp *mem.Space, n int) *mem.Array[uint64] {
+// KeyScratch returns a width-w key-schedule sorting scratch covering n
+// elements.
+func (ar *Arena) KeyScratch(sp *mem.Space, n, w int) *obliv.KeySchedule {
 	if ar == nil {
-		return mem.Alloc[uint64](sp, n)
+		return obliv.AllocKeySchedule(sp, n, w)
 	}
 	ar.rebind(sp)
-	if ar.keyScr == nil || ar.keyScr.Len() < n {
-		ar.keyScr = mem.Alloc[uint64](sp, n)
+	if ar.keyScr == nil || ar.keyScr.Len() < n*w {
+		ar.keyScr = mem.Alloc[uint64](sp, n*w)
 	}
-	return ar.keyScr.View(0, n)
+	return obliv.NewKeySchedule(ar.keyScr, n, w)
 }
 
 // Ranks returns the prefix-rank array of length n (TopK).

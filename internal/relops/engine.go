@@ -8,40 +8,41 @@ import (
 )
 
 // Execute runs the physical pass sequence pl (produced by plan.Build from a
-// public query shape) over the relation a, returning the survivor count
+// public query shape) over the relation r, returning the survivor count
 // (raw read, outside the adversary's view). pred is the filter predicate
 // referenced by OpFilterMark / WithFilter ops (nil when the shape has no
 // filter); it must be a pure function of the record.
 //
 // Every pass is one of the same data-independent primitives the
 // stand-alone operators are built from, so the trace of a planned pipeline
-// is a function of (len(a), pl) only — and pl itself is a function of the
-// public query shape. ar supplies reusable scratch (nil = allocate fresh).
-func Execute(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], pl plan.Plan, pred func(Record) bool, srt obliv.Sorter) int {
+// is a function of (len(r), r.W, pl) only — and pl itself is a function of
+// the public query shape, which includes the key width. ar supplies
+// reusable scratch (nil = allocate fresh).
+func Execute(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel, pl plan.Plan, pred func(Record) bool, srt obliv.Sorter) int {
 	for _, op := range pl.Ops {
 		switch op.Kind {
 		case plan.OpFilterMark:
-			filterMark(c, a, pred)
+			filterMark(c, r.A, pred)
 		case plan.OpSortKey:
-			sortBy(c, sp, ar, a, keyIdx, srt)
+			sortSched(c, sp, ar, r.A, keyIdxSched(r.W), srt)
 		case plan.OpDedup:
-			dedupDrop(c, sp, ar, a, false, 0, filterOf(op, pred))
+			dedupDrop(c, sp, ar, r, false, 0, filterOf(op, pred))
 		case plan.OpAggregate:
-			aggregateDrop(c, sp, ar, a, AggKind(op.Agg), filterOf(op, pred))
+			aggregateDrop(c, sp, ar, r, AggKind(op.Agg), filterOf(op, pred))
 		case plan.OpDedupAggregate:
-			dedupDrop(c, sp, ar, a, true, AggKind(op.Agg), filterOf(op, pred))
+			dedupDrop(c, sp, ar, r, true, AggKind(op.Agg), filterOf(op, pred))
 		case plan.OpSortValDesc:
-			sortBy(c, sp, ar, a, descValKey, srt)
+			sortSched(c, sp, ar, r.A, descValSched(), srt)
 		case plan.OpTopK:
-			rankCut(c, sp, ar, a, op.K)
+			rankCut(c, sp, ar, r.A, op.K)
 		case plan.OpCompactPos:
 			// Every earlier pass zeroes the records it drops, so the sort
 			// alone restores the public output order: survivors at the
 			// front by original position, zero fillers at the tail.
-			sortBy(c, sp, ar, a, posKey, srt)
+			sortSched(c, sp, ar, r.A, posSched(), srt)
 		}
 	}
-	return countReal(a)
+	return countReal(r.A)
 }
 
 // filterOf returns the predicate an op's elementwise pass must apply, or
@@ -62,7 +63,7 @@ func filterMark(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], pred func(Record) boo
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			c.Op(1)
-			if e.Kind == obliv.Real && !pred(Record{Key: e.Key, Val: e.Val}) {
+			if e.Kind == obliv.Real && !pred(recordOf(e)) {
 				e = obliv.Elem{}
 			}
 			a.Set(c, i, e)
@@ -74,26 +75,29 @@ func filterMark(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], pred func(Record) boo
 // everything else to fillers in place. With withAgg it is the fused
 // Distinct→GroupBy pass: each surviving head carries the aggregate of the
 // deduplicated relation, in which every group is the single head record
-// (AggCount → 1, AggSum/Min/Max → the head's own value). pred, when
-// non-nil, is the pushed-down key-only filter merged into the same pass.
+// (AggCount → 1, AggSum/Min/Max/Avg → the head's own value, AggVar → 0).
+// pred, when non-nil, is the pushed-down key-only filter merged into the
+// same pass.
 //
 // The relation stays key-sorted among real records; dropped slots become
 // interleaved fillers. That is safe for every later pass: the sorts key
-// fillers to obliv.InfKey, and after deduplication every real key group is
-// a singleton, so a filler can never split a group.
-func dedupDrop(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], withAgg bool, agg AggKind, pred func(Record) bool) {
-	markBoundaries(c, sp, ar, a)
+// fillers to the InfKey sentinel in every word, and after deduplication
+// every real key group is a singleton, so a filler can never split a
+// group.
+func dedupDrop(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel, withAgg bool, agg AggKind, pred func(Record) bool) {
+	markBoundaries(c, sp, ar, r)
+	a := r.A
 	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			c.Op(1)
 			keep := e.Kind == obliv.Real && e.Mark == 1
 			if keep && pred != nil {
-				keep = pred(Record{Key: e.Key, Val: e.Val})
+				keep = pred(recordOf(e))
 			}
 			if keep {
-				if withAgg && agg == AggCount {
-					e.Val = 1
+				if withAgg {
+					e.Val = singletonAgg(agg, e.Val)
 				}
 				e.Mark = 0
 			} else {
@@ -108,21 +112,17 @@ func dedupDrop(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Ele
 // aggregate under agg, installs it on the group head, and drops non-heads
 // to fillers in place (GroupBy minus its sorts). pred, when non-nil, is the
 // pushed-down key-only filter merged into the same pass.
-func aggregateDrop(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], agg AggKind, pred func(Record) bool) {
-	valOf, combine := combineOf(agg)
-	obliv.AggregateSuffix(c, sp, a, groupKey, valOf, combine,
-		func(e obliv.Elem, i int, aggVal uint64) obliv.Elem {
-			e.Lbl = aggVal
-			return e
-		})
-	markBoundaries(c, sp, ar, a)
+func aggregateDrop(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel, agg AggKind, pred func(Record) bool) {
+	aggregateGroups(c, sp, r, agg)
+	markBoundaries(c, sp, ar, r)
+	a := r.A
 	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			c.Op(1)
 			keep := e.Kind == obliv.Real && e.Mark == 1
 			if keep && pred != nil {
-				keep = pred(Record{Key: e.Key, Val: e.Val})
+				keep = pred(recordOf(e))
 			}
 			if keep {
 				e.Val = e.Lbl

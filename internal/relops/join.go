@@ -1,37 +1,46 @@
 package relops
 
 import (
+	"fmt"
+
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
 )
 
 // Joined is one output record of Join: a right record together with the
-// value of the left record sharing its key.
+// value of the left record sharing its key tuple.
 type Joined struct {
-	Key, LeftVal, RightVal uint64
+	Key, Key2, LeftVal, RightVal uint64
 }
 
 // Join is the oblivious sort-merge equi-join of a primary relation left
-// (whose keys must be distinct; if they are not, the first key in sorted
-// order wins, as in obliv.SendReceive) with a foreign relation right. The
-// result array has length NextPow2(len(left)+len(right)) and holds, at the
-// front in right's original order, one record per right record whose key
-// appears in left — Key/Val are the right record's, Lbl carries the joined
-// left value. The match count is returned (raw read, outside the
-// adversary's view).
+// (whose key tuples must be distinct; if they are not, the first tuple in
+// sorted order wins, as in obliv.SendReceive) with a foreign relation
+// right of the same key width. The result relation has length
+// NextPow2(len(left)+len(right)) and holds, at the front in right's
+// original order, one record per right record whose key tuple appears in
+// left — Key/Key2/Val are the right record's, Lbl carries the joined left
+// value. The match count is returned (raw read, outside the adversary's
+// view).
 //
 // Construction (§F / [CS17] style): tag and interleave the two relations,
-// sort by (key, side, position) so each key group is its left record
-// followed by its right records, obliviously propagate the left value
-// through the group, then compact the matched right records. Two
+// sort by (key columns..., side, position) so each key group is its left
+// record followed by its right records, obliviously propagate the left
+// value through the group, then compact the matched right records. Two
 // data-independent sorts, one propagation, elementwise passes — the trace
-// depends only on (len(left), len(right)). ar supplies reusable scratch
-// (nil = allocate fresh).
-func Join(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right *mem.Array[obliv.Elem], srt obliv.Sorter) (*mem.Array[obliv.Elem], int) {
+// depends only on (len(left), len(right), width). The (side, position)
+// suffix of the logical order is the obliv.TiePos tie-break — the
+// elements' (Tag, Aux) read in registers — so the schedule carries only
+// the key columns. ar supplies reusable scratch (nil = allocate fresh).
+func Join(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right Rel, srt obliv.Sorter) (Rel, int) {
+	if left.W != right.W {
+		panic(fmt.Sprintf("relops: join of width-%d and width-%d relations", left.W, right.W))
+	}
+	w := left.W
 	nl, nr := left.Len(), right.Len()
 	wLen := obliv.NextPow2(nl + nr)
-	w := mem.Alloc[obliv.Elem](sp, wLen) // trailing slots are fillers
+	wrk := Rel{A: mem.Alloc[obliv.Elem](sp, wLen), W: w} // trailing slots are fillers
 
 	const (
 		tagLeft  = 0
@@ -39,32 +48,28 @@ func Join(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right *mem.Array[obli
 	)
 	forkjoin.ParallelRange(c, 0, nl, 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			e := left.Get(c, i)
+			e := left.A.Get(c, i)
 			e.Tag = tagLeft
-			w.Set(c, i, e)
+			wrk.A.Set(c, i, e)
 		}
 	})
 	forkjoin.ParallelRange(c, 0, nr, 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for j := lo; j < hi; j++ {
-			e := right.Get(c, j)
+			e := right.A.Get(c, j)
 			e.Tag = tagRight
-			w.Set(c, nl+j, e)
+			wrk.A.Set(c, nl+j, e)
 		}
 	})
 
-	// Sort by (key, left-before-right, position). Keys < 2^40 shifted by
-	// idxBits+1 stay below obliv.MaxKey.
-	sideKey := func(e obliv.Elem) uint64 {
-		if e.Kind != obliv.Real {
-			return obliv.InfKey
-		}
-		return e.Key<<(idxBits+1) | uint64(e.Tag)<<idxBits | e.Aux
-	}
-	sortBy(c, sp, ar, w, sideKey, srt)
+	// Sort by (key columns..., left-before-right, position): the key
+	// columns are the cached schedule, and TiePos orders equal tuples by
+	// (Tag, Aux) — tagLeft < tagRight puts each group's left record first,
+	// then right records in original order.
+	sortSched(c, sp, ar, wrk.A, keyIdxSched(w), srt)
 
 	// Propagate each key group's left value to the group's right records;
 	// matched right records get Mark=1, everything else Mark=0.
-	obliv.PropagateFirst(c, sp, w, groupKey,
+	obliv.PropagateFirstBy(c, sp, wrk.A, sameGroup(w),
 		func(e obliv.Elem, i int) (uint64, bool) {
 			return e.Val, e.Kind == obliv.Real && e.Tag == tagLeft
 		},
@@ -77,17 +82,17 @@ func Join(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right *mem.Array[obli
 			return e
 		})
 
-	matched := compactMarked(c, sp, ar, w, srt)
-	return w, matched
+	matched := compactMarked(c, sp, ar, wrk.A, srt)
+	return wrk, matched
 }
 
 // UnloadJoined extracts the real joined records of a Join result in array
 // order (harness operation, outside the adversary's view).
-func UnloadJoined(a *mem.Array[obliv.Elem]) []Joined {
-	out := make([]Joined, 0, a.Len())
-	for _, e := range a.Data() {
+func UnloadJoined(r Rel) []Joined {
+	out := make([]Joined, 0, r.Len())
+	for _, e := range r.A.Data() {
 		if e.Kind == obliv.Real {
-			out = append(out, Joined{Key: e.Key, LeftVal: e.Lbl, RightVal: e.Val})
+			out = append(out, Joined{Key: e.Key, Key2: e.Key2, LeftVal: e.Lbl, RightVal: e.Val})
 		}
 	}
 	return out

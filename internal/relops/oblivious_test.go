@@ -2,10 +2,10 @@ package relops
 
 // Obliviousness regression tests (DESIGN.md §3 strategy, as in
 // TestCompareExchangeObliviousTrace): run each relational operator on
-// different record contents of the same shape (relation sizes) under the
-// metered executor and assert the adversary's views — the trace
-// fingerprints — are identical. A divergence means record contents leak
-// through the access pattern.
+// different record contents of the same shape (relation sizes and key
+// widths) under the metered executor and assert the adversary's views —
+// the trace fingerprints — are identical. A divergence means record
+// contents leak through the access pattern.
 
 import (
 	"testing"
@@ -37,6 +37,22 @@ func traceInputs(n int) [][]Record {
 		a[i] = Record{Key: 7, Val: 0}
 		b[i] = Record{Key: uint64(i), Val: uint64(1<<35) + uint64(i)}
 		c[i] = Record{Key: src.Uint64n(4), Val: src.Uint64n(1 << 30)}
+	}
+	return [][]Record{a, b, c}
+}
+
+// wideTraceInputs yields width-2 record sets of identical shape but wildly
+// different contents, including full-range key columns at the maximum
+// legal value.
+func wideTraceInputs(n int) [][]Record {
+	a := make([]Record, n) // one composite group at the sentinel boundary
+	b := make([]Record, n) // all distinct tuples across the word range
+	c := make([]Record, n) // random duplicated tuples
+	src := prng.New(98)
+	for i := 0; i < n; i++ {
+		a[i] = Record{Key: KeyLimit - 1, Key2: KeyLimit - 1, Val: 0}
+		b[i] = Record{Key: uint64(i) << 50, Key2: ^uint64(i*3 + 1), Val: uint64(i)}
+		c[i] = Record{Key: src.Uint64n(4) * 0x9e3779b97f4a7c15, Key2: src.Uint64n(3), Val: src.Uint64n(1 << 30)}
 	}
 	return [][]Record{a, b, c}
 }
@@ -77,7 +93,7 @@ func TestDistinctObliviousTrace(t *testing.T) {
 
 func TestGroupByObliviousTrace(t *testing.T) {
 	srt := bitonic.CacheAgnostic{}
-	for _, agg := range []AggKind{AggSum, AggCount, AggMin, AggMax} {
+	for _, agg := range allAggs {
 		run := func(recs []Record) *forkjoin.Metrics {
 			return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
 				a := mustLoad(t, sp, recs)
@@ -85,6 +101,49 @@ func TestGroupByObliviousTrace(t *testing.T) {
 			})
 		}
 		assertSameTrace(t, "GroupBy", run, traceInputs(64))
+	}
+}
+
+// TestWideKeyObliviousTrace is the wide-key trace regression: width-2
+// operators (GroupBy under every aggregate, Distinct) must produce
+// identical fingerprints across same-shape datasets whose key columns
+// differ wildly — including columns pinned at the maximum legal value.
+func TestWideKeyObliviousTrace(t *testing.T) {
+	srt := bitonic.CacheAgnostic{}
+	inputs := wideTraceInputs(64)
+	for _, agg := range allAggs {
+		run := func(recs []Record) *forkjoin.Metrics {
+			return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
+				a := mustLoadW(t, sp, recs, 2)
+				GroupBy(c, sp, NewArena(), a, agg, srt)
+			})
+		}
+		assertSameTrace(t, "GroupBy wide", run, inputs)
+	}
+	run := func(recs []Record) *forkjoin.Metrics {
+		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
+			a := mustLoadW(t, sp, recs, 2)
+			Distinct(c, sp, NewArena(), a, srt)
+		})
+	}
+	assertSameTrace(t, "Distinct wide", run, inputs)
+}
+
+// TestWideTraceDependsOnWidth is the sanity inverse for the schema width:
+// the same records loaded at width 1 and width 2 must yield different
+// views (the wide schedule carries one more word per element), confirming
+// the fingerprint is sensitive to the public width.
+func TestWideTraceDependsOnWidth(t *testing.T) {
+	srt := bitonic.CacheAgnostic{}
+	recs := traceInputs(64)[2]
+	run := func(w int) *forkjoin.Metrics {
+		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
+			a := mustLoadW(t, sp, recs, w)
+			GroupBy(c, sp, NewArena(), a, AggSum, srt)
+		})
+	}
+	if run(1).Trace.Equal(run(2).Trace) {
+		t.Fatal("width-1 and width-2 traces should differ (width is public shape)")
 	}
 }
 
@@ -107,6 +166,30 @@ func TestJoinObliviousTrace(t *testing.T) {
 	for i := 1; i < len(lefts); i++ {
 		if m := run(i); !m.Trace.Equal(ref.Trace) {
 			t.Fatalf("Join: trace of input %d differs from input 0 — record contents leak", i)
+		}
+	}
+}
+
+// TestWideJoinObliviousTrace extends the join trace test to width-2 key
+// tuples.
+func TestWideJoinObliviousTrace(t *testing.T) {
+	srt := bitonic.CacheAgnostic{}
+	rights := wideTraceInputs(48)
+	lefts := [][]Record{
+		{{Key: KeyLimit - 1, Key2: KeyLimit - 1, Val: 0}, {Key: 8, Key2: 1, Val: 0}, {Key: 9, Key2: 2, Val: 0}},
+		{{Key: 0, Key2: 0, Val: 1 << 30}, {Key: 1 << 50, Key2: 5, Val: 2}, {Key: 2, Key2: 2, Val: 3}},
+		{{Key: 100, Key2: 9, Val: 5}, {Key: 200, Key2: 8, Val: 6}, {Key: 300, Key2: 7, Val: 7}},
+	}
+	run := func(i int) *forkjoin.Metrics {
+		return meteredTrace(func(c *forkjoin.Ctx, sp *mem.Space) {
+			left, right := mustLoadW(t, sp, lefts[i], 2), mustLoadW(t, sp, rights[i], 2)
+			Join(c, sp, NewArena(), left, right, srt)
+		})
+	}
+	ref := run(0)
+	for i := 1; i < len(lefts); i++ {
+		if m := run(i); !m.Trace.Equal(ref.Trace) {
+			t.Fatalf("wide Join: trace of input %d differs from input 0 — record contents leak", i)
 		}
 	}
 }
@@ -137,14 +220,44 @@ func TestTraceDependsOnShape(t *testing.T) {
 	}
 }
 
-// Guard against accidental key-range widening: composite sort keys must
-// stay below obliv.MaxKey for the largest legal key and position.
-func TestCompositeKeyBounds(t *testing.T) {
-	e := obliv.Elem{Key: KeyLimit - 1, Aux: MaxRows - 1, Tag: 1, Kind: obliv.Real}
-	if k := keyIdx(e); k >= obliv.MaxKey {
-		t.Fatalf("keyIdx overflows MaxKey: %x", k)
+// TestScheduleWordBounds guards the schedule invariants that replaced the
+// old packed-composite bound: every schedule stays within the comparator's
+// stack budget, fillers emit the InfKey sentinel in every word, key sorts
+// carry exactly one plane per column with the TiePos (position) tie-break,
+// and a maximal legal real record still sorts strictly before a filler.
+func TestScheduleWordBounds(t *testing.T) {
+	e := obliv.Elem{Key: KeyLimit - 1, Key2: KeyLimit - 1, Aux: MaxRows - 1, Tag: 1, Kind: obliv.Real}
+	var buf, fill [obliv.MaxScheduleWidth]uint64
+	for _, sc := range []schedule{keyIdxSched(1), keyIdxSched(2), posSched(), descValSched(), markSched()} {
+		if sc.w > obliv.MaxScheduleWidth {
+			t.Fatalf("schedule width %d exceeds MaxScheduleWidth", sc.w)
+		}
+		filler := fill[:sc.w]
+		sc.emit(obliv.Elem{}, filler)
+		for w := 0; w < sc.w; w++ {
+			if filler[w] != obliv.InfKey {
+				t.Fatalf("filler schedule word %d is %x, want the InfKey sentinel", w, filler[w])
+			}
+		}
 	}
-	if k := e.Key<<(idxBits+1) | uint64(e.Tag)<<idxBits | e.Aux; k >= obliv.MaxKey {
-		t.Fatalf("join side key overflows MaxKey: %x", k)
+	for _, w := range []int{1, 2} {
+		sc := keyIdxSched(w)
+		if sc.w != w || sc.tie != obliv.TiePos {
+			t.Fatalf("keyIdxSched(%d): width %d tie %d, want one plane per column with TiePos", w, sc.w, sc.tie)
+		}
+		real := buf[:sc.w]
+		sc.emit(e, real)
+		// KeyLimit caps columns below the sentinel, so even the maximal
+		// record's first word beats a filler's.
+		if real[0] >= obliv.InfKey {
+			t.Fatalf("maximal real record's key word %x reaches the filler sentinel", real[0])
+		}
+	}
+	// Compaction schedules carry positions as words under the same
+	// sentinel, which is what keeps MaxRows below InfKey.
+	real := buf[:1]
+	posSched().emit(e, real)
+	if real[0] != MaxRows-1 || uint64(MaxRows) >= obliv.InfKey {
+		t.Fatalf("position word %x out of range for MaxRows %x", real[0], uint64(MaxRows))
 	}
 }

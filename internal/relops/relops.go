@@ -1,25 +1,39 @@
 // Package relops implements data-oblivious relational operators over
-// (key, value) records — the private-analytics workload layer the paper
-// motivates in §1 (analytics on secret databases hosted on secure
-// multicore processors).
+// multi-column (keys..., value) records — the private-analytics workload
+// layer the paper motivates in §1 (analytics on secret databases hosted on
+// secure multicore processors).
 //
 // Every operator is composed entirely from the oblivious building blocks
 // of internal/obliv (oblivious sorting networks, parallel prefix scans,
 // segmented aggregation and propagation) running in the binary fork-join
 // model, so each operator inherits the work/span/cache bounds of the
 // primitives it is built from and — crucially — produces a memory trace
-// that is a deterministic function of the *relation sizes only*, never of
-// the record contents. The test suite asserts this by trace-fingerprint
-// equality across same-shape, different-content inputs.
+// that is a deterministic function of the *relation sizes and schema
+// widths only*, never of the record contents. The test suite asserts this
+// by trace-fingerprint equality across same-shape, different-content
+// inputs.
 //
-// Representation: a relation of n records lives in a power-of-two
-// obliv.Elem array (Load pads with fillers). Within an element,
+// Representation: a relation of n width-w records lives in a Rel — a
+// power-of-two obliv.Elem array (Load pads with fillers) plus its public
+// key-column count. Within an element,
 //
-//	Key  — the record's relational key (must be < KeyLimit)
+//	Key  — key column 0
+//	Key2 — key column 1 (width-2 relations)
 //	Val  — the record's payload value
 //	Aux  — the record's original position (stable tie-break, < MaxRows)
 //	Lbl  — scratch (aggregates, joined values)
 //	Mark — scratch survivor flag used by the compaction passes
+//
+// Sort keys are no longer packed into one word: every sort materializes a
+// width-parameterized obliv.KeySchedule — one cached word plane per key
+// column — and the networks compare the cached vectors lexicographically,
+// breaking full ties by the elements' in-register (Kind, Tag, Aux) triple
+// (obliv.TiePos), which realizes the logical (key columns..., position)
+// order without a dedicated position plane of comparator traffic. Key
+// columns therefore span the full uint64 range below the filler sentinel
+// (KeyLimit = obliv.InfKey) and relations may hold up to MaxRows = 2^40
+// rows — both limits derive from the schedule's sentinel layout rather
+// than from bit-packing headroom.
 //
 // Operators keep the array length fixed: records that logically leave a
 // relation (filtered rows, duplicate keys, non-matching join rows) become
@@ -32,12 +46,12 @@
 // (Compact, Distinct, GroupBy, Join, TopK) and the fused executor
 // (Execute, engine.go) that runs the pass sequence produced by the
 // internal/plan sort-fusion planner. Both sort through the key-schedule
-// fast path (obliv.ScheduledSorter) when the sorter supports it, and both
-// draw their scratch from an Arena when one is supplied.
+// fast path (obliv.ScheduledSorter — now a hard requirement of the
+// relational sorts), and both draw their scratch from an Arena when one is
+// supplied.
 package relops
 
 import (
-	"errors"
 	"fmt"
 
 	"oblivmc/internal/forkjoin"
@@ -46,59 +60,114 @@ import (
 )
 
 const (
-	// idxBits is the width of the original-position tie-break packed into
-	// the low bits of composite sort keys.
-	idxBits = 20
-	// MaxRows bounds the number of records in a relation.
-	MaxRows = 1 << idxBits
-	// KeyLimit bounds record keys: composite sort keys shift the key left
-	// by idxBits+1 bits and must stay below obliv.MaxKey = 2^62.
-	KeyLimit = uint64(1) << 40
+	// MaxKeyCols is the number of key columns a relation may declare — the
+	// key words an obliv.Elem carries (Key, Key2).
+	MaxKeyCols = 2
+	// maxRowsLog is log2(MaxRows), kept separate so the error message and
+	// the bound derive from one constant without ever converting MaxRows
+	// to a (possibly 32-bit) int.
+	maxRowsLog = 40
+	// MaxRows bounds the number of records in a relation. Positions appear
+	// as schedule words in the compaction sorts, whose filler sentinel is
+	// obliv.InfKey, so positions must stay strictly below it; 2^40 is the
+	// enforced (memory-realistic) cap under that ceiling.
+	MaxRows = 1 << maxRowsLog
+	// KeyLimit bounds record key column values: obliv.InfKey is the filler
+	// sentinel of every schedule word, so key columns span the full uint64
+	// range below it (0 .. 2^64-2).
+	KeyLimit = obliv.InfKey
 )
 
-// Boundary errors: out-of-range inputs would silently corrupt the packed
-// (key, position) composite sort keys, so Load rejects them up front.
+// Boundary errors. The messages are derived from the active constants so
+// they can never drift from the enforced bounds.
 var (
-	// ErrKeyTooLarge is returned for a record key >= KeyLimit.
-	ErrKeyTooLarge = errors.New("relops: record key exceeds KeyLimit (2^40-1)")
+	// ErrKeyTooLarge is returned for a record key column >= KeyLimit.
+	ErrKeyTooLarge = fmt.Errorf("relops: record key column exceeds KeyLimit (max key %d)", uint64(KeyLimit-1))
 	// ErrTooManyRows is returned for a relation of more than MaxRows
 	// records.
-	ErrTooManyRows = errors.New("relops: relation exceeds MaxRows (2^20)")
+	ErrTooManyRows = fmt.Errorf("relops: relation exceeds MaxRows (2^%d rows)", maxRowsLog)
+	// ErrBadWidth is returned for a key-column count outside
+	// [1, MaxKeyCols].
+	ErrBadWidth = fmt.Errorf("relops: key-column count must be in [1, %d]", MaxKeyCols)
 )
 
-// Record is one relational (key, value) record.
+// Record is one relational (keys..., value) record. Key is column 0; Key2
+// is column 1 and is ignored by width-1 relations.
 type Record struct {
-	Key, Val uint64
+	Key, Key2, Val uint64
 }
 
-// Load validates recs against the packing bounds (keys < KeyLimit, at most
-// MaxRows records — violations return ErrKeyTooLarge / ErrTooManyRows) and
-// places them into a fresh power-of-two element array padded with fillers,
-// recording each record's original position in Aux. The copy is a harness
-// operation (input loading) and is not instrumented.
-func Load(sp *mem.Space, recs []Record) (*mem.Array[obliv.Elem], error) {
-	if len(recs) > MaxRows {
-		return nil, fmt.Errorf("%w: %d records", ErrTooManyRows, len(recs))
+// Col returns key column k of r.
+func (r Record) Col(k int) uint64 {
+	if k == 0 {
+		return r.Key
+	}
+	return r.Key2
+}
+
+// Rel is a loaded relation: the padded power-of-two element array plus its
+// public schema width (key-column count). The width, like the row count,
+// is query shape — it determines the sort schedules' word count and
+// nothing about the record contents.
+type Rel struct {
+	A *mem.Array[obliv.Elem]
+	W int
+}
+
+// Len returns the padded array length.
+func (r Rel) Len() int { return r.A.Len() }
+
+// CheckShape validates a public relation shape (row count, key-column
+// count) against the packing bounds without materializing anything. Load
+// applies it; callers with shape-only knowledge (API validation, tests of
+// bounds too large to allocate) use it directly. rows is an int64 so the
+// above-MaxRows range stays expressible on 32-bit platforms.
+func CheckShape(rows int64, cols int) error {
+	if cols < 1 || cols > MaxKeyCols {
+		return fmt.Errorf("%w: %d columns", ErrBadWidth, cols)
+	}
+	if rows > MaxRows {
+		return fmt.Errorf("%w: %d records", ErrTooManyRows, rows)
+	}
+	return nil
+}
+
+// Load validates recs against the schedule bounds (key columns < KeyLimit,
+// at most MaxRows records, 1 <= w <= MaxKeyCols — violations return
+// ErrKeyTooLarge / ErrTooManyRows / ErrBadWidth) and places them into a
+// fresh power-of-two element array padded with fillers, recording each
+// record's original position in Aux. w is the relation's public key-column
+// count; columns beyond w are ignored. The copy is a harness operation
+// (input loading) and is not instrumented.
+func Load(sp *mem.Space, recs []Record, w int) (Rel, error) {
+	if err := CheckShape(int64(len(recs)), w); err != nil {
+		return Rel{}, err
 	}
 	for i, r := range recs {
-		if r.Key >= KeyLimit {
-			return nil, fmt.Errorf("%w: record %d key %d", ErrKeyTooLarge, i, r.Key)
+		for k := 0; k < w; k++ {
+			if r.Col(k) >= KeyLimit {
+				return Rel{}, fmt.Errorf("%w: record %d column %d key %d", ErrKeyTooLarge, i, k, r.Col(k))
+			}
 		}
 	}
 	a := mem.Alloc[obliv.Elem](sp, obliv.NextPow2(len(recs)))
 	for i, r := range recs {
-		a.Data()[i] = obliv.Elem{Key: r.Key, Val: r.Val, Aux: uint64(i), Kind: obliv.Real}
+		e := obliv.Elem{Key: r.Key, Val: r.Val, Aux: uint64(i), Kind: obliv.Real}
+		if w > 1 {
+			e.Key2 = r.Key2
+		}
+		a.Data()[i] = e
 	}
-	return a, nil
+	return Rel{A: a, W: w}, nil
 }
 
-// Unload extracts the real records of a in array order. Like Load it is a
+// Unload extracts the real records of r in array order. Like Load it is a
 // harness operation outside the adversary's view.
-func Unload(a *mem.Array[obliv.Elem]) []Record {
-	out := make([]Record, 0, a.Len())
-	for _, e := range a.Data() {
+func Unload(r Rel) []Record {
+	out := make([]Record, 0, r.Len())
+	for _, e := range r.A.Data() {
 		if e.Kind == obliv.Real {
-			out = append(out, Record{Key: e.Key, Val: e.Val})
+			out = append(out, Record{Key: e.Key, Key2: e.Key2, Val: e.Val})
 		}
 	}
 	return out
@@ -116,73 +185,140 @@ func countReal(a *mem.Array[obliv.Elem]) int {
 	return n
 }
 
-// keyIdx is the composite (Key, original position) sort key: it orders by
-// key with a stable, deterministic tie-break, and sorts fillers last.
-func keyIdx(e obliv.Elem) uint64 {
-	if e.Kind != obliv.Real {
-		return obliv.InfKey
+// keyCol returns key column k of e.
+func keyCol(e obliv.Elem, k int) uint64 {
+	if k == 0 {
+		return e.Key
 	}
-	return e.Key<<idxBits | e.Aux
+	return e.Key2
 }
 
-// groupKey groups real elements by Key; fillers form their own trailing
-// group.
-func groupKey(e obliv.Elem) uint64 {
-	if e.Kind != obliv.Real {
-		return obliv.InfKey
-	}
-	return e.Key
+// schedule is the public description of one sort's key layout: the number
+// of words per element, the emitter filling them, and the tie-break rule.
+// Width, emitter identity, and tie rule are functions of the relation's
+// schema, never of its contents.
+type schedule struct {
+	w    int
+	tie  obliv.TieBreak
+	emit func(e obliv.Elem, out []uint64)
 }
 
-// posKey orders real elements by original position with fillers last — the
-// compaction key that restores the operators' public output order.
-func posKey(e obliv.Elem) uint64 {
-	if e.Kind != obliv.Real {
-		return obliv.InfKey
-	}
-	return e.Aux
+// keyIdxSched is the (key columns..., position) schedule: it orders by the
+// key tuple with a stable, deterministic position tie-break, and sorts
+// fillers last (every cached word of a filler is the obliv.InfKey
+// sentinel, above every legal key column). Only the key columns occupy
+// schedule planes — the position word of the logical order rides inside
+// the elements via obliv.TiePos, so widening the key never pays a
+// dedicated position plane of comparator traffic.
+func keyIdxSched(w int) schedule {
+	return schedule{w: w, tie: obliv.TiePos, emit: func(e obliv.Elem, out []uint64) {
+		if e.Kind != obliv.Real {
+			fillInf(out)
+			return
+		}
+		for k := 0; k < w; k++ {
+			out[k] = keyCol(e, k)
+		}
+	}}
 }
 
-// descValKey orders real elements by descending value with fillers last
-// (TopK's sort key; a record with Val == 0 shares obliv.InfKey with the
+// posSched orders real elements by original position with fillers last —
+// the compaction schedule that restores the operators' public output
+// order.
+func posSched() schedule {
+	return schedule{w: 1, emit: func(e obliv.Elem, out []uint64) {
+		if e.Kind != obliv.Real {
+			out[0] = obliv.InfKey
+			return
+		}
+		out[0] = e.Aux
+	}}
+}
+
+// descValSched orders real elements by descending value with fillers last
+// (TopK's schedule; a record with Val == 0 shares obliv.InfKey with the
 // fillers, which every pass here tolerates).
-func descValKey(e obliv.Elem) uint64 {
-	if e.Kind != obliv.Real {
-		return obliv.InfKey
-	}
-	return ^e.Val
+func descValSched() schedule {
+	return schedule{w: 1, emit: func(e obliv.Elem, out []uint64) {
+		if e.Kind != obliv.Real {
+			out[0] = obliv.InfKey
+			return
+		}
+		out[0] = ^e.Val
+	}}
 }
 
-// sortBy sorts all of a ascending by key. When srt supports the
-// key-schedule fast path and an arena is supplied, the key is materialized
-// once into an arena-backed word array (one fixed linear pass) and the
-// network compares cached words; otherwise it falls back to the
-// closure-keyed Sorter.Sort, which recomputes key twice per comparator (the
-// pre-keysched behavior, kept as the nil-arena baseline). Either way the
-// comparator schedule — and hence the trace shape — depends only on a's
-// length.
-func sortBy(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], key func(obliv.Elem) uint64, srt obliv.Sorter) {
+// markSched orders marked real elements by original position and sends
+// everything else to the filler tail — compactMarked's schedule.
+func markSched() schedule {
+	return schedule{w: 1, emit: func(e obliv.Elem, out []uint64) {
+		if e.Kind != obliv.Real || e.Mark == 0 {
+			out[0] = obliv.InfKey
+			return
+		}
+		out[0] = e.Aux
+	}}
+}
+
+func fillInf(out []uint64) {
+	for i := range out {
+		out[i] = obliv.InfKey
+	}
+}
+
+// sameGroup reports whether two adjacent elements of a key-sorted relation
+// belong to the same key group at width w. Fillers form their own group:
+// grouping is Kind-aware, so even a real record whose key columns all
+// carry the maximal legal value can never merge with the filler tail.
+func sameGroup(w int) func(x, y obliv.Elem) bool {
+	return func(x, y obliv.Elem) bool {
+		if x.Kind != y.Kind {
+			return false
+		}
+		if x.Kind != obliv.Real {
+			return true
+		}
+		if x.Key != y.Key {
+			return false
+		}
+		return w < 2 || x.Key2 == y.Key2
+	}
+}
+
+// sortSched sorts all of a ascending by the lexicographic schedule sc. The
+// key words are materialized once into an arena-backed obliv.KeySchedule
+// (one fixed linear pass) and the network compares cached vectors — the
+// relational sorts require obliv.ScheduledSorter since no single closure
+// word can express a multi-word schedule. The comparator schedule — and
+// hence the trace shape — depends only on (a's length, sc.w), both public.
+func sortSched(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], sc schedule, srt obliv.Sorter) {
 	n := a.Len()
 	if n <= 1 {
 		return
 	}
-	if ss, ok := srt.(obliv.ScheduledSorter); ok && ar != nil {
-		ks := ar.Keys(sp, n)
-		obliv.BuildKeySchedule(c, a, ks, 0, n, key)
-		ss.SortScheduled(c, a, ks, ar.ElemScratch(sp, n), ar.KeyScratch(sp, n), 0, n)
-		return
+	ss, ok := srt.(obliv.ScheduledSorter)
+	if !ok {
+		panic(fmt.Sprintf("relops: sorter %s does not support key schedules (obliv.ScheduledSorter)", srt.Name()))
 	}
-	srt.Sort(c, sp, a, 0, n, key)
+	ks := ar.Keys(sp, n, sc.w)
+	ks.Tie = sc.tie
+	kscr := ar.KeyScratch(sp, n, sc.w)
+	kscr.Tie = sc.tie // cache-agnostic merges swap the schedule roles
+	obliv.BuildKeySchedule(c, a, ks, 0, n, sc.emit)
+	ss.SortScheduled(c, a, ks, ar.ElemScratch(sp, n), kscr, 0, n)
 }
 
 // markBoundaries sets Mark=1 on every real element whose predecessor
-// belongs to a different Key group (the group heads of a key-sorted array)
-// and Mark=0 elsewhere. The neighbor reads form a fixed access pattern.
-// Like obliv.PropagateFirst, the boundary scan writes to a scratch array
-// so no leaf reads a position another leaf writes (a read-and-write pass
-// over the same positions would race under the parallel executor).
-func markBoundaries(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem]) {
-	n := a.Len()
+// belongs to a different key group (the group heads of a key-sorted
+// relation) and Mark=0 elsewhere. The neighbor reads form a fixed access
+// pattern. Like obliv.PropagateFirst, the boundary scan writes to a
+// scratch array so no leaf reads a position another leaf writes (a
+// read-and-write pass over the same positions would race under the
+// parallel executor).
+func markBoundaries(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel) {
+	n := r.Len()
+	a := r.A
+	same := sameGroup(r.W)
 	head := ar.Marks(sp, n)
 	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -191,7 +327,7 @@ func markBoundaries(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obli
 			if i > 0 {
 				prev := a.Get(c, i-1)
 				c.Op(1)
-				h = groupKey(prev) != groupKey(e)
+				h = !same(prev, e)
 			}
 			var b uint8
 			if h && e.Kind == obliv.Real {
@@ -216,13 +352,7 @@ func markBoundaries(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obli
 // compaction at the heart of the stand-alone operators: one
 // data-independent sort plus one elementwise pass.
 func compactMarked(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter) int {
-	key := func(e obliv.Elem) uint64 {
-		if e.Kind != obliv.Real || e.Mark == 0 {
-			return obliv.InfKey
-		}
-		return e.Aux
-	}
-	sortBy(c, sp, ar, a, key, srt)
+	sortSched(c, sp, ar, a, markSched(), srt)
 	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)

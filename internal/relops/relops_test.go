@@ -3,6 +3,7 @@ package relops
 import (
 	"errors"
 	"sort"
+	"strings"
 	"testing"
 
 	"oblivmc/internal/bitonic"
@@ -12,16 +13,22 @@ import (
 	"oblivmc/internal/prng"
 )
 
-// mustLoad is Load for known-in-range test data; the error path has its own
-// tests (TestLoadRejectsOutOfRange). It panics rather than t.Fatal-ing so it
-// is safe inside closures running on pool workers.
-func mustLoad(t *testing.T, sp *mem.Space, recs []Record) *mem.Array[obliv.Elem] {
+// mustLoad is width-1 Load for known-in-range test data; the error path has
+// its own tests (TestLoadRejectsOutOfRange). It panics rather than
+// t.Fatal-ing so it is safe inside closures running on pool workers.
+func mustLoad(t *testing.T, sp *mem.Space, recs []Record) Rel {
 	t.Helper()
-	a, err := Load(sp, recs)
+	return mustLoadW(t, sp, recs, 1)
+}
+
+// mustLoadW is Load at an explicit key width.
+func mustLoadW(t *testing.T, sp *mem.Space, recs []Record, w int) Rel {
+	t.Helper()
+	r, err := Load(sp, recs, w)
 	if err != nil {
 		panic(err)
 	}
-	return a
+	return r
 }
 
 // testSorter picks a cheap exact sorter for tiny inputs and the real
@@ -37,6 +44,21 @@ func randRecords(src *prng.Source, n int, keySpread, valSpread uint64) []Record 
 	recs := make([]Record, n)
 	for i := range recs {
 		recs[i] = Record{Key: src.Uint64n(keySpread), Val: src.Uint64n(valSpread)}
+	}
+	return recs
+}
+
+// randWideRecords draws width-2 records whose columns exercise the full
+// uint64 range (far beyond the old 2^40 packed-key bound) with heavy
+// column-0 duplication so the second column decides many comparisons.
+func randWideRecords(src *prng.Source, n int, spread1, spread2, valSpread uint64) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{
+			Key:  src.Uint64n(spread1) * 0x9e3779b97f4a7c15,
+			Key2: src.Uint64n(spread2) * 0x517cc1b727220a95,
+			Val:  src.Uint64n(valSpread),
+		}
 	}
 	return recs
 }
@@ -107,49 +129,100 @@ func TestDistinctRandom(t *testing.T) {
 	}
 }
 
-func refGroupBy(recs []Record, agg AggKind) []Record {
-	aggs := map[uint64]uint64{}
-	var order []uint64
+// TestDistinctWideKeys drives width-2 deduplication: rows sharing column 0
+// but differing in column 1 are distinct tuples, and column values far
+// above the old 2^40 limit survive intact.
+func TestDistinctWideKeys(t *testing.T) {
+	src := prng.New(212)
+	for _, n := range testSizes {
+		recs := randWideRecords(src, n, 5, 4, 1000)
+		seen := map[[2]uint64]bool{}
+		var want []Record
+		for _, r := range recs {
+			k := [2]uint64{r.Key, r.Key2}
+			if !seen[k] {
+				seen[k] = true
+				want = append(want, r)
+			}
+		}
+		sp := mem.NewSpace()
+		a := mustLoadW(t, sp, recs, 2)
+		count := Distinct(forkjoin.Serial(), sp, NewArena(), a, testSorter(a.Len()))
+		if count != len(want) {
+			t.Fatalf("n=%d: wide Distinct count = %d, want %d", n, count, len(want))
+		}
+		checkRecords(t, Unload(a), want, "Distinct wide")
+	}
+}
+
+func refGroupBy(recs []Record, agg AggKind, wide bool) []Record {
+	type stats struct{ sum, sq, cnt, minv, maxv uint64 }
+	aggs := map[[2]uint64]*stats{}
+	var order [][2]uint64
+	keyOf := func(r Record) [2]uint64 {
+		if wide {
+			return [2]uint64{r.Key, r.Key2}
+		}
+		return [2]uint64{r.Key, 0}
+	}
 	for _, r := range recs {
-		cur, ok := aggs[r.Key]
+		k := keyOf(r)
+		s, ok := aggs[k]
 		if !ok {
-			order = append(order, r.Key)
-			switch agg {
-			case AggCount:
-				aggs[r.Key] = 1
-			default:
-				aggs[r.Key] = r.Val
+			s = &stats{minv: r.Val, maxv: r.Val}
+			aggs[k] = s
+			order = append(order, k)
+		} else {
+			if r.Val < s.minv {
+				s.minv = r.Val
 			}
-			continue
-		}
-		switch agg {
-		case AggSum:
-			aggs[r.Key] = cur + r.Val
-		case AggCount:
-			aggs[r.Key] = cur + 1
-		case AggMin:
-			if r.Val < cur {
-				aggs[r.Key] = r.Val
-			}
-		case AggMax:
-			if r.Val > cur {
-				aggs[r.Key] = r.Val
+			if r.Val > s.maxv {
+				s.maxv = r.Val
 			}
 		}
+		s.sum += r.Val
+		s.sq += r.Val * r.Val
+		s.cnt++
 	}
 	out := make([]Record, len(order))
 	for i, k := range order {
-		out[i] = Record{Key: k, Val: aggs[k]}
+		s := aggs[k]
+		var v uint64
+		switch agg {
+		case AggSum:
+			v = s.sum
+		case AggCount:
+			v = s.cnt
+		case AggMin:
+			v = s.minv
+		case AggMax:
+			v = s.maxv
+		case AggAvg:
+			v = s.sum / s.cnt
+		case AggVar:
+			m := s.sum / s.cnt
+			ex2 := s.sq / s.cnt
+			if ex2 >= m*m {
+				v = ex2 - m*m
+			}
+		}
+		rec := Record{Key: k[0], Val: v}
+		if wide {
+			rec.Key2 = k[1]
+		}
+		out[i] = rec
 	}
 	return out
 }
 
+var allAggs = []AggKind{AggSum, AggCount, AggMin, AggMax, AggAvg, AggVar}
+
 func TestGroupByRandom(t *testing.T) {
 	src := prng.New(303)
-	for _, agg := range []AggKind{AggSum, AggCount, AggMin, AggMax} {
+	for _, agg := range allAggs {
 		for _, n := range testSizes {
 			recs := randRecords(src, n, 10, 500)
-			want := refGroupBy(recs, agg)
+			want := refGroupBy(recs, agg, false)
 			sp := mem.NewSpace()
 			a := mustLoad(t, sp, recs)
 			count := GroupBy(forkjoin.Serial(), sp, NewArena(), a, agg, testSorter(a.Len()))
@@ -159,6 +232,51 @@ func TestGroupByRandom(t *testing.T) {
 			checkRecords(t, Unload(a), want, "GroupBy")
 		}
 	}
+}
+
+// TestGroupByWideKeys is the composite GROUP BY (a, b): every aggregate
+// over two full-range key columns, against the plain-Go reference.
+func TestGroupByWideKeys(t *testing.T) {
+	src := prng.New(313)
+	for _, agg := range allAggs {
+		for _, n := range testSizes {
+			recs := randWideRecords(src, n, 4, 3, 500)
+			want := refGroupBy(recs, agg, true)
+			sp := mem.NewSpace()
+			a := mustLoadW(t, sp, recs, 2)
+			count := GroupBy(forkjoin.Serial(), sp, NewArena(), a, agg, testSorter(a.Len()))
+			if count != len(want) {
+				t.Fatalf("agg=%d n=%d: wide GroupBy count = %d, want %d", agg, n, count, len(want))
+			}
+			checkRecords(t, Unload(a), want, "GroupBy wide")
+		}
+	}
+}
+
+// TestGroupByMaxLegalKeys pins the lifted key range: key columns at the
+// maximum legal value (KeyLimit-1 = 2^64-2, adjacent to the filler
+// sentinel) must sort, group, and aggregate correctly — the Kind-aware
+// grouping keeps even maximal keys out of the filler tail.
+func TestGroupByMaxLegalKeys(t *testing.T) {
+	maxKey := uint64(KeyLimit - 1)
+	recs := []Record{
+		{Key: maxKey, Key2: maxKey, Val: 10},
+		{Key: 0, Key2: 1, Val: 1},
+		{Key: maxKey, Key2: maxKey, Val: 30},
+		{Key: maxKey, Key2: 0, Val: 7},
+	}
+	sp := mem.NewSpace()
+	a := mustLoadW(t, sp, recs, 2)
+	count := GroupBy(forkjoin.Serial(), sp, NewArena(), a, AggAvg, obliv.SelectionNetwork{})
+	want := []Record{
+		{Key: maxKey, Key2: maxKey, Val: 20},
+		{Key: 0, Key2: 1, Val: 1},
+		{Key: maxKey, Key2: 0, Val: 7},
+	}
+	if count != len(want) {
+		t.Fatalf("count = %d, want %d", count, len(want))
+	}
+	checkRecords(t, Unload(a), want, "GroupBy max keys")
 }
 
 func TestJoinRandom(t *testing.T) {
@@ -199,6 +317,48 @@ func TestJoinRandom(t *testing.T) {
 					t.Fatalf("nl=%d nr=%d: joined record %d = %v, want %v", nl, nr, i, got[i], want[i])
 				}
 			}
+		}
+	}
+}
+
+// TestJoinWideKeys joins on a two-column key tuple with full-range column
+// values: matches require both columns to agree.
+func TestJoinWideKeys(t *testing.T) {
+	src := prng.New(414)
+	lrecs := []Record{
+		{Key: 1 << 50, Key2: 0, Val: 100},
+		{Key: 1 << 50, Key2: 1, Val: 200},
+		{Key: ^uint64(1), Key2: 9, Val: 300},
+	}
+	var rrecs []Record
+	for i := 0; i < 40; i++ {
+		r := Record{Key: 1 << 50, Key2: src.Uint64n(3), Val: src.Uint64n(1000)}
+		if i%5 == 0 {
+			r.Key = ^uint64(1)
+			r.Key2 = 9
+		}
+		rrecs = append(rrecs, r)
+	}
+	lval := map[[2]uint64]uint64{}
+	for _, r := range lrecs {
+		lval[[2]uint64{r.Key, r.Key2}] = r.Val
+	}
+	var want []Joined
+	for _, r := range rrecs {
+		if v, ok := lval[[2]uint64{r.Key, r.Key2}]; ok {
+			want = append(want, Joined{Key: r.Key, Key2: r.Key2, LeftVal: v, RightVal: r.Val})
+		}
+	}
+	sp := mem.NewSpace()
+	left, right := mustLoadW(t, sp, lrecs, 2), mustLoadW(t, sp, rrecs, 2)
+	out, count := Join(forkjoin.Serial(), sp, NewArena(), left, right, obliv.SelectionNetwork{})
+	if count != len(want) {
+		t.Fatalf("wide Join count = %d, want %d", count, len(want))
+	}
+	got := UnloadJoined(out)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wide joined record %d = %v, want %v", i, got[i], want[i])
 		}
 	}
 }
@@ -287,20 +447,62 @@ func TestTopKTiesAndZeros(t *testing.T) {
 	}
 }
 
-// TestLoadRejectsOutOfRange pins the boundary contract: keys >= KeyLimit
-// and relations > MaxRows would silently corrupt the packed composite sort
-// keys, so Load must reject both with its typed errors.
+// TestLoadRejectsOutOfRange pins the boundary contract: key columns at the
+// filler sentinel, relations beyond MaxRows, and widths outside
+// [1, MaxKeyCols] must be rejected with the typed errors. MaxRows is now
+// 2^40 — far too large to materialize — so the row bound is exercised
+// through the shape check Load itself applies.
 func TestLoadRejectsOutOfRange(t *testing.T) {
 	sp := mem.NewSpace()
-	if _, err := Load(sp, []Record{{Key: KeyLimit, Val: 1}}); !errors.Is(err, ErrKeyTooLarge) {
+	if _, err := Load(sp, []Record{{Key: KeyLimit, Val: 1}}, 1); !errors.Is(err, ErrKeyTooLarge) {
 		t.Fatalf("key = KeyLimit: err = %v, want ErrKeyTooLarge", err)
 	}
-	if a, err := Load(sp, []Record{{Key: KeyLimit - 1, Val: 1}}); err != nil || a == nil {
-		t.Fatalf("key = KeyLimit-1 rejected: %v", err)
+	if _, err := Load(sp, []Record{{Key: KeyLimit - 1, Val: 1}}, 1); err != nil {
+		t.Fatalf("key = KeyLimit-1 (max legal key) rejected: %v", err)
 	}
-	big := make([]Record, MaxRows+1)
-	if _, err := Load(sp, big); !errors.Is(err, ErrTooManyRows) {
+	// A width-1 load ignores column 1, so a sentinel there is legal...
+	if _, err := Load(sp, []Record{{Key: 1, Key2: KeyLimit, Val: 1}}, 1); err != nil {
+		t.Fatalf("width-1 load rejected ignored column: %v", err)
+	}
+	// ...but a width-2 load validates it.
+	if _, err := Load(sp, []Record{{Key: 1, Key2: KeyLimit, Val: 1}}, 2); !errors.Is(err, ErrKeyTooLarge) {
+		t.Fatalf("wide key = KeyLimit: err = %v, want ErrKeyTooLarge", err)
+	}
+	for _, w := range []int{0, MaxKeyCols + 1} {
+		if _, err := Load(sp, []Record{{Key: 1}}, w); !errors.Is(err, ErrBadWidth) {
+			t.Fatalf("width %d: err = %v, want ErrBadWidth", w, err)
+		}
+	}
+	if err := CheckShape(MaxRows+1, 1); !errors.Is(err, ErrTooManyRows) {
 		t.Fatalf("MaxRows+1 records: err = %v, want ErrTooManyRows", err)
+	}
+	if err := CheckShape(MaxRows, MaxKeyCols); err != nil {
+		t.Fatalf("maximal legal shape rejected: %v", err)
+	}
+}
+
+// TestErrorMessagesReflectConstants guards the parameterized limit strings:
+// the messages must be derived from the active constants, not baked-in
+// copies of historical bounds.
+func TestErrorMessagesReflectConstants(t *testing.T) {
+	for _, tc := range []struct {
+		err  error
+		want string
+	}{
+		{ErrKeyTooLarge, "18446744073709551614"}, // KeyLimit-1 = 2^64-2
+		{ErrTooManyRows, "2^40"},                 // log2(MaxRows)
+		{ErrBadWidth, "[1, 2]"},                  // MaxKeyCols
+	} {
+		if !strings.Contains(tc.err.Error(), tc.want) {
+			t.Errorf("error %q does not mention active constant %q", tc.err, tc.want)
+		}
+	}
+	for _, stale := range []string{"2^40-1", "2^20"} {
+		for _, err := range []error{ErrKeyTooLarge, ErrTooManyRows, ErrBadWidth} {
+			if strings.Contains(err.Error(), stale) {
+				t.Errorf("error %q still bakes in the stale bound %q", err, stale)
+			}
+		}
 	}
 }
 
@@ -323,6 +525,29 @@ func TestArenaReuseMatchesFreshScratch(t *testing.T) {
 	d2, g2 := run(nil)
 	checkRecords(t, d1, d2, "Distinct arena vs fresh")
 	checkRecords(t, g1, g2, "GroupBy arena vs fresh")
+}
+
+// TestArenaMixedWidths holds one arena across passes of different schedule
+// widths (a wide GroupBy between two narrow ones): the shared key backing
+// must be re-carved per width without corrupting either.
+func TestArenaMixedWidths(t *testing.T) {
+	src := prng.New(919)
+	narrow := randRecords(src, 90, 9, 500)
+	wide := randWideRecords(src, 90, 4, 3, 500)
+	ar := NewArena()
+	sp := mem.NewSpace()
+	srt := bitonic.CacheAgnostic{}
+
+	a := mustLoad(t, sp, narrow)
+	GroupBy(forkjoin.Serial(), sp, ar, a, AggSum, srt)
+	b := mustLoadW(t, sp, wide, 2)
+	GroupBy(forkjoin.Serial(), sp, ar, b, AggAvg, srt)
+	c := mustLoad(t, sp, narrow)
+	GroupBy(forkjoin.Serial(), sp, ar, c, AggSum, srt)
+
+	checkRecords(t, Unload(a), refGroupBy(narrow, AggSum, false), "narrow before wide")
+	checkRecords(t, Unload(b), refGroupBy(wide, AggAvg, true), "wide between narrows")
+	checkRecords(t, Unload(c), refGroupBy(narrow, AggSum, false), "narrow after wide")
 }
 
 // TestArenaRebindsAcrossSpaces holds one arena across two independent
@@ -374,10 +599,12 @@ func TestMarkBoundariesParallelRace(t *testing.T) {
 }
 
 // TestOperatorsParallel smoke-tests every operator under the real
-// work-stealing pool (the race detector covers the forking passes).
+// work-stealing pool (the race detector covers the forking passes),
+// including a wide group-by.
 func TestOperatorsParallel(t *testing.T) {
 	src := prng.New(707)
 	recs := randRecords(src, 200, 15, 1000)
+	wrecs := randWideRecords(src, 200, 5, 4, 1000)
 	forkjoin.RunParallel(4, func(c *forkjoin.Ctx) {
 		sp := mem.NewSpace()
 		srt := bitonic.CacheAgnostic{}
@@ -390,6 +617,9 @@ func TestOperatorsParallel(t *testing.T) {
 
 		g := mustLoad(t, sp, recs)
 		GroupBy(c, sp, NewArena(), g, AggSum, srt)
+
+		gw := mustLoadW(t, sp, wrecs, 2)
+		GroupBy(c, sp, NewArena(), gw, AggVar, srt)
 
 		tk := mustLoad(t, sp, recs)
 		TopK(c, sp, NewArena(), tk, 10, srt)

@@ -6,7 +6,7 @@ import (
 	"oblivmc/internal/obliv"
 )
 
-// TopK obliviously keeps the k records of a with the largest Val, leaving
+// TopK obliviously keeps the k records of r with the largest Val, leaving
 // them at the front in descending value order, and returns the survivor
 // count (min(k, #records); raw read, outside the adversary's view). Ties
 // in Val are broken deterministically but arbitrarily (by network
@@ -18,12 +18,12 @@ import (
 // with the fillers, so survivors are selected by oblivious rank rather
 // than by position: within the tied tail a filler may precede a real
 // record, which every operator in this package tolerates (fillers carry
-// key obliv.InfKey in all sort phases).
+// the InfKey sentinel in every schedule word).
 // ar supplies reusable scratch (nil = allocate fresh).
-func TopK(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], k int, srt obliv.Sorter) int {
-	sortBy(c, sp, ar, a, descValKey, srt)
-	rankCut(c, sp, ar, a, k)
-	return countReal(a)
+func TopK(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel, k int, srt obliv.Sorter) int {
+	sortSched(c, sp, ar, r.A, descValSched(), srt)
+	rankCut(c, sp, ar, r.A, k)
+	return countReal(r.A)
 }
 
 // rankCut keeps the first k real records of a (by oblivious inclusive

@@ -14,16 +14,17 @@ import (
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
+	"oblivmc/internal/plan"
 	"oblivmc/internal/prng"
 	"oblivmc/internal/relops"
 	"oblivmc/internal/trace"
 )
 
-// countingSorter wraps a Sorter and counts full sorting passes. It
-// deliberately does not implement obliv.ScheduledSorter, so both the
-// planned and the staged executors route every sort through Sort.
+// countingSorter wraps a ScheduledSorter and counts full sorting passes.
+// The relational sorts all run through the key-schedule path, so the
+// counter lives on SortScheduled; Sort delegates for completeness.
 type countingSorter struct {
-	inner obliv.Sorter
+	inner obliv.ScheduledSorter
 	n     *int
 }
 
@@ -34,13 +35,18 @@ func (s countingSorter) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.
 	s.inner.Sort(c, sp, a, lo, n, key)
 }
 
+func (s countingSorter) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, scr *mem.Array[obliv.Elem], kscr *obliv.KeySchedule, lo, n int) {
+	*s.n++
+	s.inner.SortScheduled(c, a, ks, scr, kscr, lo, n)
+}
+
 // queryShapes enumerates every stage combination, with both filter
 // declarations where a filter is present.
 func queryShapes() []Query {
 	var out []Query
 	for _, filter := range []int{0, 1, 2} { // none, value-filter, key-only filter
 		for _, distinct := range []bool{false, true} {
-			for _, agg := range []Agg{AggNone, AggSum, AggCount, AggMin} {
+			for _, agg := range []Agg{AggNone, AggSum, AggCount, AggMin, AggAvg, AggVar} {
 				for _, k := range []int{0, 3} {
 					q := Query{Distinct: distinct, GroupBy: agg, TopK: k}
 					switch filter {
@@ -198,6 +204,57 @@ func TestFusedRunsFewerSorts(t *testing.T) {
 	}
 }
 
+// TestWidthOneQueriesKeepTwoPassSchedule is the sort-pass-counter pin for
+// the wide-key refactor: a width-1 four-stage pipeline must still plan and
+// execute exactly 2 sorting passes (PR 2's fused schedule), and widening
+// the table to two key columns must not change the pass count — width only
+// widens the schedules, never the plan.
+func TestWidthOneQueriesKeepTwoPassSchedule(t *testing.T) {
+	q := Query{
+		Filter:   func(r Row) bool { return r.Val%2 == 0 },
+		Distinct: true,
+		GroupBy:  AggSum,
+		TopK:     5,
+	}
+	kind, err := queryAgg(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 1; w <= relops.MaxKeyCols; w++ {
+		if pl := plan.Build(q.shape(kind, w)); pl.SortPasses != 2 {
+			t.Fatalf("width %d: planned %d sorts, want 2 (%s)", w, pl.SortPasses, pl)
+		}
+	}
+
+	// Executed pass count, width 1: the full pipeline runs 2 sorts.
+	tab := mustTable(t, queryRows(64))
+	n := 0
+	if _, _, err := runQueryPlanned(Config{Mode: ModeSerial}, tab, q,
+		kind, countingSorter{inner: obliv.SelectionNetwork{}, n: &n}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("width-1 fused pipeline executed %d sorts, want 2", n)
+	}
+
+	// Executed pass count, width 2 (no filter — wide filters are a
+	// follow-on): Distinct→GroupBy→TopK fuses to the same 2 sorts.
+	wq := Query{Distinct: true, GroupBy: AggAvg, TopK: 5}
+	wkind, err := queryAgg(wq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wtab := mustWideTable(t, wideQueryRows(64))
+	n = 0
+	if _, _, err := runQueryPlanned(Config{Mode: ModeSerial}, wtab, wq,
+		wkind, countingSorter{inner: obliv.SelectionNetwork{}, n: &n}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("width-2 fused pipeline executed %d sorts, want 2", n)
+	}
+}
+
 // TestPlannedQueryObliviousTrace asserts trace-fingerprint equality for
 // fused/reordered plans across same-shape, different-content tables: the
 // planner's rewrites must leave the adversary's view a function of (row
@@ -292,15 +349,34 @@ func TestExplain(t *testing.T) {
 }
 
 // TestTableBoundaryErrors pins the typed boundary errors at both layers.
+// The old 2^40 key ceiling is gone: every key below the filler sentinel
+// (relops.KeyLimit = 2^64-1) is legal, and the row bound — now 2^40, far
+// too large to materialize — is exercised through relops.CheckShape.
 func TestTableBoundaryErrors(t *testing.T) {
-	if _, err := NewTable([]Row{{Key: 1 << 40, Val: 1}}); !errors.Is(err, ErrKeyTooLarge) {
-		t.Fatalf("NewTable key overflow: err = %v, want ErrKeyTooLarge", err)
+	if _, err := NewTable([]Row{{Key: 1 << 40, Val: 1}}); err != nil {
+		t.Fatalf("NewTable rejected a key above the lifted 2^40 bound: %v", err)
 	}
-	if _, err := NewTable(make([]Row, relops.MaxRows+1)); !errors.Is(err, ErrTooManyRows) {
-		t.Fatalf("NewTable row overflow: err = %v, want ErrTooManyRows", err)
+	if _, err := NewTable([]Row{{Key: ^uint64(0), Val: 1}}); !errors.Is(err, ErrKeyTooLarge) {
+		t.Fatalf("NewTable key at the filler sentinel: err = %v, want ErrKeyTooLarge", err)
+	}
+	if _, err := NewTable([]Row{{Key: ^uint64(0) - 1, Val: 1}}); err != nil {
+		t.Fatalf("NewTable rejected the maximum legal key: %v", err)
+	}
+	if err := relops.CheckShape(relops.MaxRows+1, 1); !errors.Is(err, relops.ErrTooManyRows) {
+		t.Fatalf("CheckShape row overflow: err = %v, want ErrTooManyRows", err)
+	}
+	if _, err := NewWideTable([]WideRow{{Keys: []uint64{1, 2, 3}, Val: 1}}); !errors.Is(err, ErrBadWidth) {
+		t.Fatalf("NewWideTable 3 columns: err = %v, want ErrBadWidth", err)
+	}
+	if _, err := NewWideTable([]WideRow{{Keys: []uint64{1, 2}}, {Keys: []uint64{3}}}); !errors.Is(err, ErrBadWidth) {
+		t.Fatalf("NewWideTable ragged widths: err = %v, want ErrBadWidth", err)
+	}
+	if _, err := NewWideTable([]WideRow{{Keys: []uint64{1, ^uint64(0)}, Val: 1}}); !errors.Is(err, ErrKeyTooLarge) {
+		t.Fatalf("NewWideTable sentinel column: err = %v, want ErrKeyTooLarge", err)
 	}
 	// The public errors wrap the relops ones, so either layer matches.
-	if !errors.Is(ErrKeyTooLarge, relops.ErrKeyTooLarge) || !errors.Is(ErrTooManyRows, relops.ErrTooManyRows) {
+	if !errors.Is(ErrKeyTooLarge, relops.ErrKeyTooLarge) || !errors.Is(ErrTooManyRows, relops.ErrTooManyRows) ||
+		!errors.Is(ErrBadWidth, relops.ErrBadWidth) {
 		t.Fatal("public boundary errors must wrap the relops typed errors")
 	}
 }

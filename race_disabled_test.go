@@ -1,0 +1,7 @@
+//go:build !race
+
+package oblivmc
+
+// raceEnabled lets heavyweight stress tests skip under the race detector;
+// see race_enabled_test.go.
+const raceEnabled = false

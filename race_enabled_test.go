@@ -1,0 +1,8 @@
+//go:build race
+
+package oblivmc
+
+// raceEnabled lets heavyweight stress tests skip under the race detector,
+// whose instrumentation multiplies their multi-minute sorting cost on
+// shared CI runners.
+const raceEnabled = true

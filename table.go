@@ -12,36 +12,57 @@ import (
 )
 
 // Typed boundary errors of the Table API. They wrap the corresponding
-// internal/relops errors, so errors.Is matches across both layers.
+// internal/relops errors, so errors.Is matches across both layers, and
+// their messages are derived from the active relops constants so they can
+// never drift from the enforced bounds.
 var (
-	// ErrKeyTooLarge is returned for a row key >= 2^40 (composite sort
-	// keys must stay below 2^62; see internal/relops).
-	ErrKeyTooLarge = fmt.Errorf("oblivmc: row key exceeds 2^40-1: %w", relops.ErrKeyTooLarge)
-	// ErrTooManyRows is returned for a table of more than 2^20 rows.
-	ErrTooManyRows = fmt.Errorf("oblivmc: table exceeds 2^20 rows: %w", relops.ErrTooManyRows)
+	// ErrKeyTooLarge is returned for a row key column >= relops.KeyLimit
+	// (the filler sentinel; every value below it is a legal key).
+	ErrKeyTooLarge = fmt.Errorf("oblivmc: row key column exceeds max key %d: %w",
+		uint64(relops.KeyLimit-1), relops.ErrKeyTooLarge)
+	// ErrTooManyRows is returned for a table of more than relops.MaxRows
+	// rows.
+	ErrTooManyRows = fmt.Errorf("oblivmc: table exceeds %d rows: %w",
+		uint64(relops.MaxRows), relops.ErrTooManyRows)
+	// ErrBadWidth is returned for a key-column count outside
+	// [1, relops.MaxKeyCols] or rows of unequal widths.
+	ErrBadWidth = fmt.Errorf("oblivmc: key-column count must be in [1, %d] and uniform: %w",
+		relops.MaxKeyCols, relops.ErrBadWidth)
 )
 
-// Row is one (key, value) record of a Table.
+// Row is one single-key-column (key, value) record of a Table.
 type Row struct {
 	Key, Val uint64
 }
 
-// Table is a relation of rows accepted by the oblivious relational
-// operators (Filter, Distinct, GroupBy, Join, TopK, RunQuery). Keys may
-// repeat. Construct with NewTable, which validates the bounds: keys
-// < 2^40 and at most 2^20 rows (composite sort keys must fit below 2^62;
-// see internal/relops).
-type Table struct {
-	rows []Row
+// WideRow is one multi-column (keys..., value) record of a Table. Keys
+// holds the key columns in significance order (column 0 sorts first); all
+// rows of a table must declare the same number of columns.
+type WideRow struct {
+	Keys []uint64
+	Val  uint64
 }
 
-// NewTable validates rows and wraps them in a Table. Violations of the
-// bounds return ErrKeyTooLarge / ErrTooManyRows (matchable with errors.Is).
+// Table is a relation of rows accepted by the oblivious relational
+// operators (Filter, Distinct, GroupBy, GroupByCols, Join, TopK,
+// RunQuery). Key tuples may repeat. Construct with NewTable (one key
+// column) or NewWideTable (up to relops.MaxKeyCols columns); both validate
+// the bounds: key columns < relops.KeyLimit and at most relops.MaxRows
+// rows. The key-column count is public query shape, like the row count.
+type Table struct {
+	rows  []Row     // width-1 storage
+	wide  []WideRow // width >= 2 storage
+	width int
+}
+
+// NewTable validates rows and wraps them in a width-1 Table. Violations of
+// the bounds return ErrKeyTooLarge / ErrTooManyRows (matchable with
+// errors.Is).
 func NewTable(rows []Row) (Table, error) {
 	if len(rows) == 0 {
 		return Table{}, ErrEmptyInput
 	}
-	if len(rows) > relops.MaxRows {
+	if err := relops.CheckShape(int64(len(rows)), 1); err != nil {
 		return Table{}, fmt.Errorf("%w (%d rows)", ErrTooManyRows, len(rows))
 	}
 	for i, r := range rows {
@@ -49,26 +70,95 @@ func NewTable(rows []Row) (Table, error) {
 			return Table{}, fmt.Errorf("%w (row %d key %d)", ErrKeyTooLarge, i, r.Key)
 		}
 	}
-	return Table{rows: rows}, nil
+	return Table{rows: rows, width: 1}, nil
 }
 
-// Rows returns the table's rows.
+// NewWideTable validates rows and wraps them in a multi-column Table. All
+// rows must carry the same number of key columns, between 1 and
+// relops.MaxKeyCols; violations return ErrBadWidth / ErrKeyTooLarge /
+// ErrTooManyRows (matchable with errors.Is). A one-column wide table is
+// identical to the NewTable form.
+func NewWideTable(rows []WideRow) (Table, error) {
+	if len(rows) == 0 {
+		return Table{}, ErrEmptyInput
+	}
+	w := len(rows[0].Keys)
+	if err := relops.CheckShape(int64(len(rows)), w); err != nil {
+		if w < 1 || w > relops.MaxKeyCols {
+			return Table{}, fmt.Errorf("%w (%d columns)", ErrBadWidth, w)
+		}
+		return Table{}, fmt.Errorf("%w (%d rows)", ErrTooManyRows, len(rows))
+	}
+	for i, r := range rows {
+		if len(r.Keys) != w {
+			return Table{}, fmt.Errorf("%w (row %d has %d columns, row 0 has %d)", ErrBadWidth, i, len(r.Keys), w)
+		}
+		for k, key := range r.Keys {
+			if key >= relops.KeyLimit {
+				return Table{}, fmt.Errorf("%w (row %d column %d key %d)", ErrKeyTooLarge, i, k, key)
+			}
+		}
+	}
+	if w == 1 {
+		narrow := make([]Row, len(rows))
+		for i, r := range rows {
+			narrow[i] = Row{Key: r.Keys[0], Val: r.Val}
+		}
+		return Table{rows: narrow, width: 1}, nil
+	}
+	return Table{wide: rows, width: w}, nil
+}
+
+// Rows returns the rows of a width-1 table (nil for multi-column tables —
+// use WideRows).
 func (t Table) Rows() []Row { return t.rows }
 
-// Len returns the number of rows.
-func (t Table) Len() int { return len(t.rows) }
+// WideRows returns the table's rows in multi-column form (synthesized for
+// width-1 tables).
+func (t Table) WideRows() []WideRow {
+	if t.width > 1 {
+		return t.wide
+	}
+	out := make([]WideRow, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = WideRow{Keys: []uint64{r.Key}, Val: r.Val}
+	}
+	return out
+}
 
-// Agg selects the aggregation of GroupBy / Query. The zero value AggNone
-// is only meaningful inside a Query (it disables the group-by stage).
+// Width returns the table's key-column count.
+func (t Table) Width() int {
+	if t.width == 0 {
+		return 1
+	}
+	return t.width
+}
+
+// Len returns the number of rows.
+func (t Table) Len() int {
+	if t.width > 1 {
+		return len(t.wide)
+	}
+	return len(t.rows)
+}
+
+// Agg selects the aggregation of GroupBy / GroupByCols / Query. The zero
+// value AggNone is only meaningful inside a Query (it disables the
+// group-by stage).
 type Agg int
 
-// Aggregations.
+// Aggregations. AggAvg and AggVar aggregate a (sum, count) pair — plus the
+// sum of squares for the variance — in one segmented pass: AggAvg yields
+// floor(sum/count), AggVar the integer population variance
+// floor(E[X²]) - floor(E[X])² clamped at zero.
 const (
 	AggNone Agg = iota
 	AggSum
 	AggCount
 	AggMin
 	AggMax
+	AggAvg
+	AggVar
 )
 
 func (a Agg) kind() (relops.AggKind, error) {
@@ -81,6 +171,10 @@ func (a Agg) kind() (relops.AggKind, error) {
 		return relops.AggMin, nil
 	case AggMax:
 		return relops.AggMax, nil
+	case AggAvg:
+		return relops.AggAvg, nil
+	case AggVar:
+		return relops.AggVar, nil
 	default:
 		return 0, fmt.Errorf("oblivmc: invalid aggregation %d", a)
 	}
@@ -88,35 +182,69 @@ func (a Agg) kind() (relops.AggKind, error) {
 
 // runTableOp moves a table into the oblivious element representation and
 // runs body on it under cfg's executor with a per-run scratch arena,
-// returning the surviving rows.
-func runTableOp(cfg Config, t Table, body func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter)) (Table, *Report, error) {
-	var out []Row
+// returning the surviving rows at the table's width.
+func runTableOp(cfg Config, t Table, body func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter)) (Table, *Report, error) {
+	var out Table
 	var loadErr error
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
-		a, err := relops.Load(sp, recordsOf(t.rows))
+		r, err := relops.Load(sp, recordsOf(t), t.Width())
 		if err != nil {
 			loadErr = err
 			return
 		}
-		body(c, sp, relops.NewArena(), a, bitonic.CacheAgnostic{})
-		out = rowsOf(a)
+		body(c, sp, relops.NewArena(), r, bitonic.CacheAgnostic{})
+		out = tableOf(r)
 	})
 	if loadErr != nil {
-		// Unreachable via NewTable, but Load re-checks its own bounds.
+		// Unreachable via NewTable/NewWideTable, but Load re-checks its own
+		// bounds.
 		return Table{}, nil, loadErr
 	}
-	return Table{rows: out}, rep, nil
+	return out, rep, nil
 }
 
-// rowsOf converts surviving records back to rows (harness operation,
-// outside the adversary's view).
-func rowsOf(a *mem.Array[obliv.Elem]) []Row {
-	recs := relops.Unload(a)
-	rows := make([]Row, len(recs))
-	for i, r := range recs {
-		rows[i] = Row(r)
+// tableOf converts surviving records back to a table of the relation's
+// width (harness operation, outside the adversary's view).
+func tableOf(r relops.Rel) Table {
+	recs := relops.Unload(r)
+	if r.W == 1 {
+		rows := make([]Row, len(recs))
+		for i, rec := range recs {
+			rows[i] = Row{Key: rec.Key, Val: rec.Val}
+		}
+		return Table{rows: rows, width: 1}
 	}
-	return rows
+	rows := make([]WideRow, len(recs))
+	for i, rec := range recs {
+		keys := make([]uint64, r.W)
+		for k := 0; k < r.W; k++ {
+			keys[k] = rec.Col(k)
+		}
+		rows[i] = WideRow{Keys: keys, Val: rec.Val}
+	}
+	return Table{wide: rows, width: r.W}
+}
+
+// recordsOf converts a table's rows to relational records.
+func recordsOf(t Table) []relops.Record {
+	if t.width > 1 {
+		recs := make([]relops.Record, len(t.wide))
+		for i, r := range t.wide {
+			recs[i] = relops.Record{Key: r.Keys[0], Key2: r.Keys[1], Val: r.Val}
+		}
+		return recs
+	}
+	recs := make([]relops.Record, len(t.rows))
+	for i, r := range t.rows {
+		recs[i] = relops.Record{Key: r.Key, Val: r.Val}
+	}
+	return recs
+}
+
+// errWideFilter rejects row-predicate stages on multi-column tables (a
+// follow-on; see ROADMAP).
+func errWideFilter(op string) error {
+	return fmt.Errorf("oblivmc: %s over multi-column tables is not supported yet", op)
 }
 
 // Filter obliviously selects the rows satisfying pred, preserving input
@@ -124,32 +252,37 @@ func rowsOf(a *mem.Array[obliv.Elem]) []Row {
 // values; it is never handed memory). The access pattern depends only on
 // the number of rows — not on the contents, and not on how many rows
 // survive (the survivor count is only visible in the returned Table).
+// Width-1 tables only (see ROADMAP for wide filters).
 func Filter(cfg Config, t Table, pred func(Row) bool) (Table, *Report, error) {
 	if t.Len() == 0 {
 		return Table{}, nil, ErrEmptyInput
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
-		relops.Compact(c, sp, ar, a, func(r relops.Record) bool { return pred(Row(r)) }, srt)
+	if t.Width() > 1 {
+		return Table{}, nil, errWideFilter("Filter")
+	}
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) {
+		relops.Compact(c, sp, ar, r, func(rec relops.Record) bool { return pred(Row{Key: rec.Key, Val: rec.Val}) }, srt)
 	})
 }
 
-// Distinct obliviously deduplicates the table by key: the earliest row of
-// each key survives, in first-occurrence order.
+// Distinct obliviously deduplicates the table by its key tuple: the
+// earliest row of each key survives, in first-occurrence order.
 func Distinct(cfg Config, t Table) (Table, *Report, error) {
 	if t.Len() == 0 {
 		return Table{}, nil, ErrEmptyInput
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
-		relops.Distinct(c, sp, ar, a, srt)
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) {
+		relops.Distinct(c, sp, ar, r, srt)
 	})
 }
 
-// GroupBy obliviously aggregates the table by key: the result holds one
-// row per distinct key whose Val is the aggregate of the group under agg,
-// in first-occurrence order. Values are unbounded uint64s and sums wrap
-// modulo 2^64; keep values below 2^44 if exact sums over a full 2^20-row
-// table are required.
-func GroupBy(cfg Config, t Table, agg Agg) (Table, *Report, error) {
+// GroupByCols obliviously aggregates the table by its full key tuple —
+// GROUP BY (a, b) for a two-column table: the result holds one row per
+// distinct key tuple whose Val is the aggregate of the group under agg, in
+// first-occurrence order. Values are unbounded uint64s and sums wrap
+// modulo 2^64 (AggVar additionally sums squares — keep values below 2^32
+// if exact variances are required).
+func GroupByCols(cfg Config, t Table, agg Agg) (Table, *Report, error) {
 	if t.Len() == 0 {
 		return Table{}, nil, ErrEmptyInput
 	}
@@ -157,9 +290,15 @@ func GroupBy(cfg Config, t Table, agg Agg) (Table, *Report, error) {
 	if err != nil {
 		return Table{}, nil, err
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
-		relops.GroupBy(c, sp, ar, a, kind, srt)
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) {
+		relops.GroupBy(c, sp, ar, r, kind, srt)
 	})
+}
+
+// GroupBy is GroupByCols under its historical name: for width-1 tables the
+// key tuple is the single key column, so both names aggregate identically.
+func GroupBy(cfg Config, t Table, agg Agg) (Table, *Report, error) {
+	return GroupByCols(cfg, t, agg)
 }
 
 // TopK obliviously keeps the k rows with the largest values, in descending
@@ -172,8 +311,8 @@ func TopK(cfg Config, t Table, k int) (Table, *Report, error) {
 	if k < 0 {
 		return Table{}, nil, fmt.Errorf("oblivmc: negative k %d", k)
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter) {
-		relops.TopK(c, sp, ar, a, k, srt)
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) {
+		relops.TopK(c, sp, ar, r, k, srt)
 	})
 }
 
@@ -187,10 +326,14 @@ type JoinedRow struct {
 // relation with distinct keys) and right (a foreign relation): one output
 // row per right row whose key appears in left, in right's order. The
 // access pattern depends only on the two relation sizes — the join
-// selectivity is invisible to the adversary.
+// selectivity is invisible to the adversary. Width-1 tables only (see
+// ROADMAP for wide joins).
 func Join(cfg Config, left, right Table) ([]JoinedRow, *Report, error) {
 	if left.Len() == 0 || right.Len() == 0 {
 		return nil, nil, ErrEmptyInput
+	}
+	if left.Width() > 1 || right.Width() > 1 {
+		return nil, nil, errWideFilter("Join")
 	}
 	seen := map[uint64]bool{}
 	for i, r := range left.rows {
@@ -202,19 +345,19 @@ func Join(cfg Config, left, right Table) ([]JoinedRow, *Report, error) {
 	var out []JoinedRow
 	var loadErr error
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
-		l, err := relops.Load(sp, recordsOf(left.rows))
+		l, err := relops.Load(sp, recordsOf(left), 1)
 		if err != nil {
 			loadErr = err
 			return
 		}
-		r, err := relops.Load(sp, recordsOf(right.rows))
+		r, err := relops.Load(sp, recordsOf(right), 1)
 		if err != nil {
 			loadErr = err
 			return
 		}
 		j, _ := relops.Join(c, sp, relops.NewArena(), l, r, bitonic.CacheAgnostic{})
 		for _, rec := range relops.UnloadJoined(j) {
-			out = append(out, JoinedRow(rec))
+			out = append(out, JoinedRow{Key: rec.Key, LeftVal: rec.LeftVal, RightVal: rec.RightVal})
 		}
 	})
 	if loadErr != nil {
@@ -223,23 +366,16 @@ func Join(cfg Config, left, right Table) ([]JoinedRow, *Report, error) {
 	return out, rep, nil
 }
 
-func recordsOf(rows []Row) []relops.Record {
-	recs := make([]relops.Record, len(rows))
-	for i, r := range rows {
-		recs[i] = relops.Record(r)
-	}
-	return recs
-}
-
 // Query is a declarative oblivious analytics pipeline over one table:
 //
 //	Filter (optional) → Distinct (optional) → GroupBy (optional) → TopK (optional)
 //
 // The query structure (which stages run, the aggregation, k, the declared
-// key-only-ness of the filter) is public; the table contents, including how
-// many rows survive each stage, are not: every stage processes the full
-// padded array, so the trace depends only on the table's row count and the
-// query shape.
+// key-only-ness of the filter) is public, as is the table's key-column
+// count; the table contents, including how many rows survive each stage,
+// are not: every stage processes the full padded array, so the trace
+// depends only on the table's row count, its width, and the query shape.
+// The Distinct and GroupBy stages group by the table's full key tuple.
 //
 // RunQuery compiles the stages through the internal/plan sort-fusion
 // planner before executing: stages that only drop rows defer their
@@ -248,9 +384,11 @@ func recordsOf(rows []Row) []relops.Record {
 // below Distinct/GroupBy into their existing passes. A multi-stage query
 // therefore runs strictly fewer O(n log² n) sorting-network passes than
 // calling the stand-alone operators in sequence (the full four-stage
-// pipeline: 2 sorts instead of 6) while producing the same rows.
+// pipeline: 2 sorts instead of 6) while producing the same rows — at
+// every key width.
 type Query struct {
 	// Filter keeps the rows satisfying the predicate (nil = keep all).
+	// Width-1 tables only (see ROADMAP for wide filters).
 	Filter func(Row) bool
 	// FilterKeyOnly declares that Filter depends only on Row.Key. This is
 	// public query shape: it allows the planner to push the filter below
@@ -259,9 +397,9 @@ type Query struct {
 	// predicate that reads Row.Val despite this declaration yields
 	// unspecified results — though still an oblivious trace.
 	FilterKeyOnly bool
-	// Distinct deduplicates by key before aggregation.
+	// Distinct deduplicates by the key tuple before aggregation.
 	Distinct bool
-	// GroupBy aggregates values per key (AggNone = no aggregation).
+	// GroupBy aggregates values per key tuple (AggNone = no aggregation).
 	GroupBy Agg
 	// TopK keeps only the k largest-value rows (0 = keep all).
 	TopK int
@@ -271,9 +409,10 @@ type Query struct {
 	NoOptimize bool
 }
 
-// shape extracts the public planner shape of q.
-func (q Query) shape(kind relops.AggKind) plan.Shape {
+// shape extracts the public planner shape of q over a width-w table.
+func (q Query) shape(kind relops.AggKind, w int) plan.Shape {
 	return plan.Shape{
+		KeyCols:       w,
 		Filter:        q.Filter != nil,
 		FilterKeyOnly: q.FilterKeyOnly,
 		Distinct:      q.Distinct,
@@ -283,17 +422,23 @@ func (q Query) shape(kind relops.AggKind) plan.Shape {
 	}
 }
 
-// Explain returns the pass sequence q will execute, e.g.
+// Explain returns the pass sequence q will execute over a width-1 table
+// (ExplainWidth renders other widths), e.g.
 // "filter-mark → sort(key,pos) → dedup+aggregate → sort(val↓) → topk
 // [2 sorts, staged 6]" — or, for a NoOptimize query, the staged operator
 // sequence. It validates q exactly like RunQuery and depends only on the
 // query shape.
 func Explain(q Query) (string, error) {
+	return ExplainWidth(q, 1)
+}
+
+// ExplainWidth is Explain for a table of w key columns.
+func ExplainWidth(q Query, w int) (string, error) {
 	kind, err := queryAgg(q)
 	if err != nil {
 		return "", err
 	}
-	pl := plan.Build(q.shape(kind))
+	pl := plan.Build(q.shape(kind, w))
 	if !q.NoOptimize {
 		return pl.String(), nil
 	}
@@ -339,6 +484,9 @@ func RunQuery(cfg Config, t Table, q Query) (Table, *Report, error) {
 	if t.Len() == 0 {
 		return Table{}, nil, ErrEmptyInput
 	}
+	if q.Filter != nil && t.Width() > 1 {
+		return Table{}, nil, errWideFilter("Query.Filter")
+	}
 	kind, err := queryAgg(q)
 	if err != nil {
 		return Table{}, nil, err
@@ -351,32 +499,35 @@ func RunQuery(cfg Config, t Table, q Query) (Table, *Report, error) {
 
 // runQueryPlanned compiles q's shape and executes the fused pass sequence.
 func runQueryPlanned(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv.Sorter) (Table, *Report, error) {
-	pl := plan.Build(q.shape(kind))
+	pl := plan.Build(q.shape(kind, t.Width()))
 	var pred func(relops.Record) bool
 	if q.Filter != nil {
-		pred = func(r relops.Record) bool { return q.Filter(Row(r)) }
+		pred = func(r relops.Record) bool { return q.Filter(Row{Key: r.Key, Val: r.Val}) }
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, a *mem.Array[obliv.Elem], _ obliv.Sorter) {
-		relops.Execute(c, sp, ar, a, pl, pred, srt)
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, _ obliv.Sorter) {
+		relops.Execute(c, sp, ar, r, pl, pred, srt)
 	})
 }
 
 // runQueryStaged is the pre-planner execution: each stage is a stand-alone
-// operator paying its own sorts, with per-call scratch and closure-keyed
-// comparators — the seed behavior, kept as the benchmarking baseline.
+// operator paying its own sorts and per-call scratch — the pre-fusion
+// behavior, kept as the benchmarking baseline. (Its sorts now run the
+// same schedule path as everything else — the packed-composite closure
+// comparator no longer exists — so the A/B difference it isolates is
+// purely the planner's pass structure.)
 func runQueryStaged(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv.Sorter) (Table, *Report, error) {
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, _ *relops.Arena, a *mem.Array[obliv.Elem], _ obliv.Sorter) {
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, _ *relops.Arena, r relops.Rel, _ obliv.Sorter) {
 		if q.Filter != nil {
-			relops.Compact(c, sp, nil, a, func(r relops.Record) bool { return q.Filter(Row(r)) }, srt)
+			relops.Compact(c, sp, nil, r, func(rec relops.Record) bool { return q.Filter(Row{Key: rec.Key, Val: rec.Val}) }, srt)
 		}
 		if q.Distinct {
-			relops.Distinct(c, sp, nil, a, srt)
+			relops.Distinct(c, sp, nil, r, srt)
 		}
 		if q.GroupBy != AggNone {
-			relops.GroupBy(c, sp, nil, a, kind, srt)
+			relops.GroupBy(c, sp, nil, r, kind, srt)
 		}
 		if q.TopK > 0 {
-			relops.TopK(c, sp, nil, a, q.TopK, srt)
+			relops.TopK(c, sp, nil, r, q.TopK, srt)
 		}
 	})
 }
