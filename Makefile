@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench benchdiff clean
+.PHONY: all build test vet race bench benchdiff fuzz-smoke clean
 
 all: vet build test
 
@@ -17,18 +17,29 @@ vet:
 	$(GO) vet ./...
 
 # bench regenerates the relational-layer trend artifact: elems/s for
-# Compact/GroupBy (narrow and wide)/Join and the end-to-end query (staged
-# vs planner-fused) at n ∈ {2^12, 2^16, 2^20}. CI uploads BENCH_3.json on
-# every push so the perf trajectory is tracked per commit. BENCH_ARGS can
-# bound the sweep, e.g. make bench BENCH_ARGS="-max 65536".
+# Compact/GroupBy (narrow and wide)/Join/JoinAll and the end-to-end query
+# (staged vs planner-fused) at n ∈ {2^12, 2^16, 2^20}. CI uploads
+# BENCH_4.json on every push so the perf trajectory is tracked per commit.
+# BENCH_ARGS can bound the sweep, e.g. make bench BENCH_ARGS="-max 65536".
 bench:
-	$(GO) run ./cmd/relbench -out BENCH_3.json $(BENCH_ARGS)
+	$(GO) run ./cmd/relbench -out BENCH_4.json $(BENCH_ARGS)
 
 # benchdiff compares a fresh artifact against the committed baseline and
 # flags elems/s regressions beyond the noise threshold (warn-only in CI;
 # drop -warn locally to gate).
 benchdiff:
-	$(GO) run ./cmd/benchdiff -base BENCH_2.json -new BENCH_3.json -warn
+	$(GO) run ./cmd/benchdiff -base BENCH_3.json -new BENCH_4.json -warn
+
+# fuzz-smoke runs each native fuzz target (operator vs plain-Go reference,
+# see internal/relops/fuzz_test.go) for a short exploration budget beyond
+# the committed seed corpus. Go allows one -fuzz pattern per invocation, so
+# the targets run back to back.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzJoinAll$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzJoin$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzGroupBy$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzDistinct$$' -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

@@ -518,6 +518,30 @@ func BenchmarkJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkJoinAll is the many-to-many expansion join point: left keys
+// repeat (multiplicity 2), the match count equals n exactly, and the public
+// capacity is tight (maxOut = n) — the operator's four sorts run over the
+// NextPow2(NextPow2(nl+n)+NextPow2(n)) work relation at full occupancy.
+func BenchmarkJoinAll(b *testing.B) {
+	for _, n := range relopsSizes {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			lrecs, rrecs, maxOut := benchdata.JoinAllRecords(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchPool.Run(func(c *forkjoin.Ctx) {
+					sp := mem.NewSpace()
+					l := benchLoad(b, sp, lrecs)
+					r := benchLoad(b, sp, rrecs)
+					if _, _, err := relops.JoinAll(c, sp, relops.NewArena(), l, r, maxOut, bitonic.CacheAgnostic{}); err != nil {
+						b.Fatal(err)
+					}
+				})
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+		})
+	}
+}
+
 // --- End-to-end query pipeline: planner (fused) vs staged baseline ------------
 //
 // The multi-stage Filter→Distinct→GroupBy→TopK pipeline the sort-fusion

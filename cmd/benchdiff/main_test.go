@@ -10,7 +10,7 @@ func TestDiffFlagsRegressionsBeyondThreshold(t *testing.T) {
 		{Name: "retired", N: 4096, ElemsPerSec: 9},
 	}}
 	cur := File{Results: []Result{
-		{Name: "groupby", N: 4096, ElemsPerSec: 850},  // -15%: within 20% noise
+		{Name: "groupby", N: 4096, ElemsPerSec: 850},   // -15%: within 20% noise
 		{Name: "groupby", N: 65536, ElemsPerSec: 1500}, // -25%: regression
 		{Name: "join", N: 4096, ElemsPerSec: 600},      // improvement
 		{Name: "fresh", N: 4096, ElemsPerSec: 7},

@@ -1,9 +1,13 @@
 // Command oblivquery runs a data-oblivious relational query pipeline
-// (filter → distinct → group-by → top-k) over a table read from stdin or
-// generated randomly, reporting throughput and (optionally) the metered
-// cost profile plus the adversary's-view fingerprint. Tables may declare
-// one or two key columns (-cols); multi-column tables group by the full
-// key tuple — GROUP BY (a, b).
+// (join → filter → distinct → group-by → top-k) over a table read from
+// stdin or generated randomly, reporting throughput and (optionally) the
+// metered cost profile plus the adversary's-view fingerprint. Tables may
+// declare one or two key columns (-cols); multi-column tables group by the
+// full key tuple — GROUP BY (a, b). With -join N a generated N-row
+// dimension table (keys drawn from the same -groups space, so keys repeat:
+// the join is many-to-many) is equi-joined against the table first; the
+// output capacity -joincap is public query shape, and a run whose true
+// match count exceeds it fails with the count a retry needs.
 //
 // Usage:
 //
@@ -12,6 +16,7 @@
 //	printf "1 7 120\n1 8 95\n1 7 140\n" | oblivquery -stdin -cols 2 -agg avg
 //	oblivquery -n 4096 -min 100 -agg count -metered
 //	oblivquery -n 4096 -cols 2 -agg var -explain
+//	oblivquery -n 4096 -join 64 -agg count -explain   # many-to-many join feed
 package main
 
 import (
@@ -33,6 +38,8 @@ func main() {
 	groups := flag.Int("groups", 64, "distinct keys per column in the random workload")
 	cols := flag.Int("cols", 1, "key columns per row (1 or 2; 2 groups by the full (a, b) tuple)")
 	useStdin := flag.Bool("stdin", false, "read \"key... value\" rows (one per line, -cols keys) from stdin")
+	joinN := flag.Int("join", 0, "many-to-many join: equi-join a generated dimension table of this many rows against the table first (0 = no join)")
+	joinCap := flag.Int("joincap", 0, "public output capacity of the join (0 = auto: 4x the table's rows)")
 	minVal := flag.Uint64("min", 0, "filter: keep rows with value >= min (0 = no filter; single-column tables only)")
 	minKey := flag.Uint64("minkey", 0, "key-only filter: keep rows with key >= minkey (0 = none; plannable below distinct/group-by)")
 	distinct := flag.Bool("distinct", false, "deduplicate rows by key tuple before aggregating")
@@ -108,6 +115,28 @@ func main() {
 	}
 
 	q := oblivmc.Query{Distinct: *distinct, TopK: *top, NoOptimize: *noOpt}
+	if *joinN > 0 {
+		// The dimension table's keys repeat (same -groups space as the fact
+		// table), so the expansion is genuinely many-to-many.
+		src := prng.New(*seed ^ 0xd1e5e1)
+		dims := make([]oblivmc.WideRow, *joinN)
+		for i := range dims {
+			keys := make([]uint64, *cols)
+			for c := range keys {
+				keys[c] = src.Uint64n(uint64(*groups))
+			}
+			dims[i] = oblivmc.WideRow{Keys: keys, Val: 1_000_000 + src.Uint64n(1<<20)}
+		}
+		dim, err := oblivmc.NewWideTable(dims)
+		if err != nil {
+			log.Fatal(err)
+		}
+		capacity := *joinCap
+		if capacity == 0 {
+			capacity = 4 * table.Len()
+		}
+		q.Join = &oblivmc.JoinSpec{Left: dim, MaxOut: capacity}
+	}
 	switch {
 	case *minVal > 0 && *minKey > 0:
 		log.Fatal("-min and -minkey are mutually exclusive")

@@ -1,12 +1,13 @@
 // Command relbench measures the wall-clock throughput (elements/second) of
-// the oblivious relational layer — Compact, GroupBy, Join, and the
-// end-to-end Filter→Distinct→GroupBy→TopK query pipeline in both its
-// planner-fused and staged-baseline form — at n ∈ {2^12, 2^16, 2^20}, and
-// writes the results as JSON (the BENCH_2.json trend artifact CI uploads).
+// the oblivious relational layer — Compact, GroupBy (narrow and wide),
+// Join, the many-to-many JoinAll, and the end-to-end
+// Filter→Distinct→GroupBy→TopK query pipeline in both its planner-fused
+// and staged-baseline form — at n ∈ {2^12, 2^16, 2^20}, and writes the
+// results as JSON (the BENCH_4.json trend artifact CI uploads).
 //
 // Usage:
 //
-//	relbench -out BENCH_2.json            # full sweep
+//	relbench -out BENCH_4.json            # full sweep
 //	relbench -max 65536 -iters 5          # bounded sweep for quick checks
 package main
 
@@ -36,7 +37,7 @@ type Result struct {
 	ElemsPerSec float64 `json:"elems_per_sec"`
 }
 
-// File is the BENCH_2.json document.
+// File is the BENCH_4.json document.
 type File struct {
 	Schema    string   `json:"schema"`
 	Generated string   `json:"generated"`
@@ -59,7 +60,7 @@ func rows(n int) []oblivmc.Row {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_3.json", "output file (\"-\" = stdout)")
+	out := flag.String("out", "BENCH_4.json", "output file (\"-\" = stdout)")
 	max := flag.Int("max", 1<<20, "largest relation size to measure")
 	iters := flag.Int("iters", 0, "iterations per point (0 = auto: more for small n)")
 	flag.Parse()
@@ -154,6 +155,23 @@ func main() {
 						log.Fatal(err)
 					}
 					relops.Join(c, sp, relops.NewArena(), l, r, bitonic.CacheAgnostic{})
+				})
+			}},
+			{"join_all", func() {
+				jl, jr, maxOut := benchdata.JoinAllRecords(n)
+				pool.Run(func(c *forkjoin.Ctx) {
+					sp := mem.NewSpace()
+					l, err := relops.Load(sp, jl, 1)
+					if err != nil {
+						log.Fatal(err)
+					}
+					r, err := relops.Load(sp, jr, 1)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if _, _, err := relops.JoinAll(c, sp, relops.NewArena(), l, r, maxOut, bitonic.CacheAgnostic{}); err != nil {
+						log.Fatal(err)
+					}
 				})
 			}},
 			{"query_staged", func() {

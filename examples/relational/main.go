@@ -66,6 +66,47 @@ func main() {
 		fmt.Printf("  product %d: amount %d at unit price %d\n", j.Key, j.RightVal, j.LeftVal)
 	}
 
+	// Many-to-many join via oblivious expansion: each product carries
+	// *several* promotion rows (left keys repeat, which Join rejects), and
+	// every sale matches every promotion of its product. The output
+	// capacity is public shape — the true match count stays hidden in the
+	// trace and is only reported back through the overflow error when the
+	// capacity is too small.
+	promos, err := oblivmc.NewTable([]oblivmc.Row{
+		{Key: 1, Val: 5}, {Key: 1, Val: 10}, // product 1: two promos
+		{Key: 2, Val: 15}, {Key: 4, Val: 20}, {Key: 4, Val: 25},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs, _, err := oblivmc.JoinAllRows(oblivmc.Config{Seed: 4}, promos, facts, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfirst (promotion, sale) pairs — many-to-many oblivious JoinAllRows (%d matches):\n", len(pairs))
+	for _, p := range pairs[:4] {
+		fmt.Printf("  product %d: sale %d under promo discount %d%%\n", p.Keys[0], p.RightVal, p.LeftVal)
+	}
+
+	// The same join feeds a declarative pipeline: how many promoted sales
+	// does each product have? The planner defers the join's
+	// propagate+compact sorts into the group-by's own passes.
+	jq := oblivmc.Query{
+		Join:    &oblivmc.JoinSpec{Left: promos, MaxOut: 32},
+		GroupBy: oblivmc.AggCount,
+	}
+	if pl, err := oblivmc.Explain(jq); err == nil {
+		fmt.Printf("\njoined-query plan: %s\n", pl)
+	}
+	promoted, _, err := oblivmc.RunQuery(oblivmc.Config{Seed: 4}, facts, jq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("promoted-sale counts per product (join-all → group-by(count)):")
+	for _, r := range promoted.Rows() {
+		fmt.Printf("  product %d: %d (sale, promo) pairs\n", r.Key, r.Val)
+	}
+
 	// Composite keys: GROUP BY (region, product) with a one-pass average.
 	// Key columns span the full uint64 range — region ids here are hashes
 	// far above the old 2^40 packed-key ceiling — and the key tuple, like

@@ -70,3 +70,24 @@ func LeftRecords(n int) []relops.Record {
 	}
 	return recs
 }
+
+// JoinAllRecords generates the many-to-many join benchmark workload for a
+// foreign relation of n records (n must be a multiple of 16). The left
+// relation has n/JoinLeftFraction rows over half as many distinct keys —
+// every key appears exactly twice, so the expansion is genuinely
+// many-to-many — and the right relation cycles through n/8 keys, of which
+// the lower half match. The true match count is therefore exactly n, and
+// the returned maxOut (= n) is the tight public capacity: the benchmark
+// measures the operator at full occupancy with zero overflow slack.
+func JoinAllRecords(n int) (left, right []relops.Record, maxOut int) {
+	nl := n / JoinLeftFraction
+	left = make([]relops.Record, nl)
+	for i := range left {
+		left[i] = relops.Record{Key: uint64(i / 2), Val: uint64(i) * 5}
+	}
+	right = make([]relops.Record, n)
+	for i := range right {
+		right[i] = relops.Record{Key: uint64(i % (n / 8)), Val: uint64(i) * 3}
+	}
+	return left, right, n
+}

@@ -1,0 +1,164 @@
+package obliv
+
+import (
+	"fmt"
+
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+)
+
+// This file implements oblivious distribution — the expansion dual of the
+// tight compaction at the heart of the relational operators. Where
+// compaction sends marked elements to the front of an array, distribution
+// spreads elements to *computed destination offsets* and propagates each
+// one rightward across the gap to the next destination, which is exactly
+// the duplication step a many-to-many join's oblivious expansion needs
+// (each source's copy count is the width of its destination span). The
+// construction is the [CS17]-style O(1)-oblivious-sorts recipe the paper's
+// §C.1 bin placement uses: one data-independent sort, one prefix scan, and
+// fixed elementwise passes, so the trace is a function of
+// (len(sources), outLen) only.
+
+// distVal is the carrier of Distribute's "latest participant wins" prefix
+// scan: after the inclusive scan, position p holds the participating source
+// with the largest destination at or before p.
+type distVal struct {
+	src Elem
+	d   uint64
+	has bool
+}
+
+// distOp is the associative combine: the later defined participant wins.
+func distOp(x, y distVal) distVal {
+	if y.has {
+		return y
+	}
+	return distVal{src: x.src, d: x.d, has: x.has}
+}
+
+// Distribute realizes oblivious distribution with propagation. Source i of
+// sources *participates* iff it is Real and dests[i] < outLen (dests is
+// indexed identically to sources; callers disable a source by setting its
+// destination to InfKey). Participating destinations must be strictly
+// distinct — offsets produced by a prefix sum of positive spans are.
+// Conceptually the participants are placed at their destinations in an
+// output of outLen slots and then propagated rightward: slot s is governed
+// by the participant with the largest destination d <= s.
+//
+// The returned array has length NextPow2(len(sources)+outLen) and holds,
+// in unspecified order,
+//
+//   - one element per output slot s: apply(s, d, src, ok), where (src, d)
+//     is the governing participant and ok is false when no participant
+//     governs s (slots before the first destination, or no participants at
+//     all);
+//   - every non-participating source, passed through unchanged;
+//   - fillers elsewhere (participants are consumed into their slots).
+//
+// Slot order is not restored: every caller in this module feeds the result
+// into another data-independent sort, which would make a restoring sort
+// here pure waste. apply must be a pure function of its arguments (register
+// arithmetic only).
+//
+// outLen must be in [1, MaxKey) — destinations become sort-key words below
+// the InfKey sentinel. srt must be a ScheduledSorter: the destination of an
+// element is carried through the network as its cached schedule word and
+// read back afterwards, which no closure key can express. The access
+// pattern depends only on (len(sources), outLen), never on the
+// destinations or the element contents.
+func Distribute(
+	c *forkjoin.Ctx, sp *mem.Space,
+	sources *mem.Array[Elem], dests *mem.Array[uint64], outLen int,
+	apply func(slot, d uint64, src Elem, ok bool) Elem,
+	srt Sorter,
+) *mem.Array[Elem] {
+	ss, ok := srt.(ScheduledSorter)
+	if !ok {
+		panic(fmt.Sprintf("obliv: sorter %s does not support key schedules (ScheduledSorter); Distribute recovers destinations from the schedule", srt.Name()))
+	}
+	if outLen < 1 || uint64(outLen) >= MaxKey {
+		panic(fmt.Sprintf("obliv: Distribute outLen %d out of range [1, 2^62)", outLen))
+	}
+	if dests.Len() < sources.Len() {
+		panic("obliv: Distribute dests shorter than sources")
+	}
+	nIn := sources.Len()
+	wLen := NextPow2(nIn + outLen)
+	w := mem.Alloc[Elem](sp, wLen)
+	ks := AllocKeySchedule(sp, wLen, 1)
+	kscr := AllocKeySchedule(sp, wLen, 1)
+	scr := mem.Alloc[Elem](sp, wLen)
+	plane := ks.Plane(0)
+
+	// Participants are keyed d<<1 and slots s<<1|1, so the governing
+	// participant of slot s sorts immediately before it; everything else
+	// keys the InfKey sentinel. The keys are all distinct (distinct
+	// destinations, distinct slot indices, disjoint parities), so the
+	// default TieNetwork rule never fires on live elements.
+	forkjoin.ParallelRange(c, 0, nIn, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := sources.Get(c, i)
+			d := dests.Get(c, i)
+			c.Op(1)
+			key := InfKey
+			if e.Kind == Real && d < uint64(outLen) {
+				key = d << 1
+			}
+			w.Set(c, i, e)
+			plane.Set(c, i, key)
+		}
+	})
+	forkjoin.ParallelRange(c, 0, outLen, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			w.Set(c, nIn+s, Elem{Kind: Temp, Aux: uint64(s)})
+			plane.Set(c, nIn+s, uint64(s)<<1|1)
+		}
+	})
+	forkjoin.ParallelRange(c, nIn+outLen, wLen, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			plane.Set(c, p, InfKey)
+		}
+	})
+
+	ss.SortScheduled(c, w, ks, scr, kscr, 0, wLen)
+
+	// Latest-participant scan: position p learns the participant with the
+	// largest destination at or before p. The schedule moved through the
+	// network in lockstep with the elements, so plane[p] is the key — and
+	// hence the destination — of the element now at p.
+	pv := mem.Alloc[distVal](sp, wLen)
+	forkjoin.ParallelRange(c, 0, wLen, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			e := w.Get(c, p)
+			key := plane.Get(c, p)
+			c.Op(1)
+			v := distVal{}
+			if key != InfKey && key&1 == 0 {
+				v = distVal{src: e, d: key >> 1, has: true}
+			}
+			pv.Set(c, p, v)
+		}
+	})
+	ScanOp(c, sp, pv, distOp, distVal{}, true)
+
+	// Slots adopt their governing participant via apply; consumed
+	// participants clear to fillers; everything else passes through.
+	forkjoin.ParallelRange(c, 0, wLen, 0, func(c *forkjoin.Ctx, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			e := w.Get(c, p)
+			key := plane.Get(c, p)
+			v := pv.Get(c, p)
+			c.Op(1)
+			switch {
+			case key == InfKey:
+				// Non-participating source or filler: unchanged.
+			case key&1 == 0:
+				e = Elem{}
+			default:
+				e = apply(key>>1, v.d, v.src, v.has)
+			}
+			w.Set(c, p, e)
+		}
+	})
+	return w
+}

@@ -1,8 +1,13 @@
 // Package plan is the sort-fusion query planner for the oblivious
 // relational engine (internal/relops). It rewrites a declarative pipeline
-// of logical stages (Filter → Distinct → GroupBy → TopK) into a sequence of
-// physical passes that runs strictly fewer O(n log² n) sorting-network
-// passes than executing the stages one operator at a time.
+// of logical stages (JoinAll → Filter → Distinct → GroupBy → TopK) into a
+// sequence of physical passes that runs strictly fewer O(n log² n)
+// sorting-network passes than executing the stages one operator at a time.
+// The join stage is binary and therefore executed by the query layer
+// (which holds both relations), but it is planned here: its sort-pass
+// accounting and its rule-1 fusion — dropping the join's propagate+compact
+// tail whenever a later stage re-sorts — are planner decisions rendered by
+// Explain like every other fusion opportunity.
 //
 // Obliviousness: every planner decision is a pure function of the *query
 // shape* — which stages are present, the aggregation kind, k, and the
@@ -85,6 +90,10 @@ type Shape struct {
 	// sorts the plan costs, so width-1 queries keep the exact pass
 	// sequence (and sort-pass count) of the single-word planner.
 	KeyCols int
+	// Join reports whether a many-to-many equi-join stage feeds the unary
+	// pipeline (the queried table is the join's right side; the output
+	// capacity is execution shape the planner never needs).
+	Join bool
 	// Filter reports whether a filter stage is present.
 	Filter bool
 	// FilterKeyOnly declares the filter predicate a function of the key
@@ -128,6 +137,13 @@ const (
 	// OpCompactPos restores the public output order: survivors to the
 	// front by original position, fillers to the tail. One sort.
 	OpCompactPos
+	// OpJoinAll is the many-to-many expansion join feeding the unary
+	// pipeline (relops.JoinAll; executed by the query layer, which holds
+	// both relations — the fused executor rejects it). Four sorts
+	// stand-alone; with Deferred set, the join's value-propagation and
+	// output-compaction sorts are dropped (rule 1 applied to the join's
+	// propagate+compact tail) and it costs two.
+	OpJoinAll
 )
 
 // String implements fmt.Stringer.
@@ -149,6 +165,8 @@ func (k OpKind) String() string {
 		return "topk"
 	case OpCompactPos:
 		return "compact(pos)"
+	case OpJoinAll:
+		return "join-all"
 	}
 	return fmt.Sprintf("op(%d)", uint8(k))
 }
@@ -163,6 +181,10 @@ type Op struct {
 	// WithFilter merges the (key-only) filter predicate into this pass's
 	// elementwise survivor test (rewrite rule 3).
 	WithFilter bool
+	// Deferred drops OpJoinAll's value-propagation and output-compaction
+	// sorts: a later stage re-sorts the relation anyway, so the join may
+	// leave its matches scattered among fillers (rewrite rule 1).
+	Deferred bool
 }
 
 // Plan is the physical pass sequence for one query, plus the public
@@ -200,6 +222,9 @@ func (p Plan) String() string {
 		if op.WithFilter {
 			s += "+filter"
 		}
+		if op.Deferred {
+			s += "+defer"
+		}
 	}
 	if s == "" {
 		s = "identity"
@@ -207,9 +232,25 @@ func (p Plan) String() string {
 	return fmt.Sprintf("%s [%d sorts, staged %d]", s, p.SortPasses, p.StagedSortPasses)
 }
 
-// sorts reports whether k is a sorting-network pass.
-func (k OpKind) sorts() bool {
-	return k == OpSortKey || k == OpSortValDesc || k == OpCompactPos
+// Join-stage sort costs: the stand-alone operator's four sorting passes
+// (key sort, distribution sort, left-index sort, output compaction) and
+// the two that remain once deferral drops the propagate+compact tail.
+const (
+	joinSorts         = 4
+	joinSortsDeferred = 2
+)
+
+// SortCost is the number of full sorting-network passes op runs.
+func (op Op) SortCost() int {
+	switch {
+	case op.Kind == OpJoinAll && op.Deferred:
+		return joinSortsDeferred
+	case op.Kind == OpJoinAll:
+		return joinSorts
+	case op.Kind == OpSortKey || op.Kind == OpSortValDesc || op.Kind == OpCompactPos:
+		return 1
+	}
+	return 0
 }
 
 // Build compiles a query shape into its fused physical plan. It is a pure
@@ -222,6 +263,25 @@ func Build(s Shape) Plan {
 	keyCols := s.KeyCols
 	if keyCols < 1 {
 		keyCols = 1
+	}
+
+	if s.Join {
+		// The join feeds the unary stages. Whenever any later stage is
+		// present, that stage (or the pipeline's final compaction) sorts
+		// the relation again, so the join's value-propagation and
+		// output-compaction sorts are deferred away (rule 1 applied to the
+		// join's tail): matches stay scattered among fillers and the next
+		// sort restores contiguity. A stand-alone join pays the full
+		// four-sort operator and establishes the output order itself.
+		deferred := s.Filter || s.Distinct || s.GroupBy || s.TopK > 0
+		ops = append(ops, Op{Kind: OpJoinAll, Deferred: deferred})
+		if deferred {
+			// Scattered matches: no order token holds (the copies of one
+			// right record even share a position).
+			cur = OrderInput
+		} else {
+			cur = OrderPos
+		}
 	}
 
 	// Rule 3: a key-only filter below a Distinct/GroupBy stage merges into
@@ -272,18 +332,19 @@ func Build(s Shape) Plan {
 
 	p := Plan{Ops: ops, KeyCols: keyCols, StagedSortPasses: stagedSorts(s), Output: output}
 	for _, op := range ops {
-		if op.Kind.sorts() {
-			p.SortPasses++
-		}
+		p.SortPasses += op.SortCost()
 	}
 	return p
 }
 
 // stagedSorts counts the sorting passes of the pre-planner execution: each
-// stand-alone operator pays its own sorts (Filter 1, Distinct 2, GroupBy 2,
-// TopK 1 — see internal/relops).
+// stand-alone operator pays its own sorts (JoinAll 4, Filter 1, Distinct 2,
+// GroupBy 2, TopK 1 — see internal/relops).
 func stagedSorts(s Shape) int {
 	n := 0
+	if s.Join {
+		n += joinSorts
+	}
 	if s.Filter {
 		n++
 	}

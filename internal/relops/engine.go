@@ -40,6 +40,11 @@ func Execute(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel, pl plan.Plan, pre
 			// alone restores the public output order: survivors at the
 			// front by original position, zero fillers at the tail.
 			sortSched(c, sp, ar, r.A, posSched(), srt)
+		case plan.OpJoinAll:
+			// The join stage is binary: the query layer, which holds both
+			// relations, runs JoinAll/JoinAllDeferred and hands Execute the
+			// remaining unary passes.
+			panic("relops: OpJoinAll must be executed by the query layer, not the fused executor")
 		}
 	}
 	return countReal(r.A)

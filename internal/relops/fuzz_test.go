@@ -1,0 +1,59 @@
+package relops
+
+// Native fuzz targets over the property checkers of property_test.go: the
+// fuzzer mutates (seed, sizes, width, distribution) tuples and each input
+// replays a full operator-vs-reference comparison. `go test` runs the seed
+// corpus as regular tests; CI's `make fuzz-smoke` step runs each target
+// under -fuzz for a short budget.
+
+import "testing"
+
+// fuzzShape folds raw fuzz bytes into a legal (n, w, dist) shape. Sizes are
+// kept small enough for the exact reference sorters while still crossing
+// power-of-two paddings.
+func fuzzShape(n, w, dist uint8) (int, int, int) {
+	return int(n%33) + 1, int(w%MaxKeyCols) + 1, int(dist % distKinds)
+}
+
+func FuzzJoinAll(f *testing.F) {
+	f.Add(uint64(1), uint8(5), uint8(7), uint8(0), uint8(0))
+	f.Add(uint64(2), uint8(16), uint8(16), uint8(1), uint8(1))
+	f.Add(uint64(3), uint8(3), uint8(31), uint8(0), uint8(2))
+	f.Add(uint64(4), uint8(32), uint8(1), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nl, nr, w, dist uint8) {
+		nlv, wv, dv := fuzzShape(nl, w, dist)
+		nrv, _, _ := fuzzShape(nr, w, dist)
+		checkJoinAll(t, seed, nlv, nrv, wv, dv)
+	})
+}
+
+func FuzzJoin(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(9), uint8(0), uint8(0))
+	f.Add(uint64(2), uint8(17), uint8(12), uint8(1), uint8(1))
+	f.Add(uint64(3), uint8(8), uint8(8), uint8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nl, nr, w, dist uint8) {
+		nlv, wv, dv := fuzzShape(nl, w, dist)
+		nrv, _, _ := fuzzShape(nr, w, dist)
+		checkJoin(t, seed, nlv, nrv, wv, dv)
+	})
+}
+
+func FuzzGroupBy(f *testing.F) {
+	f.Add(uint64(1), uint8(9), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(2), uint8(24), uint8(1), uint8(1), uint8(4))
+	f.Add(uint64(3), uint8(17), uint8(0), uint8(2), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, n, w, dist, agg uint8) {
+		nv, wv, dv := fuzzShape(n, w, dist)
+		checkGroupBy(t, seed, nv, wv, dv, allAggs[int(agg)%len(allAggs)])
+	})
+}
+
+func FuzzDistinct(f *testing.F) {
+	f.Add(uint64(1), uint8(9), uint8(0), uint8(0))
+	f.Add(uint64(2), uint8(24), uint8(1), uint8(1))
+	f.Add(uint64(3), uint8(17), uint8(0), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, n, w, dist uint8) {
+		nv, wv, dv := fuzzShape(n, w, dist)
+		checkDistinct(t, seed, nv, wv, dv)
+	})
+}

@@ -8,11 +8,19 @@ import (
 	"oblivmc/internal/obliv"
 )
 
-// Joined is one output record of Join: a right record together with the
-// value of the left record sharing its key tuple.
+// Joined is one output record of Join and JoinAll: a right record together
+// with the value of the left record sharing its key tuple.
 type Joined struct {
 	Key, Key2, LeftVal, RightVal uint64
 }
+
+// Side tags of the interleaved join work arrays (Join, JoinAll): tagLeft
+// sorts before tagRight under the TiePos tie-break, putting each key
+// group's left records ahead of its right records.
+const (
+	tagLeft  = 0
+	tagRight = 1
+)
 
 // Join is the oblivious sort-merge equi-join of a primary relation left
 // (whose key tuples must be distinct; if they are not, the first tuple in
@@ -42,10 +50,6 @@ func Join(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right Rel, srt obliv.
 	wLen := obliv.NextPow2(nl + nr)
 	wrk := Rel{A: mem.Alloc[obliv.Elem](sp, wLen), W: w} // trailing slots are fillers
 
-	const (
-		tagLeft  = 0
-		tagRight = 1
-	)
 	forkjoin.ParallelRange(c, 0, nl, 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := left.A.Get(c, i)

@@ -89,7 +89,27 @@ var (
 	// ErrBadWidth is returned for a key-column count outside
 	// [1, MaxKeyCols].
 	ErrBadWidth = fmt.Errorf("relops: key-column count must be in [1, %d]", MaxKeyCols)
+	// ErrBadCapacity is returned for a join output capacity (maxOut)
+	// outside [1, MaxRows] — the capacity is a public relation shape and is
+	// bounded like a row count.
+	ErrBadCapacity = fmt.Errorf("relops: join capacity maxOut must be in [1, 2^%d] rows", maxRowsLog)
+	// ErrJoinOverflow is returned when a join's true match count exceeds
+	// the caller-supplied public output capacity maxOut. The match count is
+	// data, so the capacity must be chosen from public knowledge (at worst
+	// len(left)*len(right), itself capped by the MaxRows capacity bound).
+	ErrJoinOverflow = fmt.Errorf("relops: join match count exceeds the public output capacity maxOut (capacities range up to 2^%d rows)", maxRowsLog)
 )
+
+// CheckCapacity validates a public join output capacity against the same
+// row bound CheckShape enforces, without materializing anything. maxOut is
+// an int64 so the above-MaxRows range stays expressible on 32-bit
+// platforms.
+func CheckCapacity(maxOut int64) error {
+	if maxOut < 1 || maxOut > MaxRows {
+		return fmt.Errorf("%w: capacity %d", ErrBadCapacity, maxOut)
+	}
+	return nil
+}
 
 // Record is one relational (keys..., value) record. Key is column 0; Key2
 // is column 1 and is ignored by width-1 relations.

@@ -16,13 +16,13 @@ import (
 // mustLoad is width-1 Load for known-in-range test data; the error path has
 // its own tests (TestLoadRejectsOutOfRange). It panics rather than
 // t.Fatal-ing so it is safe inside closures running on pool workers.
-func mustLoad(t *testing.T, sp *mem.Space, recs []Record) Rel {
+func mustLoad(t testing.TB, sp *mem.Space, recs []Record) Rel {
 	t.Helper()
 	return mustLoadW(t, sp, recs, 1)
 }
 
 // mustLoadW is Load at an explicit key width.
-func mustLoadW(t *testing.T, sp *mem.Space, recs []Record, w int) Rel {
+func mustLoadW(t testing.TB, sp *mem.Space, recs []Record, w int) Rel {
 	t.Helper()
 	r, err := Load(sp, recs, w)
 	if err != nil {
@@ -63,7 +63,7 @@ func randWideRecords(src *prng.Source, n int, spread1, spread2, valSpread uint64
 	return recs
 }
 
-func checkRecords(t *testing.T, got, want []Record, label string) {
+func checkRecords(t testing.TB, got, want []Record, label string) {
 	t.Helper()
 	if len(got) != len(want) {
 		t.Fatalf("%s: got %d records, want %d\ngot  %v\nwant %v", label, len(got), len(want), got, want)

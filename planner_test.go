@@ -9,11 +9,13 @@ package oblivmc
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
+	"oblivmc/internal/obliv/oblivtest"
 	"oblivmc/internal/plan"
 	"oblivmc/internal/prng"
 	"oblivmc/internal/relops"
@@ -258,7 +260,9 @@ func TestWidthOneQueriesKeepTwoPassSchedule(t *testing.T) {
 // TestPlannedQueryObliviousTrace asserts trace-fingerprint equality for
 // fused/reordered plans across same-shape, different-content tables: the
 // planner's rewrites must leave the adversary's view a function of (row
-// count, query shape) only.
+// count, query shape) only. The views come from the public metered Report,
+// so the assertion goes through oblivtest.Equal rather than the harness's
+// own metered runner.
 func TestPlannedQueryObliviousTrace(t *testing.T) {
 	shapes := []Query{
 		{Filter: func(r Row) bool { return r.Val > 100 }, Distinct: true, GroupBy: AggSum, TopK: 4},
@@ -277,41 +281,35 @@ func TestPlannedQueryObliviousTrace(t *testing.T) {
 		contents[2][i] = Row{Key: src.Uint64n(6), Val: src.Uint64n(uint64(1 << 33))} // random dups
 	}
 	for si, q := range shapes {
-		traceOf := func(rows []Row) trace.Fingerprint {
-			tab := mustTable(t, rows)
-			_, rep, err := RunQuery(Config{Mode: ModeMetered, Trace: true, Seed: 9}, tab, q)
-			if err != nil {
-				t.Fatal(err)
-			}
-			return rep.TraceFingerprint
+		fps := make([]trace.Fingerprint, len(contents))
+		for ci, rows := range contents {
+			fps[ci] = queryTraceOf(t, mustTable(t, rows), q)
 		}
-		ref := traceOf(contents[0])
-		for ci := 1; ci < len(contents); ci++ {
-			if !traceOf(contents[ci]).Equal(ref) {
-				t.Fatalf("shape %d: planned trace differs between contents 0 and %d — record contents leak", si, ci)
-			}
-		}
+		oblivtest.Equal(t, fmt.Sprintf("planned query shape %d", si), fps...)
 	}
+}
+
+// queryTraceOf runs q metered over tab and returns the adversary's view
+// from the public Report.
+func queryTraceOf(t *testing.T, tab Table, q Query) trace.Fingerprint {
+	t.Helper()
+	_, rep, err := RunQuery(Config{Mode: ModeMetered, Trace: true, Seed: 9}, tab, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.TraceFingerprint
 }
 
 // TestPlannedTraceDependsOnShape is the sanity inverse: different query
 // shapes (and different row counts) must change the view.
 func TestPlannedTraceDependsOnShape(t *testing.T) {
 	rows := queryRows(64)
-	traceOf := func(rows []Row, q Query) trace.Fingerprint {
-		tab := mustTable(t, rows)
-		_, rep, err := RunQuery(Config{Mode: ModeMetered, Trace: true}, tab, q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return rep.TraceFingerprint
-	}
-	withTopK := traceOf(rows, Query{GroupBy: AggSum, TopK: 3})
-	withoutTopK := traceOf(rows, Query{GroupBy: AggSum})
+	withTopK := queryTraceOf(t, mustTable(t, rows), Query{GroupBy: AggSum, TopK: 3})
+	withoutTopK := queryTraceOf(t, mustTable(t, rows), Query{GroupBy: AggSum})
 	if withTopK.Equal(withoutTopK) {
 		t.Fatal("different query shapes should yield different traces")
 	}
-	small := traceOf(queryRows(32), Query{GroupBy: AggSum, TopK: 3})
+	small := queryTraceOf(t, mustTable(t, queryRows(32)), Query{GroupBy: AggSum, TopK: 3})
 	if small.Equal(withTopK) {
 		t.Fatal("different row counts should yield different traces")
 	}
@@ -378,5 +376,265 @@ func TestTableBoundaryErrors(t *testing.T) {
 	if !errors.Is(ErrKeyTooLarge, relops.ErrKeyTooLarge) || !errors.Is(ErrTooManyRows, relops.ErrTooManyRows) ||
 		!errors.Is(ErrBadWidth, relops.ErrBadWidth) {
 		t.Fatal("public boundary errors must wrap the relops typed errors")
+	}
+}
+
+// --- Join stage --------------------------------------------------------------
+
+// refJoinedRows is the plain-Go reference of the Query join stage: one row
+// per (left row, right row) pair sharing its key, carrying the right row's
+// key and value, ordered by (right position, left position).
+func refJoinedRows(left, rows []Row) []Row {
+	var out []Row
+	for _, r := range rows {
+		for _, l := range left {
+			if l.Key == r.Key {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// joinedQueryTables builds the canonical join-query fixture: a duplicated
+// left dimension (two rows per key) against a right table with repeated
+// keys, so the expansion is genuinely many-to-many in both directions.
+func joinedQueryTables(t *testing.T, n int) (Table, Table, []Row, []Row) {
+	t.Helper()
+	src := prng.New(977)
+	left := make([]Row, 12)
+	for i := range left {
+		left[i] = Row{Key: uint64(i / 2), Val: 1000 + uint64(i)} // keys 0..5, each twice
+	}
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{Key: src.Uint64n(9), Val: uint64(i)*977 + src.Uint64n(900)}
+	}
+	return mustTable(t, left), mustTable(t, rows), left, rows
+}
+
+// TestJoinedQueryMatchesReference runs joined query shapes through both
+// the planned and the staged path and compares against the expand-then-ref
+// semantics.
+func TestJoinedQueryMatchesReference(t *testing.T) {
+	lt, rt, left, rows := joinedQueryTables(t, 48)
+	expanded := refJoinedRows(left, rows)
+	spec := &JoinSpec{Left: lt, MaxOut: len(expanded) + 5}
+	shapes := []Query{
+		{},
+		{Filter: func(r Row) bool { return r.Val%3 != 0 }},
+		{Distinct: true},
+		{GroupBy: AggSum},
+		{GroupBy: AggCount, TopK: 3},
+		{Filter: func(r Row) bool { return r.Key%2 == 0 }, FilterKeyOnly: true, Distinct: true, GroupBy: AggSum, TopK: 4},
+	}
+	for i, q := range shapes {
+		q.Join = spec
+		label := fmt.Sprintf("joined shape %d", i)
+		fused, _, err := RunQuery(Config{Mode: ModeSerial}, rt, q)
+		if err != nil {
+			t.Fatalf("%s: fused: %v", label, err)
+		}
+		staged := q
+		staged.NoOptimize = true
+		base, _, err := RunQuery(Config{Mode: ModeSerial}, rt, staged)
+		if err != nil {
+			t.Fatalf("%s: staged: %v", label, err)
+		}
+		unary := q
+		unary.Join = nil
+		checkQueryResult(t, label+" fused", fused.Rows(), expanded, unary)
+		checkQueryResult(t, label+" staged", base.Rows(), expanded, unary)
+	}
+}
+
+// TestJoinedQueryWide compares the planned and staged paths over a
+// two-column joined query (the reference semantics are pinned at width 1;
+// width only widens the schedules).
+func TestJoinedQueryWide(t *testing.T) {
+	wide := func(rows []WideRow) Table { return mustWideTable(t, rows) }
+	lt := wide([]WideRow{
+		{Keys: []uint64{1, 7}, Val: 100}, {Keys: []uint64{1, 7}, Val: 101},
+		{Keys: []uint64{2, 7}, Val: 200}, {Keys: []uint64{1, 8}, Val: 300},
+	})
+	rt := wide([]WideRow{
+		{Keys: []uint64{1, 7}, Val: 10}, {Keys: []uint64{2, 7}, Val: 20},
+		{Keys: []uint64{1, 8}, Val: 30}, {Keys: []uint64{1, 7}, Val: 40},
+		{Keys: []uint64{9, 9}, Val: 50},
+	})
+	// Matches: (1,7)×2 for rows 10 and 40, (2,7)×1, (1,8)×1 → 7 pairs.
+	q := Query{Join: &JoinSpec{Left: lt, MaxOut: 8}, GroupBy: AggCount}
+	fused, _, err := RunQuery(Config{Mode: ModeSerial}, rt, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[[2]uint64]uint64{{1, 7}: 4, {2, 7}: 1, {1, 8}: 1}
+	if len(fused.WideRows()) != len(want) {
+		t.Fatalf("joined wide group-by: %v, want one row per matched tuple %v", fused.WideRows(), want)
+	}
+	for _, r := range fused.WideRows() {
+		if want[[2]uint64{r.Keys[0], r.Keys[1]}] != r.Val {
+			t.Fatalf("joined wide group-by row %v, want counts %v", r, want)
+		}
+	}
+	staged := q
+	staged.NoOptimize = true
+	base, _, err := RunQuery(Config{Mode: ModeSerial}, rt, staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(base.WideRows()) != fmt.Sprint(fused.WideRows()) {
+		t.Fatalf("staged joined wide result %v differs from fused %v", base.WideRows(), fused.WideRows())
+	}
+}
+
+// TestJoinPlanSortPasses is the planner sort-pass-count pin for the join
+// stage: the stand-alone join plans its four operator sorts, and feeding a
+// downstream stage defers the propagate+compact tail down to two — so the
+// fused join+group-by pipeline runs 4 sorts against the staged 6.
+func TestJoinPlanSortPasses(t *testing.T) {
+	for _, tc := range []struct {
+		shape         plan.Shape
+		sorts, staged int
+		rendered      string
+	}{
+		{plan.Shape{Join: true}, 4, 4,
+			"join-all [4 sorts, staged 4]"},
+		{plan.Shape{Join: true, GroupBy: true}, 4, 6,
+			"join-all+defer → sort(key,pos) → aggregate → compact(pos) [4 sorts, staged 6]"},
+		{plan.Shape{Join: true, TopK: 3}, 3, 5,
+			"join-all+defer → sort(val↓) → topk [3 sorts, staged 5]"},
+		{plan.Shape{Join: true, Distinct: true, GroupBy: true}, 4, 8,
+			"join-all+defer → sort(key,pos) → dedup+aggregate → compact(pos) [4 sorts, staged 8]"},
+	} {
+		pl := plan.Build(tc.shape)
+		if pl.SortPasses != tc.sorts || pl.StagedSortPasses != tc.staged {
+			t.Errorf("shape %+v: %d sorts staged %d, want %d/%d", tc.shape, pl.SortPasses, pl.StagedSortPasses, tc.sorts, tc.staged)
+		}
+		if got := pl.String(); got != tc.rendered {
+			t.Errorf("shape %+v renders %q, want %q", tc.shape, got, tc.rendered)
+		}
+		// Width never changes the join plan's pass structure.
+		wide := tc.shape
+		wide.KeyCols = 2
+		if wpl := plan.Build(wide); wpl.SortPasses != tc.sorts {
+			t.Errorf("shape %+v at width 2: %d sorts, want %d", tc.shape, wpl.SortPasses, tc.sorts)
+		}
+	}
+}
+
+// TestJoinedQueryExecutedSorts counts the sorting passes the executor
+// actually runs for a joined pipeline: the deferred join's two sorts plus
+// the group-by stage's two — exactly the planned 4 — against the staged 6
+// (stand-alone JoinAll's four plus GroupBy's two).
+func TestJoinedQueryExecutedSorts(t *testing.T) {
+	lt, rt, left, rows := joinedQueryTables(t, 32)
+	q := Query{Join: &JoinSpec{Left: lt, MaxOut: len(refJoinedRows(left, rows)) + 1}, GroupBy: AggSum}
+	kind, err := queryAgg(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sortsOf := func(staged bool) int {
+		n := 0
+		srt := countingSorter{inner: obliv.SelectionNetwork{}, n: &n}
+		if staged {
+			_, _, err = runQueryStaged(Config{Mode: ModeSerial}, rt, q, kind, srt)
+		} else {
+			_, _, err = runQueryPlanned(Config{Mode: ModeSerial}, rt, q, kind, srt)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if fused, staged := sortsOf(false), sortsOf(true); fused != 4 || staged != 6 {
+		t.Fatalf("joined group-by pipeline: fused %d sorts, staged %d — want 4 and 6", fused, staged)
+	}
+}
+
+// TestJoinedQueryObliviousTrace: the joined query's view must be identical
+// across different contents of both sides — at both key widths — and must
+// change when the public capacity changes.
+func TestJoinedQueryObliviousTrace(t *testing.T) {
+	const nl, nr, maxOut = 8, 24, 64
+	q := func(lt Table) Query { return Query{Join: &JoinSpec{Left: lt, MaxOut: maxOut}, GroupBy: AggSum} }
+
+	narrow := func(seed uint64) (Table, Table) {
+		src := prng.New(seed)
+		left := make([]Row, nl)
+		for i := range left {
+			left[i] = Row{Key: src.Uint64n(4), Val: src.Uint64n(1 << 20)}
+		}
+		rows := make([]Row, nr)
+		for i := range rows {
+			rows[i] = Row{Key: src.Uint64n(4), Val: src.Uint64n(1 << 20)}
+		}
+		return mustTable(t, left), mustTable(t, rows)
+	}
+	var fps []trace.Fingerprint
+	for _, seed := range []uint64{1, 2, 3} {
+		lt, rt := narrow(seed)
+		fps = append(fps, queryTraceOf(t, rt, q(lt)))
+	}
+	oblivtest.Equal(t, "joined query width 1", fps...)
+
+	wideTabs := func(seed uint64) (Table, Table) {
+		src := prng.New(seed)
+		left := make([]WideRow, nl)
+		for i := range left {
+			left[i] = WideRow{Keys: []uint64{src.Uint64n(4), src.Uint64n(3)}, Val: src.Uint64n(1 << 20)}
+		}
+		rows := make([]WideRow, nr)
+		for i := range rows {
+			rows[i] = WideRow{Keys: []uint64{src.Uint64n(4), src.Uint64n(3)}, Val: src.Uint64n(1 << 20)}
+		}
+		return mustWideTable(t, left), mustWideTable(t, rows)
+	}
+	var wfps []trace.Fingerprint
+	for _, seed := range []uint64{4, 5, 6} {
+		lt, rt := wideTabs(seed)
+		wfps = append(wfps, queryTraceOf(t, rt, q(lt)))
+	}
+	oblivtest.Equal(t, "joined query width 2", wfps...)
+	if fps[0].Equal(wfps[0]) {
+		t.Fatal("width-1 and width-2 joined queries should yield different views")
+	}
+
+	// Capacity is public shape: a different maxOut must change the view.
+	lt, rt := narrow(1)
+	bigger := queryTraceOf(t, rt, Query{Join: &JoinSpec{Left: lt, MaxOut: 2 * maxOut}, GroupBy: AggSum})
+	if bigger.Equal(fps[0]) {
+		t.Fatal("different join capacities should yield different views")
+	}
+}
+
+// TestJoinedQueryBoundaryErrors pins the join stage's typed errors at the
+// Query layer: capacity bounds, width mismatches, and the overflow error
+// carrying the true match count.
+func TestJoinedQueryBoundaryErrors(t *testing.T) {
+	lt := mustTable(t, []Row{{Key: 1, Val: 1}, {Key: 1, Val: 2}})
+	rt := mustTable(t, []Row{{Key: 1, Val: 10}, {Key: 1, Val: 20}, {Key: 2, Val: 30}})
+
+	if _, _, err := RunQuery(Config{Mode: ModeSerial}, rt, Query{Join: &JoinSpec{Left: lt}}); !errors.Is(err, ErrBadCapacity) {
+		t.Fatalf("zero capacity: err = %v, want ErrBadCapacity", err)
+	}
+	wt := mustWideTable(t, []WideRow{{Keys: []uint64{1, 2}, Val: 1}})
+	if _, _, err := RunQuery(Config{Mode: ModeSerial}, rt, Query{Join: &JoinSpec{Left: wt, MaxOut: 4}}); !errors.Is(err, ErrBadWidth) {
+		t.Fatalf("width mismatch: err = %v, want ErrBadWidth", err)
+	}
+
+	// Four true matches (two lefts × two key-1 rights): maxOut 3 overflows
+	// on both paths, and the wrapped message carries the retry numbers.
+	for _, noOpt := range []bool{false, true} {
+		_, _, err := RunQuery(Config{Mode: ModeSerial}, rt, Query{Join: &JoinSpec{Left: lt, MaxOut: 3}, NoOptimize: noOpt})
+		if !errors.Is(err, ErrJoinOverflow) || !errors.Is(err, relops.ErrJoinOverflow) {
+			t.Fatalf("noOpt=%v: err = %v, want ErrJoinOverflow at both layers", noOpt, err)
+		}
+		if got := err.Error(); !strings.Contains(got, "4 matches, capacity 3") {
+			t.Fatalf("noOpt=%v: overflow error %q does not carry the true count", noOpt, got)
+		}
+	}
+	if _, _, err := RunQuery(Config{Mode: ModeSerial}, rt, Query{Join: &JoinSpec{Left: lt, MaxOut: 4}}); err != nil {
+		t.Fatalf("exact capacity should succeed: %v", err)
 	}
 }

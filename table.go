@@ -1,6 +1,7 @@
 package oblivmc
 
 import (
+	"errors"
 	"fmt"
 
 	"oblivmc/internal/bitonic"
@@ -28,6 +29,15 @@ var (
 	// [1, relops.MaxKeyCols] or rows of unequal widths.
 	ErrBadWidth = fmt.Errorf("oblivmc: key-column count must be in [1, %d] and uniform: %w",
 		relops.MaxKeyCols, relops.ErrBadWidth)
+	// ErrBadCapacity is returned for a join output capacity (maxOut)
+	// outside [1, relops.MaxRows].
+	ErrBadCapacity = fmt.Errorf("oblivmc: join output capacity must be in [1, %d] rows: %w",
+		uint64(relops.MaxRows), relops.ErrBadCapacity)
+	// ErrJoinOverflow is returned when a join's true match count exceeds
+	// the declared public output capacity; the wrapped message carries the
+	// count a retry needs.
+	ErrJoinOverflow = fmt.Errorf("oblivmc: join match count exceeds the declared output capacity: %w",
+		relops.ErrJoinOverflow)
 )
 
 // Row is one single-key-column (key, value) record of a Table.
@@ -182,23 +192,28 @@ func (a Agg) kind() (relops.AggKind, error) {
 
 // runTableOp moves a table into the oblivious element representation and
 // runs body on it under cfg's executor with a per-run scratch arena,
-// returning the surviving rows at the table's width.
-func runTableOp(cfg Config, t Table, body func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter)) (Table, *Report, error) {
+// returning the surviving rows of the relation body hands back (usually r
+// itself; the join stage replaces it with the expanded relation) at its
+// width. A body error aborts the run without converting a result.
+func runTableOp(cfg Config, t Table, body func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error)) (Table, *Report, error) {
 	var out Table
-	var loadErr error
+	var runErr error
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		r, err := relops.Load(sp, recordsOf(t), t.Width())
 		if err != nil {
-			loadErr = err
+			// Unreachable via NewTable/NewWideTable, but Load re-checks its
+			// own bounds.
+			runErr = err
 			return
 		}
-		body(c, sp, relops.NewArena(), r, bitonic.CacheAgnostic{})
+		if r, err = body(c, sp, relops.NewArena(), r, bitonic.CacheAgnostic{}); err != nil {
+			runErr = err
+			return
+		}
 		out = tableOf(r)
 	})
-	if loadErr != nil {
-		// Unreachable via NewTable/NewWideTable, but Load re-checks its own
-		// bounds.
-		return Table{}, nil, loadErr
+	if runErr != nil {
+		return Table{}, nil, runErr
 	}
 	return out, rep, nil
 }
@@ -260,8 +275,9 @@ func Filter(cfg Config, t Table, pred func(Row) bool) (Table, *Report, error) {
 	if t.Width() > 1 {
 		return Table{}, nil, errWideFilter("Filter")
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) {
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.Compact(c, sp, ar, r, func(rec relops.Record) bool { return pred(Row{Key: rec.Key, Val: rec.Val}) }, srt)
+		return r, nil
 	})
 }
 
@@ -271,8 +287,9 @@ func Distinct(cfg Config, t Table) (Table, *Report, error) {
 	if t.Len() == 0 {
 		return Table{}, nil, ErrEmptyInput
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) {
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.Distinct(c, sp, ar, r, srt)
+		return r, nil
 	})
 }
 
@@ -290,8 +307,9 @@ func GroupByCols(cfg Config, t Table, agg Agg) (Table, *Report, error) {
 	if err != nil {
 		return Table{}, nil, err
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) {
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.GroupBy(c, sp, ar, r, kind, srt)
+		return r, nil
 	})
 }
 
@@ -311,8 +329,9 @@ func TopK(cfg Config, t Table, k int) (Table, *Report, error) {
 	if k < 0 {
 		return Table{}, nil, fmt.Errorf("oblivmc: negative k %d", k)
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) {
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.TopK(c, sp, ar, r, k, srt)
+		return r, nil
 	})
 }
 
@@ -366,9 +385,105 @@ func Join(cfg Config, left, right Table) ([]JoinedRow, *Report, error) {
 	return out, rep, nil
 }
 
+// WideJoinedRow is one output row of JoinAllRows (and of the wide Join
+// surface generally): the matched key tuple plus both sides' values. Keys
+// holds the key columns in significance order, like WideRow's.
+type WideJoinedRow struct {
+	Keys              []uint64
+	LeftVal, RightVal uint64
+}
+
+// wideJoinedOf converts unloaded join records to rows at width w.
+func wideJoinedOf(recs []relops.Joined, w int) []WideJoinedRow {
+	out := make([]WideJoinedRow, len(recs))
+	for i, rec := range recs {
+		keys := make([]uint64, w)
+		keys[0] = rec.Key
+		if w > 1 {
+			keys[1] = rec.Key2
+		}
+		out[i] = WideJoinedRow{Keys: keys, LeftVal: rec.LeftVal, RightVal: rec.RightVal}
+	}
+	return out
+}
+
+// checkJoinTables validates a join's public shape: non-empty sides, equal
+// key widths, and a capacity within the row bounds.
+func checkJoinTables(left, right Table, maxOut int) error {
+	if left.Len() == 0 || right.Len() == 0 {
+		return ErrEmptyInput
+	}
+	if left.Width() != right.Width() {
+		return fmt.Errorf("%w (join of width-%d and width-%d tables)", ErrBadWidth, left.Width(), right.Width())
+	}
+	if err := relops.CheckCapacity(int64(maxOut)); err != nil {
+		return fmt.Errorf("%w (maxOut %d)", ErrBadCapacity, maxOut)
+	}
+	return nil
+}
+
+// JoinAllRows obliviously computes the full many-to-many equi-join of left
+// and right: one output row per (left row, right row) pair sharing its key
+// tuple, ordered by (right row position, left row position). Unlike Join,
+// left key tuples may repeat, and every key width is supported (this is
+// the wide Join surface the ROADMAP called for).
+//
+// maxOut is the *public* output capacity: the access pattern depends only
+// on (len(left), len(right), width, maxOut) — never on the contents or on
+// the true match count, which stays invisible to the adversary. When the
+// match count exceeds maxOut, the error wraps ErrJoinOverflow and carries
+// the true count, so the caller can retry with a sufficient public bound
+// (at worst len(left)*len(right)).
+func JoinAllRows(cfg Config, left, right Table, maxOut int) ([]WideJoinedRow, *Report, error) {
+	if err := checkJoinTables(left, right, maxOut); err != nil {
+		return nil, nil, err
+	}
+	w := left.Width()
+	var out []WideJoinedRow
+	var runErr error
+	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+		l, err := relops.Load(sp, recordsOf(left), w)
+		if err != nil {
+			runErr = err
+			return
+		}
+		r, err := relops.Load(sp, recordsOf(right), w)
+		if err != nil {
+			runErr = err
+			return
+		}
+		j, m, err := relops.JoinAll(c, sp, relops.NewArena(), l, r, maxOut, bitonic.CacheAgnostic{})
+		if errors.Is(err, relops.ErrJoinOverflow) {
+			runErr = fmt.Errorf("%w (%d matches, capacity %d)", ErrJoinOverflow, m, maxOut)
+			return
+		}
+		if err != nil {
+			runErr = err
+			return
+		}
+		out = wideJoinedOf(relops.UnloadJoined(j), w)
+	})
+	if runErr != nil {
+		return nil, nil, runErr
+	}
+	return out, rep, nil
+}
+
+// JoinSpec declares the optional join stage of a Query.
+type JoinSpec struct {
+	// Left is the relation joined against the queried table: every row of
+	// the table is matched with every Left row sharing its full key tuple.
+	// Key tuples may repeat on both sides (many-to-many).
+	Left Table
+	// MaxOut is the public output capacity of the join — part of the query
+	// shape, like the table sizes. A query whose true match count exceeds
+	// it fails with ErrJoinOverflow.
+	MaxOut int
+}
+
 // Query is a declarative oblivious analytics pipeline over one table:
 //
-//	Filter (optional) → Distinct (optional) → GroupBy (optional) → TopK (optional)
+//	Join (optional) → Filter (optional) → Distinct (optional) → GroupBy (optional) → TopK (optional)
 //
 // The query structure (which stages run, the aggregation, k, the declared
 // key-only-ness of the filter) is public, as is the table's key-column
@@ -387,6 +502,14 @@ func Join(cfg Config, left, right Table) ([]JoinedRow, *Report, error) {
 // pipeline: 2 sorts instead of 6) while producing the same rows — at
 // every key width.
 type Query struct {
+	// Join, when non-nil, prepends a many-to-many equi-join stage: the
+	// queried table (the join's right side) is expanded to one row per
+	// (Left row, table row) pair sharing its full key tuple, carrying the
+	// table row's value, and the later stages run over the matches. Left
+	// values are not delivered through a Query (use JoinAllRows for both
+	// sides' values). The planner defers the join's value-propagation and
+	// output-compaction sorts whenever a later stage re-sorts anyway.
+	Join *JoinSpec
 	// Filter keeps the rows satisfying the predicate (nil = keep all).
 	// Width-1 tables only (see ROADMAP for wide filters).
 	Filter func(Row) bool
@@ -413,6 +536,7 @@ type Query struct {
 func (q Query) shape(kind relops.AggKind, w int) plan.Shape {
 	return plan.Shape{
 		KeyCols:       w,
+		Join:          q.Join != nil,
 		Filter:        q.Filter != nil,
 		FilterKeyOnly: q.FilterKeyOnly,
 		Distinct:      q.Distinct,
@@ -447,6 +571,7 @@ func ExplainWidth(q Query, w int) (string, error) {
 		on   bool
 		name string
 	}{
+		{q.Join != nil, "join-all"},
 		{q.Filter != nil, "filter"},
 		{q.Distinct, "distinct"},
 		{q.GroupBy != AggNone, "group-by"},
@@ -487,6 +612,11 @@ func RunQuery(cfg Config, t Table, q Query) (Table, *Report, error) {
 	if q.Filter != nil && t.Width() > 1 {
 		return Table{}, nil, errWideFilter("Query.Filter")
 	}
+	if q.Join != nil {
+		if err := checkJoinTables(q.Join.Left, t, q.Join.MaxOut); err != nil {
+			return Table{}, nil, err
+		}
+	}
 	kind, err := queryAgg(q)
 	if err != nil {
 		return Table{}, nil, err
@@ -497,15 +627,58 @@ func RunQuery(cfg Config, t Table, q Query) (Table, *Report, error) {
 	return runQueryPlanned(cfg, t, q, kind, bitonic.CacheAgnostic{})
 }
 
+// queryJoin runs q's join stage over the loaded right relation r (the
+// queried table): it loads the left relation and expands r to one record
+// per match, carrying the right record's key tuple, value, and original
+// position. deferred selects JoinAllDeferred (the planner dropped the
+// join's propagate+compact tail because a later pass re-sorts anyway).
+// The returned error is the public ErrJoinOverflow wrap used by
+// JoinAllRows, carrying the true match count for the retry.
+func queryJoin(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, j *JoinSpec, r relops.Rel, deferred bool, srt obliv.Sorter) (relops.Rel, error) {
+	l, err := relops.Load(sp, recordsOf(j.Left), r.W)
+	if err != nil {
+		return relops.Rel{}, err
+	}
+	var (
+		joined relops.Rel
+		m      int
+	)
+	if deferred {
+		joined, m, err = relops.JoinAllDeferred(c, sp, ar, l, r, j.MaxOut, srt)
+	} else {
+		joined, m, err = relops.JoinAll(c, sp, ar, l, r, j.MaxOut, srt)
+	}
+	if errors.Is(err, relops.ErrJoinOverflow) {
+		return relops.Rel{}, fmt.Errorf("%w (%d matches, capacity %d)", ErrJoinOverflow, m, j.MaxOut)
+	}
+	if err != nil {
+		return relops.Rel{}, err
+	}
+	return joined, nil
+}
+
 // runQueryPlanned compiles q's shape and executes the fused pass sequence.
+// The join stage is binary, so the query layer — which holds both
+// relations — peels it off the plan's head and hands Execute the remaining
+// unary passes over the expanded relation.
 func runQueryPlanned(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv.Sorter) (Table, *Report, error) {
 	pl := plan.Build(q.shape(kind, t.Width()))
 	var pred func(relops.Record) bool
 	if q.Filter != nil {
 		pred = func(r relops.Record) bool { return q.Filter(Row{Key: r.Key, Val: r.Val}) }
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, _ obliv.Sorter) {
-		relops.Execute(c, sp, ar, r, pl, pred, srt)
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, _ obliv.Sorter) (relops.Rel, error) {
+		rest := pl
+		if q.Join != nil {
+			jop := rest.Ops[0] // plan.Build puts OpJoinAll first
+			rest.Ops = rest.Ops[1:]
+			var err error
+			if r, err = queryJoin(c, sp, ar, q.Join, r, jop.Deferred, srt); err != nil {
+				return relops.Rel{}, err
+			}
+		}
+		relops.Execute(c, sp, ar, r, rest, pred, srt)
+		return r, nil
 	})
 }
 
@@ -516,7 +689,17 @@ func runQueryPlanned(cfg Config, t Table, q Query, kind relops.AggKind, srt obli
 // comparator no longer exists — so the A/B difference it isolates is
 // purely the planner's pass structure.)
 func runQueryStaged(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv.Sorter) (Table, *Report, error) {
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, _ *relops.Arena, r relops.Rel, _ obliv.Sorter) {
+	// The unary operators run with nil scratch (per-call allocation), as
+	// the pre-planner baseline always has; only the join uses the per-run
+	// arena.
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, _ obliv.Sorter) (relops.Rel, error) {
+		if q.Join != nil {
+			// The stand-alone operator pays its full four sorts.
+			var err error
+			if r, err = queryJoin(c, sp, ar, q.Join, r, false, srt); err != nil {
+				return relops.Rel{}, err
+			}
+		}
 		if q.Filter != nil {
 			relops.Compact(c, sp, nil, r, func(rec relops.Record) bool { return q.Filter(Row{Key: rec.Key, Val: rec.Val}) }, srt)
 		}
@@ -529,5 +712,6 @@ func runQueryStaged(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv
 		if q.TopK > 0 {
 			relops.TopK(c, sp, nil, r, q.TopK, srt)
 		}
+		return r, nil
 	})
 }
