@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench benchdiff fuzz-smoke clean
+.PHONY: all build test test-shuffle vet race bench benchdiff fuzz-smoke clean
 
 all: vet build test
 
@@ -10,6 +10,12 @@ build:
 test:
 	$(GO) test ./...
 
+# test-shuffle re-runs the relational suite with the shuffle-then-sort
+# backend forced through the env-aware test sorter (the bitonic leg is the
+# plain `make test`). CI runs both legs.
+test-shuffle:
+	OBLIVMC_SORT_BACKEND=shuffle $(GO) test ./internal/relops
+
 race:
 	$(GO) test -race ./...
 
@@ -17,29 +23,37 @@ vet:
 	$(GO) vet ./...
 
 # bench regenerates the relational-layer trend artifact: elems/s for
-# Compact/GroupBy (narrow and wide)/Join/JoinAll and the end-to-end query
-# (staged vs planner-fused) at n ∈ {2^12, 2^16, 2^20}. CI uploads
-# BENCH_4.json on every push so the perf trajectory is tracked per commit.
-# BENCH_ARGS can bound the sweep, e.g. make bench BENCH_ARGS="-max 65536".
+# Compact/GroupBy (narrow, wide, and per sort backend)/Join/JoinAll and the
+# end-to-end query (staged vs planner-fused, per backend) at
+# n ∈ {2^12, 2^16, 2^20}. CI uploads BENCH_5.json on every push so the perf
+# trajectory is tracked per commit. BENCH_ARGS can bound the sweep, e.g.
+# make bench BENCH_ARGS="-max 65536".
 bench:
-	$(GO) run ./cmd/relbench -out BENCH_4.json $(BENCH_ARGS)
+	$(GO) run ./cmd/relbench -out BENCH_5.json $(BENCH_ARGS)
 
-# benchdiff compares a fresh artifact against the committed baseline and
-# flags elems/s regressions beyond the noise threshold (warn-only in CI;
-# drop -warn locally to gate).
+# benchdiff measures the CURRENT build (a bounded fresh sweep into the
+# uncommitted BENCH_HEAD.json) and compares it against the latest committed
+# baseline, flagging elems/s regressions beyond the noise threshold
+# (warn-only in CI; drop -warn locally to gate). BENCHDIFF_ARGS widens the
+# sweep, e.g. BENCHDIFF_ARGS="" for the full sizes.
+BENCHDIFF_BASE ?= BENCH_5.json
+BENCHDIFF_ARGS ?= -max 65536
 benchdiff:
-	$(GO) run ./cmd/benchdiff -base BENCH_3.json -new BENCH_4.json -warn
+	$(GO) run ./cmd/relbench -out BENCH_HEAD.json $(BENCHDIFF_ARGS)
+	$(GO) run ./cmd/benchdiff -base $(BENCHDIFF_BASE) -new BENCH_HEAD.json -warn
 
 # fuzz-smoke runs each native fuzz target (operator vs plain-Go reference,
 # see internal/relops/fuzz_test.go) for a short exploration budget beyond
 # the committed seed corpus. Go allows one -fuzz pattern per invocation, so
-# the targets run back to back.
+# the targets run back to back. FuzzGroupByBackends differentially fuzzes
+# the shuffle backend against the bitonic backend.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzJoinAll$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzJoin$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzGroupBy$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzDistinct$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzGroupByBackends$$' -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

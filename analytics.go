@@ -38,7 +38,10 @@ func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error)
 	}
 	out := make([]uint64, n)
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
-		srt := bitonic.CacheAgnostic{}
+		// The two sorts run the configured relational backend: both are
+		// (key, position) schedules with distinct effective keys, so the
+		// shuffle composition applies above its crossover.
+		srt := relSorter(cfg)
 		w := mem.Alloc[obliv.Elem](sp, obliv.NextPow2(n))
 		for i := 0; i < n; i++ {
 			w.Data()[i] = obliv.Elem{Key: groups[i], Val: values[i], Aux: uint64(i), Kind: obliv.Real}
@@ -58,7 +61,7 @@ func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error)
 			}
 			kw[0] = e.Key
 		})
-		srt.SortScheduled(c, w, ks, scr, kscr, 0, m)
+		srt.SortScheduled(c, sp, w, ks, scr, kscr, 0, m)
 		sameGroup := func(x, y obliv.Elem) bool {
 			return x.Kind == y.Kind && (x.Kind != obliv.Real || x.Key == y.Key)
 		}
@@ -87,7 +90,7 @@ func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error)
 			}
 			kw[0] = e.Aux
 		})
-		srt.SortScheduled(c, w, ks, scr, kscr, 0, m)
+		srt.SortScheduled(c, sp, w, ks, scr, kscr, 0, m)
 		for i := 0; i < n; i++ {
 			out[i] = w.Data()[i].Lbl
 		}

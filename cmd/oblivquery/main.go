@@ -40,8 +40,8 @@ func main() {
 	useStdin := flag.Bool("stdin", false, "read \"key... value\" rows (one per line, -cols keys) from stdin")
 	joinN := flag.Int("join", 0, "many-to-many join: equi-join a generated dimension table of this many rows against the table first (0 = no join)")
 	joinCap := flag.Int("joincap", 0, "public output capacity of the join (0 = auto: 4x the table's rows)")
-	minVal := flag.Uint64("min", 0, "filter: keep rows with value >= min (0 = no filter; single-column tables only)")
-	minKey := flag.Uint64("minkey", 0, "key-only filter: keep rows with key >= minkey (0 = none; plannable below distinct/group-by)")
+	minVal := flag.Uint64("min", 0, "filter: keep rows with value >= min (0 = no filter; any width)")
+	minKey := flag.Uint64("minkey", 0, "key-only filter: keep rows with key column 0 >= minkey (0 = none; plannable below distinct/group-by; any width)")
 	distinct := flag.Bool("distinct", false, "deduplicate rows by key tuple before aggregating")
 	explain := flag.Bool("explain", false, "print the planner's physical pass sequence before running")
 	noOpt := flag.Bool("noopt", false, "bypass the sort-fusion planner (staged baseline execution)")
@@ -51,6 +51,8 @@ func main() {
 	metered := flag.Bool("metered", false, "report exact work/span/cache metrics and trace fingerprint")
 	seed := flag.Uint64("seed", 1, "randomness seed")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	backend := flag.String("backend", "auto", "relational sort backend: auto|bitonic|shuffle (auto switches at the size crossover)")
+	crossover := flag.Int("crossover", 0, "auto-backend size crossover override (0 = default)")
 	flag.Parse()
 
 	if *cols < 1 || *cols > 2 {
@@ -58,9 +60,6 @@ func main() {
 	}
 	if !*useStdin && (*n < 1 || *groups < 1) {
 		log.Fatalf("-n and -groups must be >= 1 (got %d, %d)", *n, *groups)
-	}
-	if *cols > 1 && (*minVal > 0 || *minKey > 0) {
-		log.Fatal("-min/-minkey filters require -cols 1 (wide filters are a ROADMAP follow-on)")
 	}
 
 	var rows []oblivmc.WideRow
@@ -137,15 +136,25 @@ func main() {
 		}
 		q.Join = &oblivmc.JoinSpec{Left: dim, MaxOut: capacity}
 	}
+	// Multi-column tables filter through the wide-predicate form
+	// (Query.FilterWide); the narrow form keeps exercising the width-1 path.
 	switch {
 	case *minVal > 0 && *minKey > 0:
 		log.Fatal("-min and -minkey are mutually exclusive")
 	case *minVal > 0:
 		m := *minVal
-		q.Filter = func(r oblivmc.Row) bool { return r.Val >= m }
+		if *cols > 1 {
+			q.FilterWide = func(r oblivmc.WideRow) bool { return r.Val >= m }
+		} else {
+			q.Filter = func(r oblivmc.Row) bool { return r.Val >= m }
+		}
 	case *minKey > 0:
 		m := *minKey
-		q.Filter = func(r oblivmc.Row) bool { return r.Key >= m }
+		if *cols > 1 {
+			q.FilterWide = func(r oblivmc.WideRow) bool { return r.Keys[0] >= m }
+		} else {
+			q.Filter = func(r oblivmc.Row) bool { return r.Key >= m }
+		}
 		q.FilterKeyOnly = true
 	}
 	switch *agg {
@@ -175,7 +184,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "plan: %s\n", pl)
 	}
 
-	cfg := oblivmc.Config{Seed: *seed, Workers: *workers}
+	cfg := oblivmc.Config{Seed: *seed, Workers: *workers, SortCrossover: *crossover}
+	switch *backend {
+	case "auto":
+		cfg.SortBackend = oblivmc.SortAuto
+	case "bitonic":
+		cfg.SortBackend = oblivmc.SortBitonic
+	case "shuffle":
+		cfg.SortBackend = oblivmc.SortShuffle
+	default:
+		log.Fatalf("unknown backend %q (auto|bitonic|shuffle)", *backend)
+	}
 	if *metered {
 		cfg.Mode = oblivmc.ModeMetered
 		cfg.CacheM = 1 << 12
@@ -194,7 +213,7 @@ func main() {
 	if rep != nil {
 		fmt.Fprintf(os.Stderr, "work=%d span=%d parallelism=%.0fx memops=%d cache-misses=%d\n",
 			rep.Work, rep.Span, float64(rep.Work)/float64(rep.Span), rep.MemOps, rep.CacheMisses)
-		fmt.Fprintf(os.Stderr, "adversary's view: %016x/%d (depends only on row count, width, and query shape)\n",
+		fmt.Fprintf(os.Stderr, "adversary's view: %016x/%d (bitonic: a function of row count, width, and query shape; shuffle: input-independent in distribution over the seed)\n",
 			rep.TraceFingerprint.Hash, rep.TraceFingerprint.Count)
 	}
 	w := bufio.NewWriter(os.Stdout)

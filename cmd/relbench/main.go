@@ -3,12 +3,18 @@
 // Join, the many-to-many JoinAll, and the end-to-end
 // Filter→Distinct→GroupBy→TopK query pipeline in both its planner-fused
 // and staged-baseline form — at n ∈ {2^12, 2^16, 2^20}, and writes the
-// results as JSON (the BENCH_4.json trend artifact CI uploads).
+// results as JSON (the BENCH_5.json trend artifact CI uploads).
+//
+// The trend points run the default (Auto) sort backend; the explicitly
+// suffixed points (groupby_bitonic/groupby_shuffle and the query_fused
+// pair) pin one backend each, recording the keyed-bitonic versus
+// shuffle-then-sort comparison side by side at every size.
 //
 // Usage:
 //
-//	relbench -out BENCH_4.json            # full sweep
+//	relbench -out BENCH_5.json            # full sweep
 //	relbench -max 65536 -iters 5          # bounded sweep for quick checks
+//	relbench -procs 8                     # pin the fork-join pool size
 package main
 
 import (
@@ -23,8 +29,10 @@ import (
 	"oblivmc"
 	"oblivmc/internal/benchdata"
 	"oblivmc/internal/bitonic"
+	"oblivmc/internal/core"
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
 	"oblivmc/internal/relops"
 )
 
@@ -37,12 +45,13 @@ type Result struct {
 	ElemsPerSec float64 `json:"elems_per_sec"`
 }
 
-// File is the BENCH_4.json document.
+// File is the BENCH_5.json document.
 type File struct {
 	Schema    string   `json:"schema"`
 	Generated string   `json:"generated"`
 	GoVersion string   `json:"go_version"`
 	MaxProcs  int      `json:"max_procs"`
+	Workers   int      `json:"workers"`
 	Sizes     []int    `json:"sizes"`
 	Results   []Result `json:"results"`
 }
@@ -59,18 +68,31 @@ func rows(n int) []oblivmc.Row {
 	return out
 }
 
+// Relational sort backends measured side by side. The sorter constructors
+// run per iteration: the shuffle sorter counts its sorts, so instances are
+// per logical run, mirroring the Table layer.
+const benchSeed = 1
+
+func autoSorter() obliv.Sorter    { return &core.ShuffleSorter{Seed: benchSeed} }
+func bitonicSorter() obliv.Sorter { return bitonic.CacheAgnostic{} }
+func shuffleSorter() obliv.Sorter { return &core.ShuffleSorter{Seed: benchSeed, Crossover: 2} }
+
 func main() {
-	out := flag.String("out", "BENCH_4.json", "output file (\"-\" = stdout)")
+	out := flag.String("out", "BENCH_5.json", "output file (\"-\" = stdout)")
 	max := flag.Int("max", 1<<20, "largest relation size to measure")
 	iters := flag.Int("iters", 0, "iterations per point (0 = auto: more for small n)")
+	procs := flag.Int("procs", 0, "fork-join pool workers (0 = GOMAXPROCS); recorded in the artifact so single- vs multi-core trajectories stay distinguishable")
 	flag.Parse()
 
-	pool := forkjoin.NewPool(0)
+	pool := forkjoin.NewPool(*procs)
 	query := oblivmc.Query{
 		Filter:   func(r oblivmc.Row) bool { return benchdata.FilterPred(r.Val) },
 		Distinct: true,
 		GroupBy:  oblivmc.AggSum,
 		TopK:     benchdata.TopK,
+	}
+	queryCfg := func(b oblivmc.SortBackend) oblivmc.Config {
+		return oblivmc.Config{Workers: *procs, Seed: benchSeed, SortBackend: b}
 	}
 
 	measure := func(n int, body func()) (float64, int) {
@@ -94,6 +116,7 @@ func main() {
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		MaxProcs:  runtime.GOMAXPROCS(0),
+		Workers:   pool.Workers(),
 	}
 
 	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
@@ -109,6 +132,26 @@ func main() {
 			log.Fatal(err)
 		}
 
+		groupby := func(srt func() obliv.Sorter) func() {
+			return func() {
+				pool.Run(func(c *forkjoin.Ctx) {
+					sp := mem.NewSpace()
+					a, err := relops.Load(sp, recs, 1)
+					if err != nil {
+						log.Fatal(err)
+					}
+					relops.GroupBy(c, sp, relops.NewArena(), a, relops.AggSum, srt())
+				})
+			}
+		}
+		queryFused := func(b oblivmc.SortBackend) func() {
+			return func() {
+				if _, _, err := oblivmc.RunQuery(queryCfg(b), table, query); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+
 		points := []struct {
 			name string
 			body func()
@@ -120,19 +163,12 @@ func main() {
 					if err != nil {
 						log.Fatal(err)
 					}
-					relops.Compact(c, sp, relops.NewArena(), a, func(r relops.Record) bool { return r.Val%2 == 0 }, bitonic.CacheAgnostic{})
+					relops.Compact(c, sp, relops.NewArena(), a, func(r relops.Record) bool { return r.Val%2 == 0 }, autoSorter())
 				})
 			}},
-			{"groupby", func() {
-				pool.Run(func(c *forkjoin.Ctx) {
-					sp := mem.NewSpace()
-					a, err := relops.Load(sp, recs, 1)
-					if err != nil {
-						log.Fatal(err)
-					}
-					relops.GroupBy(c, sp, relops.NewArena(), a, relops.AggSum, bitonic.CacheAgnostic{})
-				})
-			}},
+			{"groupby", groupby(autoSorter)},
+			{"groupby_bitonic", groupby(bitonicSorter)},
+			{"groupby_shuffle", groupby(shuffleSorter)},
 			{"groupby_w2", func() {
 				pool.Run(func(c *forkjoin.Ctx) {
 					sp := mem.NewSpace()
@@ -140,7 +176,7 @@ func main() {
 					if err != nil {
 						log.Fatal(err)
 					}
-					relops.GroupBy(c, sp, relops.NewArena(), a, relops.AggAvg, bitonic.CacheAgnostic{})
+					relops.GroupBy(c, sp, relops.NewArena(), a, relops.AggAvg, autoSorter())
 				})
 			}},
 			{"join", func() {
@@ -154,7 +190,7 @@ func main() {
 					if err != nil {
 						log.Fatal(err)
 					}
-					relops.Join(c, sp, relops.NewArena(), l, r, bitonic.CacheAgnostic{})
+					relops.Join(c, sp, relops.NewArena(), l, r, autoSorter())
 				})
 			}},
 			{"join_all", func() {
@@ -169,7 +205,7 @@ func main() {
 					if err != nil {
 						log.Fatal(err)
 					}
-					if _, _, err := relops.JoinAll(c, sp, relops.NewArena(), l, r, maxOut, bitonic.CacheAgnostic{}); err != nil {
+					if _, _, err := relops.JoinAll(c, sp, relops.NewArena(), l, r, maxOut, autoSorter()); err != nil {
 						log.Fatal(err)
 					}
 				})
@@ -177,15 +213,13 @@ func main() {
 			{"query_staged", func() {
 				q := query
 				q.NoOptimize = true
-				if _, _, err := oblivmc.RunQuery(oblivmc.Config{}, table, q); err != nil {
+				if _, _, err := oblivmc.RunQuery(queryCfg(oblivmc.SortAuto), table, q); err != nil {
 					log.Fatal(err)
 				}
 			}},
-			{"query_fused", func() {
-				if _, _, err := oblivmc.RunQuery(oblivmc.Config{}, table, query); err != nil {
-					log.Fatal(err)
-				}
-			}},
+			{"query_fused", queryFused(oblivmc.SortAuto)},
+			{"query_fused_bitonic", queryFused(oblivmc.SortBitonic)},
+			{"query_fused_shuffle", queryFused(oblivmc.SortShuffle)},
 		}
 		for _, p := range points {
 			sec, it := measure(n, p.body)
@@ -194,7 +228,7 @@ func main() {
 				SecPerOp:    sec,
 				ElemsPerSec: float64(n) / sec,
 			})
-			fmt.Fprintf(os.Stderr, "%-14s n=%-8d %10.4fs/op %14.0f elems/s\n", p.name, n, sec, float64(n)/sec)
+			fmt.Fprintf(os.Stderr, "%-20s n=%-8d %10.4fs/op %14.0f elems/s\n", p.name, n, sec, float64(n)/sec)
 		}
 	}
 

@@ -256,7 +256,7 @@ func TestScheduledMatchesClosureSort(t *testing.T) {
 				obliv.BuildKeySchedule(forkjoin.Serial(), got, ks, 0, n, keyWords)
 				scr := mem.Alloc[obliv.Elem](s2, n)
 				kscr := obliv.AllocKeySchedule(s2, n, 1)
-				v.SortScheduled(forkjoin.Serial(), got, ks, scr, kscr, 0, n)
+				v.SortScheduled(forkjoin.Serial(), s2, got, ks, scr, kscr, 0, n)
 
 				for i := 0; i < n; i++ {
 					if got.Data()[i] != want.Data()[i] {
@@ -283,7 +283,7 @@ func TestScheduledSubrange(t *testing.T) {
 		obliv.BuildKeySchedule(forkjoin.Serial(), a, ks, 16, 64, keyWords)
 		scr := mem.Alloc[obliv.Elem](s, 64)
 		kscr := obliv.AllocKeySchedule(s, 64, 1)
-		v.SortScheduled(forkjoin.Serial(), a, ks, scr, kscr, 16, 64)
+		v.SortScheduled(forkjoin.Serial(), s, a, ks, scr, kscr, 16, 64)
 		for i := 0; i < 16; i++ {
 			if a.Data()[i] != raw[i] {
 				t.Fatalf("%s: prefix modified", v.Name())
@@ -313,7 +313,7 @@ func TestScheduledTraceOblivious(t *testing.T) {
 			kscr := obliv.AllocKeySchedule(s, n, 1)
 			return forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
 				obliv.BuildKeySchedule(c, a, ks, 0, n, keyWords)
-				v.SortScheduled(c, a, ks, scr, kscr, 0, n)
+				v.SortScheduled(c, s, a, ks, scr, kscr, 0, n)
 			})
 		}
 		if !run(1).Trace.Equal(run(2).Trace) {
@@ -474,7 +474,7 @@ func TestScheduledWideKeysMatchReference(t *testing.T) {
 			obliv.BuildKeySchedule(forkjoin.Serial(), a, ks, 0, n, wideKeyWords)
 			scr := mem.Alloc[obliv.Elem](s, n)
 			kscr := obliv.AllocKeySchedule(s, n, 2)
-			v.SortScheduled(forkjoin.Serial(), a, ks, scr, kscr, 0, n)
+			v.SortScheduled(forkjoin.Serial(), s, a, ks, scr, kscr, 0, n)
 
 			for i := 0; i < n; i++ {
 				g := a.Data()[i]
@@ -505,7 +505,7 @@ func TestScheduledWideTraceOblivious(t *testing.T) {
 			kscr := obliv.AllocKeySchedule(s, n, 2)
 			return forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
 				obliv.BuildKeySchedule(c, a, ks, 0, n, wideKeyWords)
-				v.SortScheduled(c, a, ks, scr, kscr, 0, n)
+				v.SortScheduled(c, s, a, ks, scr, kscr, 0, n)
 			})
 		}
 		if !run(1).Trace.Equal(run(2).Trace) {
@@ -563,7 +563,7 @@ func TestScheduledTiePosIsStable(t *testing.T) {
 				out[0] = e.Key
 			})
 			scr := mem.Alloc[obliv.Elem](s, n)
-			v.SortScheduled(forkjoin.Serial(), a, ks, scr, kscr, 0, n)
+			v.SortScheduled(forkjoin.Serial(), s, a, ks, scr, kscr, 0, n)
 
 			for i := 0; i < n; i++ {
 				if a.Data()[i] != want[i] {

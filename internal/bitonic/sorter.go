@@ -27,8 +27,9 @@ func (s CacheAgnostic) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.E
 	SortCA(c, a, scratch, lo, n, true, s.Leaf, key)
 }
 
-// SortScheduled implements obliv.ScheduledSorter.
-func (s CacheAgnostic) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, scr *mem.Array[obliv.Elem], kscr *obliv.KeySchedule, lo, n int) {
+// SortScheduled implements obliv.ScheduledSorter (the space is unused; the
+// network sorts through the caller's scratch).
+func (s CacheAgnostic) SortScheduled(c *forkjoin.Ctx, _ *mem.Space, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, scr *mem.Array[obliv.Elem], kscr *obliv.KeySchedule, lo, n int) {
 	if n <= 1 {
 		return
 	}
@@ -52,8 +53,8 @@ func (Naive) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo, 
 }
 
 // SortScheduled implements obliv.ScheduledSorter (in-place network; the
-// scratch arguments are ignored).
-func (Naive) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, _ *mem.Array[obliv.Elem], _ *obliv.KeySchedule, lo, n int) {
+// space and scratch arguments are ignored).
+func (Naive) SortScheduled(c *forkjoin.Ctx, _ *mem.Space, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, _ *mem.Array[obliv.Elem], _ *obliv.KeySchedule, lo, n int) {
 	if n <= 1 {
 		return
 	}
@@ -76,8 +77,8 @@ func (OddEven) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo
 }
 
 // SortScheduled implements obliv.ScheduledSorter (in-place network; the
-// scratch arguments are ignored).
-func (OddEven) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, _ *mem.Array[obliv.Elem], _ *obliv.KeySchedule, lo, n int) {
+// space and scratch arguments are ignored).
+func (OddEven) SortScheduled(c *forkjoin.Ctx, _ *mem.Space, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, _ *mem.Array[obliv.Elem], _ *obliv.KeySchedule, lo, n int) {
 	if n <= 1 {
 		return
 	}

@@ -1,0 +1,356 @@
+// Shuffle-then-sort backend for schedule-driven sorts (Theorem 3.2 / §C.4
+// generalized for the relational engine): obliviously apply a uniformly
+// random secret permutation to the element array together with every plane
+// of its key schedule, then run an insecure comparison sample sort on the
+// permuted sequence. Because the permutation is uniform and hidden, the
+// order type of the permuted sequence — and hence the access-pattern
+// distribution of the insecure sort — is independent of the input contents,
+// provided the sort's effective keys are distinct ([CGLS18, ACN+20]); the
+// keyed sample sort guarantees distinctness by breaking full ties with the
+// elements' (Kind, Tag, Aux) triple and a fresh random tie word.
+//
+// The permutation stage is realized as a Beneš routing network rather than
+// the REC-ORBA bin cascade: the network's topology — which addresses each
+// of its 2·log₂(n)−1 layers reads and writes — is a fixed function of n
+// alone, while the permutation itself is encoded in the switch settings,
+// which live outside the instrumented memory and are computed from the
+// seeded PRNG exactly like a random tape (they are a function of the seed,
+// never of the data, so the adversary's view of the permutation stage is
+// simulatable from n). This trades REC-ORBA's O(n·log n·log log n) bin
+// passes — whose practical constants exceed a full bitonic sort at
+// realistic n — for O(n·log n) element moves with constant ~2 per layer,
+// which is what lets the composition overtake the keyed bitonic networks
+// on large relations. Every switch moves the element and all schedule
+// words together, the same lockstep contract the keyed bitonic merge
+// keeps through its transposes.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"oblivmc/internal/bitonic"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+	"oblivmc/internal/prng"
+	"oblivmc/internal/spms"
+)
+
+// DefaultShuffleCrossover is the public size threshold of the Auto backend
+// policy: schedule-driven sorts of at least this many slots run the
+// shuffle-then-sort composition, smaller ones the keyed bitonic network
+// (whose lower fixed costs win on small arrays). The crossover is a
+// function of the array length alone — public query shape, like the length
+// itself — so backend selection never depends on the data. The default was
+// measured on the relational benchmarks (cmd/relbench): the backends break
+// even between 2^12 and 2^13 and the shuffle composition pulls ahead ~1.5×
+// at 2^14, ~1.8× at 2^20.
+const DefaultShuffleCrossover = 1 << 13
+
+// ShuffleSorter is the obliv.ScheduledSorter implementing the Theorem 3.2
+// composition: oblivious random permutation (Beneš network, element array
+// and key-schedule planes in lockstep), then an insecure keyed sample sort
+// (internal/spms) ordering by (cached key words, TiePos triple, random tie
+// word). Arrays below Crossover — and arrays whose length is not a power
+// of two, which never arise from the relational layer's padded relations —
+// are delegated to Fallback.
+//
+// All randomness derives from Seed plus a per-sort call counter, so at a
+// fixed seed a pipeline of sorts draws a deterministic sequence of fresh
+// permutations: every run of the same shape replays the identical trace,
+// which is what keeps the oblivtest fingerprint harness applicable. Note
+// the guarantee class, though: the permutation stage's trace is a fixed
+// function of the array length, but the insecure stage's trace depends on
+// the order type of the permuted keys. At a fixed seed it is therefore a
+// deterministic function of (shape, key order); over the secret seed its
+// distribution is input-independent (the Theorem 3.2 guarantee). The
+// bitonic backend remains the choice where the stronger per-seed
+// determinism is required.
+//
+// A ShuffleSorter is stateful (the call counter) and must be created per
+// logical run; the zero value of everything but Seed gives the Auto
+// defaults.
+type ShuffleSorter struct {
+	// Seed drives the permutations and tie words.
+	Seed uint64
+	// Crossover is the minimum array length sorted by the shuffle
+	// composition (0 = DefaultShuffleCrossover; 2 forces the shuffle path
+	// at every power-of-two length).
+	Crossover int
+	// Fallback sorts arrays below Crossover (nil = bitonic.CacheAgnostic).
+	Fallback obliv.ScheduledSorter
+
+	calls atomic.Uint64
+}
+
+// Name implements obliv.Sorter.
+func (s *ShuffleSorter) Name() string { return "shuffle-samplesort" }
+
+func (s *ShuffleSorter) crossover() int {
+	if s.Crossover <= 0 {
+		return DefaultShuffleCrossover
+	}
+	if s.Crossover < 2 {
+		return 2
+	}
+	return s.Crossover
+}
+
+func (s *ShuffleSorter) fallback() obliv.ScheduledSorter {
+	if s.Fallback != nil {
+		return s.Fallback
+	}
+	return bitonic.CacheAgnostic{}
+}
+
+// Sort implements obliv.Sorter by materializing the closure's keys into a
+// width-1 schedule and sorting through SortScheduled.
+func (s *ShuffleSorter) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo, n int, key func(obliv.Elem) uint64) {
+	if n <= 1 {
+		return
+	}
+	if n < s.crossover() || !obliv.IsPow2(n) {
+		s.fallback().Sort(c, sp, a, lo, n, key)
+		return
+	}
+	// Work on the [lo, lo+n) view so the freshly built schedule and the
+	// sorted range stay index-aligned at any lo.
+	av := a.View(lo, n)
+	ks := obliv.AllocKeySchedule(sp, n, 1)
+	ks.Tie = obliv.TiePos
+	obliv.BuildKeySchedule(c, av, ks, 0, n, func(e obliv.Elem, out []uint64) { out[0] = key(e) })
+	s.SortScheduled(c, sp, av, ks, nil, nil, 0, n)
+}
+
+// SortScheduled implements obliv.ScheduledSorter: Beneš-permute a[lo:lo+n)
+// and ks[lo:lo+n) in lockstep with a fresh uniform permutation, then sample
+// sort the permuted sequence by its cached keys. scr/kscr serve as the
+// network's double buffer and the sample sort's scratch (nil = allocated
+// from sp).
+func (s *ShuffleSorter) SortScheduled(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, scr *mem.Array[obliv.Elem], kscr *obliv.KeySchedule, lo, n int) {
+	if n <= 1 {
+		return
+	}
+	w := ks.Width()
+	if scr == nil {
+		scr = mem.Alloc[obliv.Elem](sp, n)
+	}
+	if kscr == nil {
+		kscr = obliv.AllocKeySchedule(sp, n, w)
+		kscr.Tie = ks.Tie // cache-agnostic merges swap the schedule roles
+	}
+	if n < s.crossover() || !obliv.IsPow2(n) {
+		s.fallback().SortScheduled(c, sp, a, ks, scr, kscr, lo, n)
+		return
+	}
+	av, ksv := a.View(lo, n), ks.View(lo, n)
+	scrv, kscrv := scr.View(0, n), kscr.View(0, n)
+
+	// Per-sort coins: a fresh permutation and tie tape for every sort of a
+	// pipeline, all derived from (Seed, call index) — never from the data.
+	seq := s.calls.Add(1)
+	src := prng.New(prng.Mix64(s.Seed + seq*0x632be59bd9b4e019))
+
+	// Stage 1 — ORP: settings are computed in harness memory from the PRNG
+	// (simulatable, like tape generation); the instrumented application
+	// touches a fixed address sequence, a function of (n, w) only.
+	plan := routeBenes(src.Perm(n))
+	plan.apply(c, av, scrv, ksv, kscrv)
+
+	// Stage 2 — insecure keyed sample sort on the permuted sequence. The
+	// tie plane holds fresh tape words, making every comparison strict
+	// (the distinct-keys precondition of the security argument; it also
+	// fixes the order of otherwise-identical fillers to the tape).
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = src.Uint64()
+	}
+	tie := mem.Alloc[uint64](sp, n)
+	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, from, to int) {
+		for i := from; i < to; i++ {
+			tie.Set(c, i, words[i])
+		}
+	})
+	tscr := mem.Alloc[uint64](sp, n)
+	spms.SampleSortScheduled(c, sp, av, ksv, tie, scrv, kscrv, tscr, 0, n, src.Uint64())
+}
+
+// benesPlan is a routed Beneš network over n = 2^k positions: 2k−1 layers
+// of n/2 switch settings. Layer ℓ < k−1 is the split layer at block size
+// n>>ℓ (reading pairs (2j, 2j+1), writing halves (j, m/2+j)); layer k−1 is
+// the middle layer of adjacent conditional swaps; layer 2k−2−ℓ is the
+// merge layer mirroring split layer ℓ. The addresses every layer touches
+// are a function of n alone; the settings encode the permutation.
+type benesPlan struct {
+	n      int
+	layers [][]bool
+}
+
+// routeBenes computes switch settings realizing new[i] = old[p[i]] via the
+// classic two-coloring loop algorithm, level-synchronously with O(n) reused
+// buffers per level (O(n log n) total time, plain harness memory).
+func routeBenes(p []int) *benesPlan {
+	n := len(p)
+	if !obliv.IsPow2(n) || n < 2 {
+		panic(fmt.Sprintf("core: Beneš network needs a power-of-two size >= 2, got %d", n))
+	}
+	k := obliv.Log2(n)
+	pl := &benesPlan{n: n, layers: make([][]bool, 2*k-1)}
+	for i := range pl.layers {
+		pl.layers[i] = make([]bool, n/2)
+	}
+	cur := append([]int(nil), p...)
+	nxt := make([]int, n)
+	pinv := make([]int, n)
+	color := make([]int8, n)
+	for l := 0; l < k-1; l++ {
+		m := n >> l
+		for off := 0; off < n; off += m {
+			routeBlock(cur[off:off+m], nxt[off:off+m],
+				pl.layers[l][off/2:off/2+m/2], pl.layers[2*k-2-l][off/2:off/2+m/2],
+				pinv[:m], color[:m])
+		}
+		cur, nxt = nxt, cur
+	}
+	mid := pl.layers[k-1]
+	for t := 0; t < n/2; t++ {
+		mid[t] = cur[2*t] == 1
+	}
+	return pl
+}
+
+// routeBlock routes one block: p is the block-local permutation, q receives
+// the two half-size sub-permutations (top in q[:m/2], bottom in q[m/2:]),
+// sIn/sOut the block's split/merge switch settings. Each output position o
+// is 2-colored by the subnet that carries its element: the two outputs of
+// an output pair need different subnets (each subnet contributes one slot
+// per pair), and so do the two outputs served by an input pair (each input
+// pair sends one element to each subnet). The constraint graph is a union
+// of even cycles, colored by loop-following.
+func routeBlock(p, q []int, sIn, sOut []bool, pinv []int, color []int8) {
+	m := len(p)
+	h := m / 2
+	for i, v := range p {
+		pinv[v] = i
+	}
+	for i := range color {
+		color[i] = -1
+	}
+	for o0 := 0; o0 < m; o0++ {
+		if color[o0] >= 0 {
+			continue
+		}
+		o := o0
+		for {
+			color[o] = 0
+			o2 := pinv[p[o]^1] // output served by o's input-pair partner
+			if color[o2] >= 0 {
+				break
+			}
+			color[o2] = 1
+			o = o2 ^ 1 // its output-pair partner returns to color 0
+			if color[o] >= 0 {
+				break
+			}
+		}
+	}
+	for j := 0; j < h; j++ {
+		so := color[2*j] == 1
+		sOut[j] = so
+		oT, oB := 2*j, 2*j+1 // outputs of pair j served by top / bottom
+		if so {
+			oT, oB = oB, oT
+		}
+		// The element entering at input position i rides subnet slot i/2.
+		q[j] = p[oT] >> 1
+		q[h+j] = p[oB] >> 1
+		sIn[j] = color[pinv[2*j]] == 1
+	}
+}
+
+// apply runs the routed network over the element array and every schedule
+// plane in lockstep, double-buffering through scr/kscr (same length and
+// width; the result lands back in a/ks — the layer count that leaves the
+// home buffer is even). The address sequence is a fixed function of
+// (n, width): each switch always reads its two inputs and writes its two
+// outputs, whichever way it is set.
+func (pl *benesPlan) apply(c *forkjoin.Ctx, a, scr *mem.Array[obliv.Elem], ks, kscr *obliv.KeySchedule) {
+	n := pl.n
+	if a.Len() != n || scr.Len() != n {
+		panic("core: Beneš apply length mismatch")
+	}
+	w := ks.Width()
+	k := obliv.Log2(n)
+	cura, nxta := a, scr
+	curk, nxtk := ks, kscr
+	move := func(c *forkjoin.Ctx, swap bool, i0, i1, o0, o1 int) {
+		c.Op(1)
+		x, y := cura.Get(c, i0), cura.Get(c, i1)
+		if swap {
+			x, y = y, x
+		}
+		nxta.Set(c, o0, x)
+		nxta.Set(c, o1, y)
+		for p := 0; p < w; p++ {
+			kx, ky := curk.Plane(p).Get(c, i0), curk.Plane(p).Get(c, i1)
+			if swap {
+				kx, ky = ky, kx
+			}
+			nxtk.Plane(p).Set(c, o0, kx)
+			nxtk.Plane(p).Set(c, o1, ky)
+		}
+	}
+	for l := 0; l < k-1; l++ {
+		m := n >> l
+		h := m / 2
+		set := pl.layers[l]
+		forkjoin.ParallelRange(c, 0, n/2, 0, func(c *forkjoin.Ctx, from, to int) {
+			for t := from; t < to; t++ {
+				off := 2 * t / m * m
+				j := t - off/2
+				move(c, set[t], off+2*j, off+2*j+1, off+j, off+h+j)
+			}
+		})
+		cura, nxta = nxta, cura
+		curk, nxtk = nxtk, curk
+	}
+	mid := pl.layers[k-1]
+	forkjoin.ParallelRange(c, 0, n/2, 0, func(c *forkjoin.Ctx, from, to int) {
+		for t := from; t < to; t++ {
+			c.Op(1)
+			i0, i1 := 2*t, 2*t+1
+			x, y := cura.Get(c, i0), cura.Get(c, i1)
+			if mid[t] {
+				x, y = y, x
+			}
+			cura.Set(c, i0, x)
+			cura.Set(c, i1, y)
+			for p := 0; p < w; p++ {
+				kx, ky := curk.Plane(p).Get(c, i0), curk.Plane(p).Get(c, i1)
+				if mid[t] {
+					kx, ky = ky, kx
+				}
+				curk.Plane(p).Set(c, i0, kx)
+				curk.Plane(p).Set(c, i1, ky)
+			}
+		}
+	})
+	for l := k - 2; l >= 0; l-- {
+		m := n >> l
+		h := m / 2
+		set := pl.layers[2*k-2-l]
+		forkjoin.ParallelRange(c, 0, n/2, 0, func(c *forkjoin.Ctx, from, to int) {
+			for t := from; t < to; t++ {
+				off := 2 * t / m * m
+				j := t - off/2
+				move(c, set[t], off+j, off+h+j, off+2*j, off+2*j+1)
+			}
+		})
+		cura, nxta = nxta, cura
+		curk, nxtk = nxtk, curk
+	}
+	if cura != a {
+		panic("core: Beneš apply did not return to the home buffer")
+	}
+}

@@ -120,7 +120,7 @@ func Distribute(
 		}
 	})
 
-	ss.SortScheduled(c, w, ks, scr, kscr, 0, wLen)
+	ss.SortScheduled(c, sp, w, ks, scr, kscr, 0, wLen)
 
 	// Latest-participant scan: position p learns the participant with the
 	// largest destination at or before p. The schedule moved through the

@@ -148,11 +148,13 @@ func CompareExchangeCached(c *forkjoin.Ctx, a *mem.Array[Elem], ks *mem.Array[ui
 	ks.Set(c, j, ky)
 }
 
-// posAfter reports whether x sorts strictly after y under the TiePos
+// PosAfter reports whether x sorts strictly after y under the TiePos
 // tie-break: fillers after real elements, then by side tag, then by
 // original position. Pure register arithmetic on values the comparator
-// already holds.
-func posAfter(x, y Elem) bool {
+// already holds. It is exported for sort backends implemented outside this
+// package (the shuffle-then-sort composition applies the same rule in its
+// insecure comparison phase so both backends realize the same order).
+func PosAfter(x, y Elem) bool {
 	xf, yf := x.Kind != Real, y.Kind != Real
 	if xf != yf {
 		return xf
@@ -189,7 +191,7 @@ func CompareExchangeCachedW(c *forkjoin.Ctx, a *mem.Array[Elem], ks *KeySchedule
 		c.Op(1) // the comparison
 		gt := kx > ky
 		if kx == ky {
-			gt = posAfter(x, y)
+			gt = PosAfter(x, y)
 		}
 		if gt == asc {
 			a.Set(c, i, y)
@@ -216,7 +218,7 @@ func CompareExchangeCachedW(c *forkjoin.Ctx, a *mem.Array[Elem], ks *KeySchedule
 		if kx0 == ky0 {
 			gt = kx1 > ky1
 			if kx1 == ky1 && ks.Tie == TiePos {
-				gt = posAfter(x, y)
+				gt = PosAfter(x, y)
 			}
 		}
 		if gt == asc {
@@ -255,7 +257,7 @@ func CompareExchangeCachedW(c *forkjoin.Ctx, a *mem.Array[Elem], ks *KeySchedule
 		}
 	}
 	if tied && ks.Tie == TiePos {
-		gt = posAfter(x, y)
+		gt = PosAfter(x, y)
 	}
 	if gt == asc {
 		x, y = y, x
@@ -272,24 +274,27 @@ func CompareExchangeCachedW(c *forkjoin.Ctx, a *mem.Array[Elem], ks *KeySchedule
 // ScheduledSorter is implemented by sorters that can run against a
 // precomputed key schedule (the keysched fast path). SortScheduled sorts
 // a[lo:lo+n) ascending by the cached lexicographic keys ks[lo:lo+n) (ks is
-// indexed identically to a), keeping every plane of ks in lockstep. scr and
-// kscr are caller-provided scratch — scr of length >= n, kscr of ks's width
-// covering >= n elements — that must not alias a or ks; sorters that sort
-// strictly in place ignore them (nil is then permitted).
+// indexed identically to a), keeping every plane of ks in lockstep. sp is
+// the address space backends allocate working memory from (the in-place
+// networks never touch it; the shuffle-then-sort backend draws its routing
+// buffers and tie plane from it). scr and kscr are caller-provided scratch
+// — scr of length >= n, kscr of ks's width covering >= n elements — that
+// must not alias a or ks; sorters that sort strictly in place ignore them
+// (nil is then permitted).
 //
 // Callers that hold a multi-pass scratch arena use this interface to avoid
 // both the per-comparator key recomputation and the per-sort scratch
 // allocation of Sorter.Sort.
 type ScheduledSorter interface {
 	Sorter
-	SortScheduled(c *forkjoin.Ctx, a *mem.Array[Elem], ks *KeySchedule, scr *mem.Array[Elem], kscr *KeySchedule, lo, n int)
+	SortScheduled(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[Elem], ks *KeySchedule, scr *mem.Array[Elem], kscr *KeySchedule, lo, n int)
 }
 
 // SortScheduled implements ScheduledSorter for the selection network: all
-// pairs through the cached comparator, any n, scratch ignored. It exists so
-// the tiny reference sorter remains usable wherever the relational layer
-// now requires schedule support.
-func (SelectionNetwork) SortScheduled(c *forkjoin.Ctx, a *mem.Array[Elem], ks *KeySchedule, _ *mem.Array[Elem], _ *KeySchedule, lo, n int) {
+// pairs through the cached comparator, any n, space and scratch ignored. It
+// exists so the tiny reference sorter remains usable wherever the
+// relational layer now requires schedule support.
+func (SelectionNetwork) SortScheduled(c *forkjoin.Ctx, _ *mem.Space, a *mem.Array[Elem], ks *KeySchedule, _ *mem.Array[Elem], _ *KeySchedule, lo, n int) {
 	for i := 0; i < n-1; i++ {
 		for j := i + 1; j < n; j++ {
 			CompareExchangeCachedW(c, a, ks, lo+i, lo+j, true)

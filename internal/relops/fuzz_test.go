@@ -57,3 +57,18 @@ func FuzzDistinct(f *testing.F) {
 		checkDistinct(t, seed, nv, wv, dv)
 	})
 }
+
+// FuzzGroupByBackends differentially fuzzes the shuffle-then-sort backend
+// against the keyed bitonic backend: the same GroupBy instance must produce
+// identical surviving records under both (every relational order is strict
+// via the position tie-break, so outputs are backend-independent). The
+// shuffle sorter's seed is fuzzed too, exercising many permutations.
+func FuzzGroupByBackends(f *testing.F) {
+	f.Add(uint64(1), uint64(1), uint8(9), uint8(0), uint8(0), uint8(0))
+	f.Add(uint64(2), uint64(7), uint8(24), uint8(1), uint8(1), uint8(4))
+	f.Add(uint64(3), uint64(99), uint8(17), uint8(0), uint8(2), uint8(5))
+	f.Fuzz(func(t *testing.T, seed, sortSeed uint64, n, w, dist, agg uint8) {
+		nv, wv, dv := fuzzShape(n, w, dist)
+		checkGroupByBackends(t, seed, sortSeed, nv, wv, dv, allAggs[int(agg)%len(allAggs)])
+	})
+}

@@ -291,7 +291,7 @@ func JoinAll(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right Rel, maxOut 
 	if !ok {
 		panic(fmt.Sprintf("relops: sorter %s does not support key schedules (obliv.ScheduledSorter)", srt.Name()))
 	}
-	ss.SortScheduled(c, wrk.A, ks, ar.ElemScratch(sp, n), kscr, 0, n)
+	ss.SortScheduled(c, sp, wrk.A, ks, ar.ElemScratch(sp, n), kscr, 0, n)
 	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := wrk.A.Get(c, i)

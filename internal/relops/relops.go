@@ -307,10 +307,18 @@ func sameGroup(w int) func(x, y obliv.Elem) bool {
 
 // sortSched sorts all of a ascending by the lexicographic schedule sc. The
 // key words are materialized once into an arena-backed obliv.KeySchedule
-// (one fixed linear pass) and the network compares cached vectors — the
+// (one fixed linear pass) and the sorter orders by the cached vectors — the
 // relational sorts require obliv.ScheduledSorter since no single closure
-// word can express a multi-word schedule. The comparator schedule — and
-// hence the trace shape — depends only on (a's length, sc.w), both public.
+// word can express a multi-word schedule. Backend selection happens inside
+// the sorter: the keyed bitonic networks run everywhere, and the
+// shuffle-then-sort backend (core.ShuffleSorter) switches between its
+// composition and its bitonic fallback at a public size crossover — a
+// function of a's length alone, so which machinery runs is itself query
+// shape. Either way every pass moves the schedule planes in lockstep with
+// the elements, and the trace shape depends only on public quantities:
+// (length, sc.w) exactly for the networks, (length, sc.w, seed, permuted
+// key order) for the shuffle composition (input-independent in
+// distribution over the secret seed; see core.ShuffleSorter).
 func sortSched(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], sc schedule, srt obliv.Sorter) {
 	n := a.Len()
 	if n <= 1 {
@@ -325,7 +333,7 @@ func sortSched(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Ele
 	kscr := ar.KeyScratch(sp, n, sc.w)
 	kscr.Tie = sc.tie // cache-agnostic merges swap the schedule roles
 	obliv.BuildKeySchedule(c, a, ks, 0, n, sc.emit)
-	ss.SortScheduled(c, a, ks, ar.ElemScratch(sp, n), kscr, 0, n)
+	ss.SortScheduled(c, sp, a, ks, ar.ElemScratch(sp, n), kscr, 0, n)
 }
 
 // markBoundaries sets Mark=1 on every real element whose predecessor

@@ -2,11 +2,13 @@ package relops
 
 import (
 	"errors"
+	"os"
 	"sort"
 	"strings"
 	"testing"
 
 	"oblivmc/internal/bitonic"
+	"oblivmc/internal/core"
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
@@ -31,9 +33,21 @@ func mustLoadW(t testing.TB, sp *mem.Space, recs []Record, w int) Rel {
 	return r
 }
 
-// testSorter picks a cheap exact sorter for tiny inputs and the real
-// cache-agnostic bitonic sorter otherwise, so the suite exercises both.
+// testSorter picks the sorter the correctness/property suite runs under.
+// The default leg uses a cheap exact sorter for tiny inputs and the real
+// cache-agnostic bitonic sorter otherwise, so the suite exercises both;
+// with OBLIVMC_SORT_BACKEND=shuffle (CI's second matrix leg, `make
+// test-shuffle`) every sort instead runs the shuffle-then-sort composition
+// forced down to the smallest sizes. The relational operators' *outputs*
+// are backend-independent — every relational order is made strict by the
+// position tie-break — so the same reference checks apply to both legs.
+// (The trace-fingerprint tests pin their backends explicitly and do not go
+// through this helper: the shuffle backend's per-seed trace determinism is
+// weaker, and its fingerprint guarantees are asserted by its own tests.)
 func testSorter(n int) obliv.Sorter {
+	if os.Getenv("OBLIVMC_SORT_BACKEND") == "shuffle" {
+		return &core.ShuffleSorter{Seed: 0x7e57, Crossover: 2}
+	}
 	if n <= 64 {
 		return obliv.SelectionNetwork{}
 	}

@@ -20,7 +20,13 @@
 // Obliviousness guarantee: with a fixed Seed, the access pattern of every
 // *Oblivious* operation is a deterministic function of the input length
 // (never of the input contents); randomized components draw their coins
-// from pre-generated tapes derived from Seed.
+// from pre-generated tapes derived from Seed. One refinement applies to the
+// relational layer's shuffle-then-sort backend (SortShuffle, and SortAuto
+// above its crossover): per Theorem 3.2 its insecure sorting stage has an
+// access pattern that is input-independent in *distribution* over the
+// secret seed — at a fixed seed it depends on the hidden-permuted key
+// order (though never on key or payload values). SortBitonic retains the
+// strict per-seed determinism everywhere.
 package oblivmc
 
 import (
@@ -46,6 +52,31 @@ const (
 	ModeSerial
 )
 
+// SortBackend selects the sorting machinery the relational layer (Table,
+// Query, GroupTotals) runs its schedule-driven sorts through. The choice —
+// like the crossover threshold — is public query shape: backend selection
+// is a function of the array length alone, never of the data.
+type SortBackend int
+
+const (
+	// SortAuto (the default) picks per sort by the public size crossover:
+	// keyed bitonic networks below the threshold, the shuffle-then-sort
+	// composition (Theorem 3.2: oblivious random permutation, then an
+	// insecure sample sort) at or above it, where its O(n log n) work
+	// overtakes the networks' O(n log² n).
+	SortAuto SortBackend = iota
+	// SortBitonic forces the keyed bitonic networks at every size. Its
+	// trace is a deterministic function of the public shape alone — the
+	// strongest (per-seed) obliviousness guarantee in the module.
+	SortBitonic
+	// SortShuffle forces the shuffle-then-sort composition at every
+	// power-of-two size. Its permutation stage's trace is a fixed function
+	// of the length; the insecure stage's trace is input-independent *in
+	// distribution* over the secret seed (the Theorem 3.2 guarantee), and
+	// at a fixed seed depends on the hidden-permuted key order.
+	SortShuffle
+)
+
 // Config controls execution.
 type Config struct {
 	// Mode selects the executor (default ModeParallel).
@@ -57,8 +88,14 @@ type Config struct {
 	CacheM, CacheB int
 	// Trace enables access-pattern recording in ModeMetered.
 	Trace bool
-	// Seed drives all algorithm randomness (tapes, pivots, labels).
+	// Seed drives all algorithm randomness (tapes, pivots, labels,
+	// shuffle permutations).
 	Seed uint64
+	// SortBackend selects the relational sort backend (default SortAuto).
+	SortBackend SortBackend
+	// SortCrossover overrides the SortAuto size threshold
+	// (0 = core.DefaultShuffleCrossover).
+	SortCrossover int
 	// Tuning overrides the paper's default parameters (zero = defaults).
 	Tuning Tuning
 }

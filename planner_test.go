@@ -37,9 +37,9 @@ func (s countingSorter) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.
 	s.inner.Sort(c, sp, a, lo, n, key)
 }
 
-func (s countingSorter) SortScheduled(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, scr *mem.Array[obliv.Elem], kscr *obliv.KeySchedule, lo, n int) {
+func (s countingSorter) SortScheduled(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, scr *mem.Array[obliv.Elem], kscr *obliv.KeySchedule, lo, n int) {
 	*s.n++
-	s.inner.SortScheduled(c, a, ks, scr, kscr, lo, n)
+	s.inner.SortScheduled(c, sp, a, ks, scr, kscr, lo, n)
 }
 
 // queryShapes enumerates every stage combination, with both filter

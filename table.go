@@ -5,12 +5,29 @@ import (
 	"fmt"
 
 	"oblivmc/internal/bitonic"
+	"oblivmc/internal/core"
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
 	"oblivmc/internal/plan"
 	"oblivmc/internal/relops"
 )
+
+// relSorter resolves cfg's relational sort backend to a fresh scheduled
+// sorter for one run (the shuffle backend counts its sorts to draw a fresh
+// permutation per pass, so instances are per-run). Selection — and, for
+// SortAuto, the per-sort size crossover inside the shuffle sorter — is a
+// function of public shape only.
+func relSorter(cfg Config) obliv.ScheduledSorter {
+	switch cfg.SortBackend {
+	case SortBitonic:
+		return bitonic.CacheAgnostic{}
+	case SortShuffle:
+		return &core.ShuffleSorter{Seed: cfg.Seed, Crossover: 2}
+	default:
+		return &core.ShuffleSorter{Seed: cfg.Seed, Crossover: cfg.SortCrossover}
+	}
+}
 
 // Typed boundary errors of the Table API. They wrap the corresponding
 // internal/relops errors, so errors.Is matches across both layers, and
@@ -206,7 +223,7 @@ func runTableOp(cfg Config, t Table, body func(c *forkjoin.Ctx, sp *mem.Space, a
 			runErr = err
 			return
 		}
-		if r, err = body(c, sp, relops.NewArena(), r, bitonic.CacheAgnostic{}); err != nil {
+		if r, err = body(c, sp, relops.NewArena(), r, relSorter(cfg)); err != nil {
 			runErr = err
 			return
 		}
@@ -256,10 +273,40 @@ func recordsOf(t Table) []relops.Record {
 	return recs
 }
 
-// errWideFilter rejects row-predicate stages on multi-column tables (a
-// follow-on; see ROADMAP).
+// errWideFilter rejects the narrow row-predicate surfaces on multi-column
+// tables, pointing at the wide forms.
 func errWideFilter(op string) error {
-	return fmt.Errorf("oblivmc: %s over multi-column tables is not supported yet", op)
+	return fmt.Errorf("oblivmc: %s over multi-column tables needs the wide-predicate form (FilterRows / Query.FilterWide)", op)
+}
+
+// wideRowOf converts a relational record to a WideRow at width w (the
+// wide-predicate calling convention; the row is handed to the predicate by
+// value and must not be retained).
+func wideRowOf(rec relops.Record, w int) WideRow {
+	keys := make([]uint64, w)
+	for k := 0; k < w; k++ {
+		keys[k] = rec.Col(k)
+	}
+	return WideRow{Keys: keys, Val: rec.Val}
+}
+
+// FilterRows obliviously selects the rows satisfying pred at any key
+// width, preserving input order — the wide-predicate form of Filter (the
+// ROADMAP "wide filters" follow-on). pred must be a pure function of the
+// row; the access pattern depends only on the row count and width, never
+// on the contents or the survivor count.
+func FilterRows(cfg Config, t Table, pred func(WideRow) bool) (Table, *Report, error) {
+	if t.Len() == 0 {
+		return Table{}, nil, ErrEmptyInput
+	}
+	if pred == nil {
+		return Table{}, nil, fmt.Errorf("oblivmc: FilterRows requires a predicate")
+	}
+	w := t.Width()
+	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+		relops.Compact(c, sp, ar, r, func(rec relops.Record) bool { return pred(wideRowOf(rec, w)) }, srt)
+		return r, nil
+	})
 }
 
 // Filter obliviously selects the rows satisfying pred, preserving input
@@ -374,7 +421,7 @@ func Join(cfg Config, left, right Table) ([]JoinedRow, *Report, error) {
 			loadErr = err
 			return
 		}
-		j, _ := relops.Join(c, sp, relops.NewArena(), l, r, bitonic.CacheAgnostic{})
+		j, _ := relops.Join(c, sp, relops.NewArena(), l, r, relSorter(cfg))
 		for _, rec := range relops.UnloadJoined(j) {
 			out = append(out, JoinedRow{Key: rec.Key, LeftVal: rec.LeftVal, RightVal: rec.RightVal})
 		}
@@ -452,7 +499,7 @@ func JoinAllRows(cfg Config, left, right Table, maxOut int) ([]WideJoinedRow, *R
 			runErr = err
 			return
 		}
-		j, m, err := relops.JoinAll(c, sp, relops.NewArena(), l, r, maxOut, bitonic.CacheAgnostic{})
+		j, m, err := relops.JoinAll(c, sp, relops.NewArena(), l, r, maxOut, relSorter(cfg))
 		if errors.Is(err, relops.ErrJoinOverflow) {
 			runErr = fmt.Errorf("%w (%d matches, capacity %d)", ErrJoinOverflow, m, maxOut)
 			return
@@ -511,14 +558,19 @@ type Query struct {
 	// output-compaction sorts whenever a later stage re-sorts anyway.
 	Join *JoinSpec
 	// Filter keeps the rows satisfying the predicate (nil = keep all).
-	// Width-1 tables only (see ROADMAP for wide filters).
+	// Width-1 tables only; multi-column tables use FilterWide.
 	Filter func(Row) bool
-	// FilterKeyOnly declares that Filter depends only on Row.Key. This is
-	// public query shape: it allows the planner to push the filter below
-	// Distinct/GroupBy (a key-only predicate drops whole key groups, so
-	// dedup heads and group aggregates are unchanged by the reorder). A
-	// predicate that reads Row.Val despite this declaration yields
-	// unspecified results — though still an oblivious trace.
+	// FilterWide is the wide-predicate filter form, accepted at every key
+	// width (the row carries the full key tuple). At most one of Filter
+	// and FilterWide may be set.
+	FilterWide func(WideRow) bool
+	// FilterKeyOnly declares that the filter (either form) depends only on
+	// the key columns. This is public query shape: it allows the planner
+	// to push the filter below Distinct/GroupBy (a key-only predicate
+	// drops whole key groups, so dedup heads and group aggregates are
+	// unchanged by the reorder). A predicate that reads the value despite
+	// this declaration yields unspecified results — though still an
+	// oblivious trace.
 	FilterKeyOnly bool
 	// Distinct deduplicates by the key tuple before aggregation.
 	Distinct bool
@@ -537,7 +589,7 @@ func (q Query) shape(kind relops.AggKind, w int) plan.Shape {
 	return plan.Shape{
 		KeyCols:       w,
 		Join:          q.Join != nil,
-		Filter:        q.Filter != nil,
+		Filter:        q.Filter != nil || q.FilterWide != nil,
 		FilterKeyOnly: q.FilterKeyOnly,
 		Distinct:      q.Distinct,
 		GroupBy:       q.GroupBy != AggNone,
@@ -572,7 +624,7 @@ func ExplainWidth(q Query, w int) (string, error) {
 		name string
 	}{
 		{q.Join != nil, "join-all"},
-		{q.Filter != nil, "filter"},
+		{q.Filter != nil || q.FilterWide != nil, "filter"},
 		{q.Distinct, "distinct"},
 		{q.GroupBy != AggNone, "group-by"},
 		{q.TopK > 0, "top-k"},
@@ -589,6 +641,20 @@ func ExplainWidth(q Query, w int) (string, error) {
 		s = "identity"
 	}
 	return fmt.Sprintf("staged: %s [%d sorts]", s, pl.StagedSortPasses), nil
+}
+
+// pred resolves q's filter (either form) to a relational-record predicate
+// at width w, or nil when the query has no filter.
+func (q Query) pred(w int) func(relops.Record) bool {
+	if q.FilterWide != nil {
+		fw := q.FilterWide
+		return func(r relops.Record) bool { return fw(wideRowOf(r, w)) }
+	}
+	if q.Filter != nil {
+		f := q.Filter
+		return func(r relops.Record) bool { return f(Row{Key: r.Key, Val: r.Val}) }
+	}
+	return nil
 }
 
 // queryAgg validates q's shape parameters (shared by RunQuery and Explain)
@@ -609,6 +675,9 @@ func RunQuery(cfg Config, t Table, q Query) (Table, *Report, error) {
 	if t.Len() == 0 {
 		return Table{}, nil, ErrEmptyInput
 	}
+	if q.Filter != nil && q.FilterWide != nil {
+		return Table{}, nil, fmt.Errorf("oblivmc: Query.Filter and Query.FilterWide are mutually exclusive")
+	}
 	if q.Filter != nil && t.Width() > 1 {
 		return Table{}, nil, errWideFilter("Query.Filter")
 	}
@@ -622,9 +691,9 @@ func RunQuery(cfg Config, t Table, q Query) (Table, *Report, error) {
 		return Table{}, nil, err
 	}
 	if q.NoOptimize {
-		return runQueryStaged(cfg, t, q, kind, bitonic.CacheAgnostic{})
+		return runQueryStaged(cfg, t, q, kind, relSorter(cfg))
 	}
-	return runQueryPlanned(cfg, t, q, kind, bitonic.CacheAgnostic{})
+	return runQueryPlanned(cfg, t, q, kind, relSorter(cfg))
 }
 
 // queryJoin runs q's join stage over the loaded right relation r (the
@@ -663,10 +732,7 @@ func queryJoin(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, j *JoinSpec, r 
 // unary passes over the expanded relation.
 func runQueryPlanned(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv.Sorter) (Table, *Report, error) {
 	pl := plan.Build(q.shape(kind, t.Width()))
-	var pred func(relops.Record) bool
-	if q.Filter != nil {
-		pred = func(r relops.Record) bool { return q.Filter(Row{Key: r.Key, Val: r.Val}) }
-	}
+	pred := q.pred(t.Width())
 	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, _ obliv.Sorter) (relops.Rel, error) {
 		rest := pl
 		if q.Join != nil {
@@ -700,8 +766,8 @@ func runQueryStaged(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv
 				return relops.Rel{}, err
 			}
 		}
-		if q.Filter != nil {
-			relops.Compact(c, sp, nil, r, func(rec relops.Record) bool { return q.Filter(Row{Key: rec.Key, Val: rec.Val}) }, srt)
+		if pred := q.pred(r.W); pred != nil {
+			relops.Compact(c, sp, nil, r, pred, srt)
 		}
 		if q.Distinct {
 			relops.Distinct(c, sp, nil, r, srt)
