@@ -30,9 +30,10 @@ func TestSortBackendsAgree(t *testing.T) {
 	}
 	cfgs := []Config{
 		{Mode: ModeSerial, Seed: 3, SortBackend: SortBitonic},
-		{Mode: ModeSerial, Seed: 3, SortBackend: SortShuffle},
+		{Mode: ModeSerial, Seed: 3, SortBackend: SortShuffle}, // default seeding: fresh crypto/rand coins per sort
 		{Mode: ModeSerial, Seed: 3, SortBackend: SortAuto, SortCrossover: 1024},
-		{Mode: ModeSerial, Seed: 9, SortBackend: SortShuffle}, // a different seed must not change results
+		{Mode: ModeSerial, Seed: 9, SortBackend: SortShuffle},                             // different Seed must not change results
+		{Mode: ModeSerial, Seed: 9, SortBackend: SortShuffle, DeterministicShuffle: true}, // nor the seed-pinned trace mode
 	}
 	var ref Table
 	for i, cfg := range cfgs {
@@ -146,5 +147,45 @@ func TestQueryFilterWide(t *testing.T) {
 		FilterWide: pred,
 	}); err == nil {
 		t.Fatal("Filter and FilterWide together should be rejected")
+	}
+	// Explain shares RunQuery's shape validation, so it refuses the same
+	// combination rather than blessing a plan the executor rejects.
+	if _, err := Explain(Query{
+		Filter:     func(Row) bool { return true },
+		FilterWide: pred,
+	}); err == nil {
+		t.Fatal("Explain should reject Filter and FilterWide together")
+	}
+}
+
+// TestDeterministicShuffleTraceModes pins the Config plumbing of the
+// shuffle backend's two seeding modes: with DeterministicShuffle the
+// metered trace replays across runs at a fixed Seed (what the fingerprint
+// harness and benchmarks rely on), while the default draws a fresh secret
+// permutation per run, so two runs of the identical query present
+// different views.
+func TestDeterministicShuffleTraceModes(t *testing.T) {
+	src := prng.New(5)
+	rows := make([]Row, 512)
+	for i := range rows {
+		rows[i] = Row{Key: src.Uint64n(9), Val: src.Uint64n(1 << 16)}
+	}
+	tab := mustTable(t, rows)
+	run := func(cfg Config) *Report {
+		cfg.Mode = ModeMetered
+		cfg.Trace = true
+		_, rep, err := GroupBy(cfg, tab, AggSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	det := Config{Seed: 11, SortBackend: SortShuffle, DeterministicShuffle: true}
+	if !run(det).TraceFingerprint.Equal(run(det).TraceFingerprint) {
+		t.Fatal("DeterministicShuffle runs at one Seed must replay the identical trace")
+	}
+	secret := Config{Seed: 11, SortBackend: SortShuffle}
+	if run(secret).TraceFingerprint.Equal(run(secret).TraceFingerprint) {
+		t.Fatal("default shuffle runs replayed an identical trace — permutations must be fresh secrets")
 	}
 }

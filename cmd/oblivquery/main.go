@@ -53,6 +53,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	backend := flag.String("backend", "auto", "relational sort backend: auto|bitonic|shuffle (auto switches at the size crossover)")
 	crossover := flag.Int("crossover", 0, "auto-backend size crossover override (0 = default)")
+	detShuffle := flag.Bool("det-shuffle", false, "derive the shuffle backend's permutations from -seed for reproducible traces (testing only: a known seed forfeits the backend's obliviousness guarantee)")
 	flag.Parse()
 
 	if *cols < 1 || *cols > 2 {
@@ -184,7 +185,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "plan: %s\n", pl)
 	}
 
-	cfg := oblivmc.Config{Seed: *seed, Workers: *workers, SortCrossover: *crossover}
+	cfg := oblivmc.Config{Seed: *seed, Workers: *workers, SortCrossover: *crossover, DeterministicShuffle: *detShuffle}
 	switch *backend {
 	case "auto":
 		cfg.SortBackend = oblivmc.SortAuto
@@ -213,7 +214,7 @@ func main() {
 	if rep != nil {
 		fmt.Fprintf(os.Stderr, "work=%d span=%d parallelism=%.0fx memops=%d cache-misses=%d\n",
 			rep.Work, rep.Span, float64(rep.Work)/float64(rep.Span), rep.MemOps, rep.CacheMisses)
-		fmt.Fprintf(os.Stderr, "adversary's view: %016x/%d (bitonic: a function of row count, width, and query shape; shuffle: input-independent in distribution over the seed)\n",
+		fmt.Fprintf(os.Stderr, "adversary's view: %016x/%d (bitonic: a function of row count, width, and query shape; shuffle: input-independent in distribution over its secret permutation)\n",
 			rep.TraceFingerprint.Hash, rep.TraceFingerprint.Count)
 	}
 	w := bufio.NewWriter(os.Stdout)

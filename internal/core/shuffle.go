@@ -9,14 +9,27 @@
 // keyed sample sort guarantees distinctness by breaking full ties with the
 // elements' (Kind, Tag, Aux) triple and a fresh random tie word.
 //
+// The security of the composition rests on the permutation being SECRET:
+// an adversary who knows it can invert the insecure sort's trace back to
+// the input key order. A ShuffleSorter therefore draws every sort's
+// permutation by default from a ChaCha8 stream keyed with 256 fresh bits
+// of crypto/rand — a cryptographically strong generator, so the
+// permutation is computationally indistinguishable from uniform and
+// cannot be recovered from the trace. The deterministic seeding the
+// fingerprint test harness and the benchmarks need is an explicit opt-in
+// (FixedSeed) that forfeits the guarantee unless the seed value itself is
+// secret, uniformly random, and fresh per run — and even then bounds the
+// coin space at 64 bits through a non-cryptographic expander, so it is
+// for tests and benchmarks only.
+//
 // The permutation stage is realized as a Beneš routing network rather than
 // the REC-ORBA bin cascade: the network's topology — which addresses each
 // of its 2·log₂(n)−1 layers reads and writes — is a fixed function of n
 // alone, while the permutation itself is encoded in the switch settings,
 // which live outside the instrumented memory and are computed from the
-// seeded PRNG exactly like a random tape (they are a function of the seed,
-// never of the data, so the adversary's view of the permutation stage is
-// simulatable from n). This trades REC-ORBA's O(n·log n·log log n) bin
+// per-sort PRNG exactly like a random tape (they are a function of the
+// coins, never of the data, so the adversary's view of the permutation
+// stage is simulatable from n). This trades REC-ORBA's O(n·log n·log log n) bin
 // passes — whose practical constants exceed a full bitonic sort at
 // realistic n — for O(n·log n) element moves with constant ~2 per layer,
 // which is what lets the composition overtake the keyed bitonic networks
@@ -26,8 +39,9 @@
 package core
 
 import (
+	crand "crypto/rand"
 	"fmt"
-	"sync/atomic"
+	mrand "math/rand/v2"
 
 	"oblivmc/internal/bitonic"
 	"oblivmc/internal/forkjoin"
@@ -56,24 +70,33 @@ const DefaultShuffleCrossover = 1 << 13
 // of two, which never arise from the relational layer's padded relations —
 // are delegated to Fallback.
 //
-// All randomness derives from Seed plus a per-sort call counter, so at a
-// fixed seed a pipeline of sorts draws a deterministic sequence of fresh
-// permutations: every run of the same shape replays the identical trace,
-// which is what keeps the oblivtest fingerprint harness applicable. Note
-// the guarantee class, though: the permutation stage's trace is a fixed
-// function of the array length, but the insecure stage's trace depends on
-// the order type of the permuted keys. At a fixed seed it is therefore a
-// deterministic function of (shape, key order); over the secret seed its
-// distribution is input-independent (the Theorem 3.2 guarantee). The
-// bitonic backend remains the choice where the stronger per-seed
-// determinism is required.
+// By default every sort draws its permutation and tie coins from a fresh
+// crypto/rand-keyed ChaCha8 stream, so the insecure stage's trace — which
+// depends on the order type of the permuted keys — is input-independent
+// in distribution (the Theorem 3.2 guarantee, computationally) with no
+// requirement on any caller-supplied value, at the cost of traces that
+// differ between runs. FixedSeed opts into deterministic coins: the
+// permutations derive from (seed, per-sorter call counter), so a pipeline
+// of sorts at a fixed seed replays the identical trace across runs of the
+// same shape — what the oblivtest fingerprint harness and the benchmarks
+// need. Fixing the seed narrows the guarantee: the trace becomes a
+// deterministic function of (shape, key order), hidden only if the seed
+// value is secret, uniformly random, and fresh for each dataset. Never fix
+// the seed outside tests and benchmarks; the bitonic backend remains the
+// choice where per-seed trace determinism is required in production.
 //
-// A ShuffleSorter is stateful (the call counter) and must be created per
-// logical run; the zero value of everything but Seed gives the Auto
-// defaults.
+// A ShuffleSorter is stateful (the call counter and the cached tie
+// scratch) and must be created per logical run; its sorts must be issued
+// sequentially, as the relational orchestration path does. The zero value
+// gives the Auto defaults with crypto/rand coins.
 type ShuffleSorter struct {
-	// Seed drives the permutations and tie words.
-	Seed uint64
+	// FixedSeed, when non-nil, derives every sort's permutation and tie
+	// words deterministically from the pointed-to seed plus a per-sorter
+	// call counter (reproducible traces for tests and benchmarks — see the
+	// type comment for the secrecy requirements this transfers onto the
+	// seed). nil — the default — keys a fresh ChaCha8 stream from
+	// crypto/rand per sort.
+	FixedSeed *uint64
 	// Crossover is the minimum array length sorted by the shuffle
 	// composition (0 = DefaultShuffleCrossover; 2 forces the shuffle path
 	// at every power-of-two length).
@@ -81,7 +104,20 @@ type ShuffleSorter struct {
 	// Fallback sorts arrays below Crossover (nil = bitonic.CacheAgnostic).
 	Fallback obliv.ScheduledSorter
 
-	calls atomic.Uint64
+	// calls counts the sorts of a FixedSeed pipeline (each draws the next
+	// deterministic tape). Plain state, like the scratch cache below: a
+	// ShuffleSorter's sorts are issued sequentially per the type contract.
+	calls uint64
+	// Tie-plane scratch cached across the sorts of a run (arena-style:
+	// grow-only, dropped when the requesting space changes), plus the
+	// harness-memory staging buffer its words are drawn into. The reuse is
+	// trace-safe — the allocation sequence is a function of the sort-size
+	// sequence, itself public shape — and keeps a multi-sort pipeline's
+	// footprint flat instead of ~3n fresh words per sort.
+	sp       *mem.Space
+	tiePlane *mem.Array[uint64]
+	tieScr   *mem.Array[uint64]
+	tieWords []uint64
 }
 
 // Name implements obliv.Sorter.
@@ -102,6 +138,44 @@ func (s *ShuffleSorter) fallback() obliv.ScheduledSorter {
 		return s.Fallback
 	}
 	return bitonic.CacheAgnostic{}
+}
+
+// sortCoins is one sort's randomness: Perm draws the ORP permutation,
+// Uint64 the tie words and pivot seed.
+type sortCoins interface {
+	Perm(n int) []int
+	Uint64() uint64
+}
+
+// coins returns one sort's coin source: a ChaCha8 stream keyed with 256
+// fresh bits from crypto/rand — a cryptographically strong generator, so
+// the permutation is computationally indistinguishable from uniform and
+// stays hidden from a trace observer — or, under FixedSeed, the
+// reproducible xoshiro tape derived from (seed, call index).
+func (s *ShuffleSorter) coins() sortCoins {
+	if s.FixedSeed == nil {
+		var key [32]byte
+		if _, err := crand.Read(key[:]); err != nil {
+			panic("core: crypto/rand unavailable for the shuffle backend: " + err.Error())
+		}
+		return mrand.New(mrand.NewChaCha8(key))
+	}
+	s.calls++
+	return prng.New(prng.Mix64(*s.FixedSeed + s.calls*0x632be59bd9b4e019))
+}
+
+// tieScratch returns the sort's tie plane and tie-plane sorting scratch of
+// length n, reusing the cached arrays when the space matches and they are
+// large enough.
+func (s *ShuffleSorter) tieScratch(sp *mem.Space, n int) (tie, tscr *mem.Array[uint64]) {
+	if s.sp != sp {
+		s.sp, s.tiePlane, s.tieScr = sp, nil, nil
+	}
+	if s.tiePlane == nil || s.tiePlane.Len() < n {
+		s.tiePlane = mem.Alloc[uint64](sp, n)
+		s.tieScr = mem.Alloc[uint64](sp, n)
+	}
+	return s.tiePlane.View(0, n), s.tieScr.View(0, n)
 }
 
 // Sort implements obliv.Sorter by materializing the closure's keys into a
@@ -133,6 +207,9 @@ func (s *ShuffleSorter) SortScheduled(c *forkjoin.Ctx, sp *mem.Space, a *mem.Arr
 		return
 	}
 	w := ks.Width()
+	// Both branches need the element/key scratch: the shuffle path as its
+	// network double-buffer, the fallback per the ScheduledSorter
+	// caller-scratch contract.
 	if scr == nil {
 		scr = mem.Alloc[obliv.Elem](sp, n)
 	}
@@ -148,9 +225,9 @@ func (s *ShuffleSorter) SortScheduled(c *forkjoin.Ctx, sp *mem.Space, a *mem.Arr
 	scrv, kscrv := scr.View(0, n), kscr.View(0, n)
 
 	// Per-sort coins: a fresh permutation and tie tape for every sort of a
-	// pipeline, all derived from (Seed, call index) — never from the data.
-	seq := s.calls.Add(1)
-	src := prng.New(prng.Mix64(s.Seed + seq*0x632be59bd9b4e019))
+	// pipeline — never a function of the data (see coins for the
+	// secret-vs-deterministic derivation).
+	src := s.coins()
 
 	// Stage 1 — ORP: settings are computed in harness memory from the PRNG
 	// (simulatable, like tape generation); the instrumented application
@@ -159,20 +236,25 @@ func (s *ShuffleSorter) SortScheduled(c *forkjoin.Ctx, sp *mem.Space, a *mem.Arr
 	plan.apply(c, av, scrv, ksv, kscrv)
 
 	// Stage 2 — insecure keyed sample sort on the permuted sequence. The
-	// tie plane holds fresh tape words, making every comparison strict
-	// (the distinct-keys precondition of the security argument; it also
-	// fixes the order of otherwise-identical fillers to the tape).
-	words := make([]uint64, n)
+	// tie plane holds fresh words of the same coin stream as the
+	// permutation (staged through the cached harness buffer — the stream
+	// is sequential, the instrumented fill parallel), making every
+	// comparison strict (the distinct-keys precondition of the security
+	// argument; it also fixes the order of otherwise-identical fillers to
+	// the coins).
+	tie, tscr := s.tieScratch(sp, n)
+	if len(s.tieWords) < n {
+		s.tieWords = make([]uint64, n)
+	}
+	words := s.tieWords[:n]
 	for i := range words {
 		words[i] = src.Uint64()
 	}
-	tie := mem.Alloc[uint64](sp, n)
 	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, from, to int) {
 		for i := from; i < to; i++ {
 			tie.Set(c, i, words[i])
 		}
 	})
-	tscr := mem.Alloc[uint64](sp, n)
 	spms.SampleSortScheduled(c, sp, av, ksv, tie, scrv, kscrv, tscr, 0, n, src.Uint64())
 }
 

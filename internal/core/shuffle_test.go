@@ -10,6 +10,9 @@ import (
 	"oblivmc/internal/prng"
 )
 
+// fixedSeed opts a test's ShuffleSorter into deterministic coins.
+func fixedSeed(v uint64) *uint64 { return &v }
+
 // benesFixture allocates an n-element array with Aux = position plus a
 // width-w schedule whose word p of element i is a distinct function of
 // (i, p), so any lockstep violation is visible.
@@ -132,7 +135,7 @@ func TestShuffleSorterMatchesBitonic(t *testing.T) {
 				bitonic.CacheAgnostic{}.SortScheduled(forkjoin.Serial(), sp1, a1, ks1, scr1, kscr1, 0, n)
 
 				sp2, a2, ks2 := mk()
-				shuf := &ShuffleSorter{Seed: 7, Crossover: 2}
+				shuf := &ShuffleSorter{FixedSeed: fixedSeed(7), Crossover: 2}
 				shuf.SortScheduled(forkjoin.Serial(), sp2, a2, ks2, nil, nil, 0, n)
 
 				for i := 0; i < n; i++ {
@@ -178,7 +181,7 @@ func TestShuffleSorterFixedSeedTraceValueIndependent(t *testing.T) {
 			ks.Tie = obliv.TiePos
 			scr := mem.Alloc[obliv.Elem](sp, n)
 			kscr := obliv.AllocKeySchedule(sp, n, w)
-			shuf := &ShuffleSorter{Seed: 42, Crossover: 2}
+			shuf := &ShuffleSorter{FixedSeed: fixedSeed(42), Crossover: 2}
 			return forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
 				obliv.BuildKeySchedule(c, a, ks, 0, n, func(e obliv.Elem, out []uint64) {
 					if e.Kind != obliv.Real {
@@ -207,7 +210,7 @@ func TestShuffleSorterTraceShapeSensitive(t *testing.T) {
 	run := func(n int) *forkjoin.Metrics {
 		sp := mem.NewSpace()
 		a, ks := shuffleInput(sp, prng.New(3), n, n, 1)
-		shuf := &ShuffleSorter{Seed: 9, Crossover: 2}
+		shuf := &ShuffleSorter{FixedSeed: fixedSeed(9), Crossover: 2}
 		return forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
 			shuf.SortScheduled(c, sp, a, ks, nil, nil, 0, n)
 		})
@@ -257,13 +260,13 @@ func TestShuffleSorterFallsBackBelowCrossover(t *testing.T) {
 			srt.SortScheduled(c, sp, a, ks, scr, kscr, 0, n)
 		})
 	}
-	above := &ShuffleSorter{Seed: 1, Crossover: n + 1}
+	above := &ShuffleSorter{FixedSeed: fixedSeed(1), Crossover: n + 1}
 	scr := run(above)
 	bit := run(bitonic.CacheAgnostic{})
 	if !scr.Trace.Equal(bit.Trace) {
 		t.Fatal("below the crossover the shuffle sorter must run the bitonic fallback")
 	}
-	at := &ShuffleSorter{Seed: 1, Crossover: n}
+	at := &ShuffleSorter{FixedSeed: fixedSeed(1), Crossover: n}
 	if run(at).Trace.Equal(bit.Trace) {
 		t.Fatal("at the crossover the shuffle path must run (trace differs from bitonic)")
 	}
@@ -281,7 +284,7 @@ func TestShuffleSorterSortSubrange(t *testing.T) {
 		a.Data()[i] = obliv.Elem{Key: src.Uint64n(9), Aux: uint64(i), Kind: obliv.Real}
 	}
 	raw := append([]obliv.Elem(nil), a.Data()...)
-	shuf := &ShuffleSorter{Seed: 4, Crossover: 2}
+	shuf := &ShuffleSorter{FixedSeed: fixedSeed(4), Crossover: 2}
 	shuf.Sort(forkjoin.Serial(), sp, a, lo, n, func(e obliv.Elem) uint64 { return e.Key })
 	for i := 0; i < lo; i++ {
 		if a.Data()[i] != raw[i] {
@@ -298,5 +301,34 @@ func TestShuffleSorterSortSubrange(t *testing.T) {
 		if x.Key > y.Key || (x.Key == y.Key && x.Aux > y.Aux) {
 			t.Fatalf("subrange not sorted at %d: %+v then %+v", i, x, y)
 		}
+	}
+}
+
+// TestShuffleSorterDefaultSecretCoins pins the security default: with no
+// FixedSeed every sort draws fresh crypto/rand coins, so the sort is still
+// correct, and two identically constructed sorters over the same input do
+// NOT replay the same permutation — their views differ. (A replayed
+// permutation across runs is exactly what would let a trace observer
+// correlate key order; deterministic replay is the explicit FixedSeed
+// opt-in.)
+func TestShuffleSorterDefaultSecretCoins(t *testing.T) {
+	const n = 256
+	run := func() *forkjoin.Metrics {
+		sp := mem.NewSpace()
+		a, ks := shuffleInput(sp, prng.New(6), n, n, 1)
+		shuf := &ShuffleSorter{Crossover: 2}
+		m := forkjoin.RunMetered(forkjoin.MeterOpts{EnableTrace: true}, func(c *forkjoin.Ctx) {
+			shuf.SortScheduled(c, sp, a, ks, nil, nil, 0, n)
+		})
+		for i := 1; i < n; i++ {
+			x, y := a.Data()[i-1], a.Data()[i]
+			if x.Key > y.Key || (x.Key == y.Key && x.Aux > y.Aux) {
+				t.Fatalf("default-coins sort out of order at %d: %+v then %+v", i, x, y)
+			}
+		}
+		return m
+	}
+	if run().Trace.Equal(run().Trace) {
+		t.Fatal("two default sorters replayed an identical view — permutations must be fresh secrets per sort")
 	}
 }

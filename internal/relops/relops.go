@@ -316,9 +316,9 @@ func sameGroup(w int) func(x, y obliv.Elem) bool {
 // function of a's length alone, so which machinery runs is itself query
 // shape. Either way every pass moves the schedule planes in lockstep with
 // the elements, and the trace shape depends only on public quantities:
-// (length, sc.w) exactly for the networks, (length, sc.w, seed, permuted
+// (length, sc.w) exactly for the networks, (length, sc.w, coins, permuted
 // key order) for the shuffle composition (input-independent in
-// distribution over the secret seed; see core.ShuffleSorter).
+// distribution over its secret permutation; see core.ShuffleSorter).
 func sortSched(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], sc schedule, srt obliv.Sorter) {
 	n := a.Len()
 	if n <= 1 {

@@ -46,7 +46,8 @@ func mustLoadW(t testing.TB, sp *mem.Space, recs []Record, w int) Rel {
 // weaker, and its fingerprint guarantees are asserted by its own tests.)
 func testSorter(n int) obliv.Sorter {
 	if os.Getenv("OBLIVMC_SORT_BACKEND") == "shuffle" {
-		return &core.ShuffleSorter{Seed: 0x7e57, Crossover: 2}
+		seed := uint64(0x7e57)
+		return &core.ShuffleSorter{FixedSeed: &seed, Crossover: 2}
 	}
 	if n <= 64 {
 		return obliv.SelectionNetwork{}

@@ -26,7 +26,7 @@ import (
 // shuffleSorter forces the shuffle composition at every size; fresh per
 // run (the sorter counts its sorts).
 func shuffleSorter(seed uint64) obliv.Sorter {
-	return &core.ShuffleSorter{Seed: seed, Crossover: 2}
+	return &core.ShuffleSorter{FixedSeed: &seed, Crossover: 2}
 }
 
 // checkGroupByBackends runs one GroupBy instance under both backends and

@@ -79,23 +79,21 @@ func (s kseq) store(c *forkjoin.Ctx, i int, r krow) {
 }
 
 // after reports whether x sorts strictly after y: lexicographic cached key
-// words, then the TiePos (Kind, Tag, Aux) triple, then the tie word. With
-// distinct tie words the order is total and strict.
+// words, then the TiePos (Kind, Tag, Aux) triple — obliv.PosAfter, the
+// rule shared with the keyed networks so both backends realize the same
+// order — then the tie word. With distinct tie words the order is total
+// and strict.
 func after(x, y *krow, w int) bool {
 	for p := 0; p < w; p++ {
 		if x.k[p] != y.k[p] {
 			return x.k[p] > y.k[p]
 		}
 	}
-	xf, yf := x.e.Kind != obliv.Real, y.e.Kind != obliv.Real
-	if xf != yf {
-		return xf
+	if obliv.PosAfter(x.e, y.e) {
+		return true
 	}
-	if x.e.Tag != y.e.Tag {
-		return x.e.Tag > y.e.Tag
-	}
-	if x.e.Aux != y.e.Aux {
-		return x.e.Aux > y.e.Aux
+	if obliv.PosAfter(y.e, x.e) {
+		return false
 	}
 	return x.t > y.t
 }

@@ -20,13 +20,20 @@
 // Obliviousness guarantee: with a fixed Seed, the access pattern of every
 // *Oblivious* operation is a deterministic function of the input length
 // (never of the input contents); randomized components draw their coins
-// from pre-generated tapes derived from Seed. One refinement applies to the
-// relational layer's shuffle-then-sort backend (SortShuffle, and SortAuto
-// above its crossover): per Theorem 3.2 its insecure sorting stage has an
-// access pattern that is input-independent in *distribution* over the
-// secret seed — at a fixed seed it depends on the hidden-permuted key
-// order (though never on key or payload values). SortBitonic retains the
-// strict per-seed determinism everywhere.
+// from pre-generated tapes derived from Seed. Seed needs no secrecy for
+// that guarantee — the trace never depends on the data at any seed. One
+// refinement applies to the relational layer's shuffle-then-sort backend
+// (SortShuffle, and SortAuto above its crossover): per Theorem 3.2 its
+// insecure sorting stage has an access pattern that is input-independent
+// in *distribution* over a secret permutation — which is why that backend
+// draws its permutations from fresh crypto/rand-keyed ChaCha8 streams,
+// independent of Seed, so the guarantee holds (computationally) with no
+// requirement on the caller (its traces then differ between runs).
+// Config.DeterministicShuffle re-pins those permutations to
+// Seed for reproducible traces (tests, benchmarks); doing so keeps the
+// guarantee only while the seed value is secret, uniformly random, and
+// fresh per run. SortBitonic retains the strict per-seed determinism
+// everywhere, with no secrecy requirement at all.
 package oblivmc
 
 import (
@@ -72,8 +79,9 @@ const (
 	// SortShuffle forces the shuffle-then-sort composition at every
 	// power-of-two size. Its permutation stage's trace is a fixed function
 	// of the length; the insecure stage's trace is input-independent *in
-	// distribution* over the secret seed (the Theorem 3.2 guarantee), and
-	// at a fixed seed depends on the hidden-permuted key order.
+	// distribution* over the secret permutation (the Theorem 3.2
+	// guarantee), which is drawn from crypto/rand unless
+	// Config.DeterministicShuffle pins it to Seed.
 	SortShuffle
 )
 
@@ -88,14 +96,28 @@ type Config struct {
 	CacheM, CacheB int
 	// Trace enables access-pattern recording in ModeMetered.
 	Trace bool
-	// Seed drives all algorithm randomness (tapes, pivots, labels,
-	// shuffle permutations).
+	// Seed drives the reproducible algorithm randomness (tapes, pivots,
+	// labels). It needs no secrecy: at every seed the trace of an
+	// *Oblivious* operation is a function of the input length alone. The
+	// shuffle backend's permutations are deliberately NOT derived from it
+	// (see DeterministicShuffle).
 	Seed uint64
 	// SortBackend selects the relational sort backend (default SortAuto).
 	SortBackend SortBackend
 	// SortCrossover overrides the SortAuto size threshold
 	// (0 = core.DefaultShuffleCrossover).
 	SortCrossover int
+	// DeterministicShuffle derives the shuffle backend's permutations and
+	// tie words from Seed (plus a per-run sort counter) instead of the
+	// default fresh crypto/rand secret per sort. This makes the shuffle
+	// backend's traces replay across runs — what the trace-fingerprint
+	// tests and benchmarks need — but narrows its Theorem 3.2 guarantee:
+	// the trace of the composition's insecure stage is input-independent
+	// only over a secret, uniformly random, per-run-fresh seed, so a
+	// fixed or public Seed lets a trace observer recover the sorted key
+	// order. Leave it off outside tests and benchmarks; it has no effect
+	// on SortBitonic or on the non-relational operations.
+	DeterministicShuffle bool
 	// Tuning overrides the paper's default parameters (zero = defaults).
 	Tuning Tuning
 }

@@ -14,19 +14,33 @@ import (
 )
 
 // relSorter resolves cfg's relational sort backend to a fresh scheduled
-// sorter for one run (the shuffle backend counts its sorts to draw a fresh
-// permutation per pass, so instances are per-run). Selection — and, for
-// SortAuto, the per-sort size crossover inside the shuffle sorter — is a
-// function of public shape only.
+// sorter for one run. The shuffle backend is stateful (its sort counter
+// and scratch cache), so exactly one instance must exist per run:
+// construct it once at an operator entry point (Filter/Distinct/GroupBy/
+// TopK/RunQuery, the join surfaces, GroupTotals) and thread it through
+// runTableOp to the stages — never construct per stage. Selection — and,
+// for SortAuto, the per-sort size crossover inside the shuffle sorter —
+// is a function of public shape only.
 func relSorter(cfg Config) obliv.ScheduledSorter {
 	switch cfg.SortBackend {
 	case SortBitonic:
 		return bitonic.CacheAgnostic{}
 	case SortShuffle:
-		return &core.ShuffleSorter{Seed: cfg.Seed, Crossover: 2}
+		return &core.ShuffleSorter{FixedSeed: shuffleSeed(cfg), Crossover: 2}
 	default:
-		return &core.ShuffleSorter{Seed: cfg.Seed, Crossover: cfg.SortCrossover}
+		return &core.ShuffleSorter{FixedSeed: shuffleSeed(cfg), Crossover: cfg.SortCrossover}
 	}
+}
+
+// shuffleSeed resolves the shuffle backend's seeding mode: nil — a fresh
+// crypto/rand secret per sort, the mode the Theorem 3.2 guarantee assumes
+// — unless cfg opts into Seed-derived reproducible traces.
+func shuffleSeed(cfg Config) *uint64 {
+	if !cfg.DeterministicShuffle {
+		return nil
+	}
+	s := cfg.Seed
+	return &s
 }
 
 // Typed boundary errors of the Table API. They wrap the corresponding
@@ -208,11 +222,13 @@ func (a Agg) kind() (relops.AggKind, error) {
 }
 
 // runTableOp moves a table into the oblivious element representation and
-// runs body on it under cfg's executor with a per-run scratch arena,
-// returning the surviving rows of the relation body hands back (usually r
-// itself; the join stage replaces it with the expanded relation) at its
-// width. A body error aborts the run without converting a result.
-func runTableOp(cfg Config, t Table, body func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error)) (Table, *Report, error) {
+// runs body on it under cfg's executor with a per-run scratch arena and
+// the run's one sorter (srt — the shuffle backend is stateful, so exactly
+// one instance must serve all of a run's sorts), returning the surviving
+// rows of the relation body hands back (usually r itself; the join stage
+// replaces it with the expanded relation) at its width. A body error
+// aborts the run without converting a result.
+func runTableOp(cfg Config, t Table, srt obliv.Sorter, body func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error)) (Table, *Report, error) {
 	var out Table
 	var runErr error
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
@@ -223,7 +239,7 @@ func runTableOp(cfg Config, t Table, body func(c *forkjoin.Ctx, sp *mem.Space, a
 			runErr = err
 			return
 		}
-		if r, err = body(c, sp, relops.NewArena(), r, relSorter(cfg)); err != nil {
+		if r, err = body(c, sp, relops.NewArena(), r, srt); err != nil {
 			runErr = err
 			return
 		}
@@ -303,7 +319,7 @@ func FilterRows(cfg Config, t Table, pred func(WideRow) bool) (Table, *Report, e
 		return Table{}, nil, fmt.Errorf("oblivmc: FilterRows requires a predicate")
 	}
 	w := t.Width()
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(cfg, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.Compact(c, sp, ar, r, func(rec relops.Record) bool { return pred(wideRowOf(rec, w)) }, srt)
 		return r, nil
 	})
@@ -322,7 +338,7 @@ func Filter(cfg Config, t Table, pred func(Row) bool) (Table, *Report, error) {
 	if t.Width() > 1 {
 		return Table{}, nil, errWideFilter("Filter")
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(cfg, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.Compact(c, sp, ar, r, func(rec relops.Record) bool { return pred(Row{Key: rec.Key, Val: rec.Val}) }, srt)
 		return r, nil
 	})
@@ -334,7 +350,7 @@ func Distinct(cfg Config, t Table) (Table, *Report, error) {
 	if t.Len() == 0 {
 		return Table{}, nil, ErrEmptyInput
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(cfg, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.Distinct(c, sp, ar, r, srt)
 		return r, nil
 	})
@@ -354,7 +370,7 @@ func GroupByCols(cfg Config, t Table, agg Agg) (Table, *Report, error) {
 	if err != nil {
 		return Table{}, nil, err
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(cfg, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.GroupBy(c, sp, ar, r, kind, srt)
 		return r, nil
 	})
@@ -376,7 +392,7 @@ func TopK(cfg Config, t Table, k int) (Table, *Report, error) {
 	if k < 0 {
 		return Table{}, nil, fmt.Errorf("oblivmc: negative k %d", k)
 	}
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(cfg, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.TopK(c, sp, ar, r, k, srt)
 		return r, nil
 	})
@@ -657,9 +673,13 @@ func (q Query) pred(w int) func(relops.Record) bool {
 	return nil
 }
 
-// queryAgg validates q's shape parameters (shared by RunQuery and Explain)
-// and resolves the aggregation kind.
+// queryAgg validates q's shape parameters (shared by RunQuery and Explain,
+// so the explain surface never blesses a shape the executor refuses) and
+// resolves the aggregation kind.
 func queryAgg(q Query) (relops.AggKind, error) {
+	if q.Filter != nil && q.FilterWide != nil {
+		return 0, fmt.Errorf("oblivmc: Query.Filter and Query.FilterWide are mutually exclusive")
+	}
 	if q.TopK < 0 {
 		return 0, fmt.Errorf("oblivmc: negative k %d", q.TopK)
 	}
@@ -674,9 +694,6 @@ func queryAgg(q Query) (relops.AggKind, error) {
 func RunQuery(cfg Config, t Table, q Query) (Table, *Report, error) {
 	if t.Len() == 0 {
 		return Table{}, nil, ErrEmptyInput
-	}
-	if q.Filter != nil && q.FilterWide != nil {
-		return Table{}, nil, fmt.Errorf("oblivmc: Query.Filter and Query.FilterWide are mutually exclusive")
 	}
 	if q.Filter != nil && t.Width() > 1 {
 		return Table{}, nil, errWideFilter("Query.Filter")
@@ -733,7 +750,7 @@ func queryJoin(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, j *JoinSpec, r 
 func runQueryPlanned(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv.Sorter) (Table, *Report, error) {
 	pl := plan.Build(q.shape(kind, t.Width()))
 	pred := q.pred(t.Width())
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, _ obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(cfg, t, srt, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		rest := pl
 		if q.Join != nil {
 			jop := rest.Ops[0] // plan.Build puts OpJoinAll first
@@ -758,7 +775,7 @@ func runQueryStaged(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv
 	// The unary operators run with nil scratch (per-call allocation), as
 	// the pre-planner baseline always has; only the join uses the per-run
 	// arena.
-	return runTableOp(cfg, t, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, _ obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(cfg, t, srt, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		if q.Join != nil {
 			// The stand-alone operator pays its full four sorts.
 			var err error
