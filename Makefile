@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-shuffle vet race bench benchdiff fuzz-smoke clean
+.PHONY: all build test test-shuffle vet race bench benchdiff fuzz-smoke serve-smoke docker clean
 
 all: vet build test
 
@@ -54,6 +54,21 @@ fuzz-smoke:
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzGroupBy$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzDistinct$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzGroupByBackends$$' -fuzztime $(FUZZTIME)
+
+# serve-smoke is the end-to-end serving check: build oblivserve, start it
+# on a random free port, load the generated example through the client,
+# run the fused -keyorder -as query, and assert (a) the identical repeat
+# is a cache hit with 0 executed sorts and (b) the follow-up over the
+# materialization rides the order token to fewer sorts than its cold
+# plan. Exercises the client wire structs against the live server.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# docker builds the oblivserve container image (multi-stage, static
+# binary on scratch-ish alpine). Override the tag with DOCKER_TAG.
+DOCKER_TAG ?= oblivserve:latest
+docker:
+	docker build -t $(DOCKER_TAG) .
 
 clean:
 	$(GO) clean ./...

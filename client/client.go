@@ -1,0 +1,203 @@
+// Package client is the Go client of the oblivserve HTTP/JSON surface
+// (internal/serve): load and drop relations, run declarative query specs,
+// and read the per-query execution stats the server reports — the cached
+// flag and executed sort-pass counts the cross-query planner is judged
+// by. The wire structs mirror the server's; both sides are exercised
+// against each other by the serve-smoke CI job.
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Row is one (keys..., value) record on the wire.
+type Row struct {
+	Keys []uint64 `json:"keys"`
+	Val  uint64   `json:"val"`
+}
+
+// Filter is the declarative filter clause: compare column Col (a key
+// column by index, or the value column when -1) against Value with Op
+// (eq, ne, lt, le, gt, ge).
+type Filter struct {
+	Col   int    `json:"col"`
+	Op    string `json:"op"`
+	Value uint64 `json:"value"`
+}
+
+// Join is the declarative join clause against a loaded relation.
+type Join struct {
+	Table  string `json:"table"`
+	MaxOut int    `json:"max_out"`
+}
+
+// Spec is one declarative query over a loaded relation.
+type Spec struct {
+	Table       string  `json:"table"`
+	Join        *Join   `json:"join,omitempty"`
+	Filter      *Filter `json:"filter,omitempty"`
+	Distinct    bool    `json:"distinct,omitempty"`
+	GroupBy     string  `json:"group_by,omitempty"`
+	TopK        int     `json:"top_k,omitempty"`
+	KeyOrderOut bool    `json:"key_order_out,omitempty"`
+	NoOptimize  bool    `json:"no_optimize,omitempty"`
+	As          string  `json:"as,omitempty"`
+}
+
+// Stats is the server's per-query execution accounting.
+type Stats struct {
+	Cached         bool   `json:"cached"`
+	SortPasses     int    `json:"sort_passes"`
+	ColdSortPasses int    `json:"cold_sort_passes"`
+	Plan           string `json:"plan"`
+	Order          string `json:"order"`
+}
+
+// TableInfo is the public metadata of one loaded relation.
+type TableInfo struct {
+	Name    string `json:"name"`
+	Version int    `json:"version"`
+	Rows    int    `json:"rows"`
+	Width   int    `json:"width"`
+	Order   string `json:"order"`
+}
+
+// QueryResult is one query's rows plus stats.
+type QueryResult struct {
+	Rows          []Row  `json:"rows"`
+	Stats         Stats  `json:"stats"`
+	StoredAs      string `json:"stored_as,omitempty"`
+	StoredVersion int    `json:"stored_version,omitempty"`
+}
+
+// Client talks to one oblivserve instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at base (e.g.
+// "http://localhost:8344"). The underlying http.Client has no timeout:
+// oblivious queries run full padded passes, so calls can be long — wrap
+// with your own client via NewWithHTTP to bound them.
+func New(base string) *Client {
+	return NewWithHTTP(base, &http.Client{})
+}
+
+// NewWithHTTP is New with a caller-supplied http.Client.
+func NewWithHTTP(base string, hc *http.Client) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// apiError is a non-2xx server response.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("oblivserve: %s (HTTP %d)", e.Msg, e.Status)
+}
+
+func (c *Client) do(method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &apiError{Status: resp.StatusCode, Msg: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks liveness.
+func (c *Client) Health() error {
+	return c.do(http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// WaitReady polls Health until the server answers or the timeout lapses.
+func (c *Client) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		err := c.Health()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("oblivserve: not ready after %v: %w", timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// Load binds rows to name on the server.
+func (c *Client) Load(name string, rows []Row, replace bool) (TableInfo, error) {
+	var info TableInfo
+	err := c.do(http.MethodPost, "/v1/tables", struct {
+		Name    string `json:"name"`
+		Rows    []Row  `json:"rows"`
+		Replace bool   `json:"replace,omitempty"`
+	}{name, rows, replace}, &info)
+	return info, err
+}
+
+// List returns the loaded relations' metadata.
+func (c *Client) List() ([]TableInfo, error) {
+	var out []TableInfo
+	err := c.do(http.MethodGet, "/v1/tables", nil, &out)
+	return out, err
+}
+
+// Drop unbinds name.
+func (c *Client) Drop(name string) error {
+	return c.do(http.MethodDelete, "/v1/tables/"+url.PathEscape(name), nil, nil)
+}
+
+// Query executes spec.
+func (c *Client) Query(spec Spec) (QueryResult, error) {
+	var out QueryResult
+	err := c.do(http.MethodPost, "/v1/query", spec, &out)
+	return out, err
+}
+
+// Explain renders spec's order-aware plan without executing it.
+func (c *Client) Explain(spec Spec) (string, error) {
+	var out struct {
+		Plan string `json:"plan"`
+	}
+	err := c.do(http.MethodPost, "/v1/explain", spec, &out)
+	return out.Plan, err
+}

@@ -118,6 +118,16 @@ type ShuffleSorter struct {
 	tiePlane *mem.Array[uint64]
 	tieScr   *mem.Array[uint64]
 	tieWords []uint64
+	// Beneš routing state cached across the sorts of a run: one routed-plan
+	// buffer per array size — the (2·log₂ n − 1) × n/2 switch-setting
+	// planes, rewritten in place by each sort's routing — plus the grow-only
+	// two-coloring scratch and the permutation buffer. All plain harness
+	// memory (settings are simulatable, like tape generation), so the reuse
+	// is trace-free; it keeps a server pipeline of same-shape sorts from
+	// rebuilding ~n·log n bytes of planes per call.
+	plans   map[int]*benesPlan
+	route   routeScratch
+	permBuf []int
 }
 
 // Name implements obliv.Sorter.
@@ -140,12 +150,17 @@ func (s *ShuffleSorter) fallback() obliv.ScheduledSorter {
 	return bitonic.CacheAgnostic{}
 }
 
-// sortCoins is one sort's randomness: Perm draws the ORP permutation,
-// Uint64 the tie words and pivot seed.
+// sortCoins is one sort's randomness: Intn draws the ORP permutation's
+// Fisher–Yates indices, Uint64 the tie words and pivot seed.
 type sortCoins interface {
-	Perm(n int) []int
+	Intn(n int) int
 	Uint64() uint64
 }
+
+// cryptoCoins adapts math/rand/v2's ChaCha8-backed Rand to sortCoins.
+type cryptoCoins struct{ *mrand.Rand }
+
+func (c cryptoCoins) Intn(n int) int { return c.IntN(n) }
 
 // coins returns one sort's coin source: a ChaCha8 stream keyed with 256
 // fresh bits from crypto/rand — a cryptographically strong generator, so
@@ -158,10 +173,43 @@ func (s *ShuffleSorter) coins() sortCoins {
 		if _, err := crand.Read(key[:]); err != nil {
 			panic("core: crypto/rand unavailable for the shuffle backend: " + err.Error())
 		}
-		return mrand.New(mrand.NewChaCha8(key))
+		return cryptoCoins{mrand.New(mrand.NewChaCha8(key))}
 	}
 	s.calls++
 	return prng.New(prng.Mix64(*s.FixedSeed + s.calls*0x632be59bd9b4e019))
+}
+
+// perm draws a uniform permutation of [0, n) into the sorter's cached
+// buffer. The Fisher–Yates draw sequence is identical to prng.Source.Perm,
+// so FixedSeed pipelines replay the same permutations (and the same
+// downstream tie-word stream) as before the buffer reuse.
+func (s *ShuffleSorter) perm(src sortCoins, n int) []int {
+	if cap(s.permBuf) < n {
+		s.permBuf = make([]int, n)
+	}
+	p := s.permBuf[:n]
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := src.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// benesPlanFor returns the sorter's cached routed-plan buffer for size n,
+// allocating its layer planes on first use of that size.
+func (s *ShuffleSorter) benesPlanFor(n int) *benesPlan {
+	if pl := s.plans[n]; pl != nil {
+		return pl
+	}
+	if s.plans == nil {
+		s.plans = make(map[int]*benesPlan, 4)
+	}
+	pl := newBenesPlan(n)
+	s.plans[n] = pl
+	return pl
 }
 
 // tieScratch returns the sort's tie plane and tie-plane sorting scratch of
@@ -231,9 +279,12 @@ func (s *ShuffleSorter) SortScheduled(c *forkjoin.Ctx, sp *mem.Space, a *mem.Arr
 
 	// Stage 1 — ORP: settings are computed in harness memory from the PRNG
 	// (simulatable, like tape generation); the instrumented application
-	// touches a fixed address sequence, a function of (n, w) only.
-	plan := routeBenes(src.Perm(n))
-	plan.apply(c, av, scrv, ksv, kscrv)
+	// touches a fixed address sequence, a function of (n, w) only. The plan
+	// buffer and routing scratch are the sorter's cached ones — repeated
+	// same-size sorts reroute in place, allocation-free.
+	pl := s.benesPlanFor(n)
+	routeBenesInto(pl, s.perm(src, n), &s.route)
+	pl.apply(c, av, scrv, ksv, kscrv)
 
 	// Stage 2 — insecure keyed sample sort on the permuted sequence. The
 	// tie plane holds fresh words of the same coin stream as the
@@ -269,11 +320,23 @@ type benesPlan struct {
 	layers [][]bool
 }
 
-// routeBenes computes switch settings realizing new[i] = old[p[i]] via the
-// classic two-coloring loop algorithm, level-synchronously with O(n) reused
-// buffers per level (O(n log n) total time, plain harness memory).
-func routeBenes(p []int) *benesPlan {
-	n := len(p)
+// routeScratch is the grow-only harness-memory scratch of the routing
+// loop: the level-synchronous permutation double buffer and the
+// two-coloring state, reused across the sorts of a pipeline.
+type routeScratch struct {
+	cur, nxt, pinv []int
+	color          []int8
+}
+
+func (rs *routeScratch) grow(n int) {
+	if cap(rs.cur) < n {
+		rs.cur, rs.nxt, rs.pinv = make([]int, n), make([]int, n), make([]int, n)
+		rs.color = make([]int8, n)
+	}
+}
+
+// newBenesPlan allocates an unrouted plan buffer for n = 2^k positions.
+func newBenesPlan(n int) *benesPlan {
 	if !obliv.IsPow2(n) || n < 2 {
 		panic(fmt.Sprintf("core: Beneš network needs a power-of-two size >= 2, got %d", n))
 	}
@@ -282,10 +345,33 @@ func routeBenes(p []int) *benesPlan {
 	for i := range pl.layers {
 		pl.layers[i] = make([]bool, n/2)
 	}
-	cur := append([]int(nil), p...)
-	nxt := make([]int, n)
-	pinv := make([]int, n)
-	color := make([]int8, n)
+	return pl
+}
+
+// routeBenes computes switch settings realizing new[i] = old[p[i]] via the
+// classic two-coloring loop algorithm, level-synchronously with O(n) reused
+// buffers per level (O(n log n) total time, plain harness memory). It
+// allocates a fresh plan; the sorter's pipeline path reroutes its cached
+// buffers through routeBenesInto instead.
+func routeBenes(p []int) *benesPlan {
+	pl := newBenesPlan(len(p))
+	routeBenesInto(pl, p, &routeScratch{})
+	return pl
+}
+
+// routeBenesInto routes p into pl's switch planes in place, drawing all
+// working memory from rs. Allocation-free once pl and rs have seen the
+// size; p is left untouched.
+func routeBenesInto(pl *benesPlan, p []int, rs *routeScratch) {
+	n := pl.n
+	if len(p) != n {
+		panic("core: Beneš routing permutation length mismatch")
+	}
+	k := obliv.Log2(n)
+	rs.grow(n)
+	cur, nxt := rs.cur[:n], rs.nxt[:n]
+	pinv, color := rs.pinv[:n], rs.color[:n]
+	copy(cur, p)
 	for l := 0; l < k-1; l++ {
 		m := n >> l
 		for off := 0; off < n; off += m {
@@ -299,7 +385,6 @@ func routeBenes(p []int) *benesPlan {
 	for t := 0; t < n/2; t++ {
 		mid[t] = cur[2*t] == 1
 	}
-	return pl
 }
 
 // routeBlock routes one block: p is the block-local permutation, q receives

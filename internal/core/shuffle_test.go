@@ -332,3 +332,79 @@ func TestShuffleSorterDefaultSecretCoins(t *testing.T) {
 		t.Fatal("two default sorters replayed an identical view — permutations must be fresh secrets per sort")
 	}
 }
+
+// TestBenesRouteIntoMatchesFresh pins the routing-buffer reuse refactor:
+// rerouting a cached (dirty) plan through routeBenesInto must produce
+// switch settings identical to a fresh routeBenes, at every size and
+// across back-to-back permutations sharing the buffers.
+func TestBenesRouteIntoMatchesFresh(t *testing.T) {
+	src := prng.New(17)
+	var rs routeScratch
+	for _, n := range []int{2, 4, 8, 64, 256, 1024} {
+		pl := newBenesPlan(n)
+		for rep := 0; rep < 3; rep++ {
+			perm := src.Perm(n)
+			routeBenesInto(pl, perm, &rs)
+			want := routeBenes(perm)
+			for l := range want.layers {
+				for j := range want.layers[l] {
+					if pl.layers[l][j] != want.layers[l][j] {
+						t.Fatalf("n=%d rep=%d: layer %d switch %d diverges from fresh routing", n, rep, l, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBenesLevelBufferReuseFlatAllocs asserts the satellite property: once
+// a ShuffleSorter has routed a size, re-drawing and re-routing that size —
+// the whole per-sort ORP planning step, the part that used to rebuild
+// (2·log₂ n − 1) × n/2 switch planes per sort — allocates nothing, even
+// when two sizes alternate through the per-size plan cache.
+func TestBenesLevelBufferReuseFlatAllocs(t *testing.T) {
+	s := &ShuffleSorter{FixedSeed: fixedSeed(3), Crossover: 2}
+	src := prng.New(29) // stable coins: coins() itself is one fixed-size alloc per sort
+	route := func(n int) {
+		routeBenesInto(s.benesPlanFor(n), s.perm(src, n), &s.route)
+	}
+	// Warm both sizes (plan buffers, routing scratch, perm buffer).
+	route(1 << 10)
+	route(1 << 11)
+	if allocs := testing.AllocsPerRun(10, func() { route(1 << 10); route(1 << 11) }); allocs != 0 {
+		t.Fatalf("re-routing warmed sizes allocated %v objects per run, want 0", allocs)
+	}
+}
+
+// TestShuffleSorterReusesPlanesAcrossSorts asserts the buffer cache at the
+// sort level: back-to-back SortScheduled calls of the same shape on one
+// sorter route through the identical plan storage (no per-sort rebuild),
+// and the reuse does not disturb sortedness.
+func TestShuffleSorterReusesPlanesAcrossSorts(t *testing.T) {
+	const n = 1 << 9
+	shuf := &ShuffleSorter{FixedSeed: fixedSeed(12), Crossover: 2}
+	sp := mem.NewSpace()
+	src := prng.New(23)
+	scr := mem.Alloc[obliv.Elem](sp, n)
+	kscr := obliv.AllocKeySchedule(sp, n, 1)
+	var planes *bool
+	for rep := 0; rep < 3; rep++ {
+		a, ks := shuffleInput(sp, src, n, n, 1)
+		shuf.SortScheduled(forkjoin.Serial(), sp, a, ks, scr, kscr, 0, n)
+		for i := 1; i < n; i++ {
+			x, y := a.Data()[i-1], a.Data()[i]
+			if x.Key > y.Key || (x.Key == y.Key && x.Aux > y.Aux) {
+				t.Fatalf("rep %d: out of order at %d", rep, i)
+			}
+		}
+		pl := shuf.plans[n]
+		if pl == nil {
+			t.Fatalf("rep %d: no cached plan for n=%d", rep, n)
+		}
+		if planes == nil {
+			planes = &pl.layers[0][0]
+		} else if planes != &pl.layers[0][0] {
+			t.Fatalf("rep %d: plan storage was rebuilt across sorts", rep)
+		}
+	}
+}

@@ -21,6 +21,16 @@
 // Batcher's networks provide): dropping or merging a sorting pass changes
 // the trace as a function of the shape, not of the data.
 //
+// The same order token crosses queries (the cross-query planner of the
+// serving layer): Shape.InputOrder declares the order the input relation
+// already carries — the Output token of the query that materialized it,
+// stamped on the public Table — and Build skips the pipeline's first sort
+// when the declared order is the one that sort would establish. The token
+// is itself a pure function of the producing query's shape, so feeding it
+// forward keeps every planner decision, and hence the trace, a function of
+// public query shapes only: result caching and order chaining add no
+// trace leakage.
+//
 // The three rewrite rules, expressed over a "sorted-by" order token carried
 // on the intermediate relation:
 //
@@ -107,6 +117,26 @@ type Shape struct {
 	Agg     uint8
 	// TopK > 0 keeps only the k largest-value rows.
 	TopK int
+	// InputOrder is the "sorted-by" token the input relation already
+	// carries: the Output token of the query that materialized it, fed
+	// forward across the public boundary (OrderInput — the zero value —
+	// means no known order; OrderPos is equivalent, since reloading
+	// renumbers positions to the stored order). It is public shape: the
+	// token is a function of the producing query's shape, never of data.
+	// Build skips the pipeline's first sort when InputOrder is exactly the
+	// order that sort would establish and no earlier mark pass has
+	// interleaved fillers among the real records.
+	InputOrder Order
+	// KeyOrderOut requests the result in ascending (key tuple, position)
+	// order — OrderKeyPos — instead of the operators' original-position
+	// output order. For shapes whose last dropping stage is Distinct or
+	// GroupBy the relation is already key-sorted there, so the
+	// position-restoring compaction sort disappears entirely; other shapes
+	// pay one key sort in place of the compaction sort. TopK shapes ignore
+	// it (their public order is descending value). This is the serving
+	// layer's materialization mode: the saved sort compounds with
+	// InputOrder on the next query over the stored result.
+	KeyOrderOut bool
 }
 
 // OpKind enumerates the physical passes of the fused execution.
@@ -199,6 +229,13 @@ type Plan struct {
 	// StagedSortPasses counts the sorts the same shape costs when executed
 	// one stand-alone operator at a time (the pre-planner baseline).
 	StagedSortPasses int
+	// ColdSortPasses counts the sorts the same shape plans with no input
+	// order token (InputOrder = OrderInput) — the cold-plan baseline the
+	// cross-query savings are measured against.
+	ColdSortPasses int
+	// Input is the input order token the plan was built against (copied
+	// from the shape; rendered by String when non-trivial).
+	Input Order
 	// Output is the order token of the result relation.
 	Output Order
 }
@@ -229,6 +266,13 @@ func (p Plan) String() string {
 	if s == "" {
 		s = "identity"
 	}
+	if p.Input != OrderInput && p.Input != OrderPos {
+		s = fmt.Sprintf("in(%s) → %s", p.Input, s)
+	}
+	if p.ColdSortPasses > p.SortPasses {
+		return fmt.Sprintf("%s [%d sorts, cold %d, staged %d]",
+			s, p.SortPasses, p.ColdSortPasses, p.StagedSortPasses)
+	}
 	return fmt.Sprintf("%s [%d sorts, staged %d]", s, p.SortPasses, p.StagedSortPasses)
 }
 
@@ -256,14 +300,29 @@ func (op Op) SortCost() int {
 // Build compiles a query shape into its fused physical plan. It is a pure
 // function of s: two queries of equal shape get identical plans regardless
 // of their table contents, which is what keeps the planned trace a function
-// of (relation size, query shape) only.
+// of (relation size, query shape) only — InputOrder and KeyOrderOut are
+// part of the shape, so order chaining across queries preserves that
+// property.
 func Build(s Shape) Plan {
 	var ops []Op
-	cur := OrderInput
 	keyCols := s.KeyCols
 	if keyCols < 1 {
 		keyCols = 1
 	}
+
+	// cur tracks the relative order of the real records; contiguous tracks
+	// whether they sit packed at the front with fillers only at the tail
+	// (how Load delivers every relation). The group passes (dedup,
+	// aggregate) need both: a filler interleaved by an earlier mark pass
+	// would split a key group, so an input order token is only honored
+	// while contiguity holds.
+	cur := s.InputOrder
+	if cur == OrderPos {
+		// Reloading renumbers positions to the stored order, so a
+		// position-ordered result reloads as plain input order.
+		cur = OrderInput
+	}
+	contiguous := true
 
 	if s.Join {
 		// The join feeds the unary stages. Whenever any later stage is
@@ -272,13 +331,16 @@ func Build(s Shape) Plan {
 		// output-compaction sorts are deferred away (rule 1 applied to the
 		// join's tail): matches stay scattered among fillers and the next
 		// sort restores contiguity. A stand-alone join pays the full
-		// four-sort operator and establishes the output order itself.
+		// four-sort operator and establishes the output order itself. The
+		// expansion scrambles the right side either way, so any input
+		// token dies here.
 		deferred := s.Filter || s.Distinct || s.GroupBy || s.TopK > 0
 		ops = append(ops, Op{Kind: OpJoinAll, Deferred: deferred})
 		if deferred {
 			// Scattered matches: no order token holds (the copies of one
 			// right record even share a position).
 			cur = OrderInput
+			contiguous = false
 		} else {
 			cur = OrderPos
 		}
@@ -289,14 +351,17 @@ func Build(s Shape) Plan {
 	pushFilter := s.Filter && s.FilterKeyOnly && (s.Distinct || s.GroupBy)
 	if s.Filter && !pushFilter {
 		// Rule 1: mark only; a later sort (or the final compaction) carries
-		// the dropped records to the tail.
+		// the dropped records to the tail. Marking keeps the real records'
+		// relative order but interleaves fillers where victims sat.
 		ops = append(ops, Op{Kind: OpFilterMark})
+		contiguous = false
 	}
 
 	if s.Distinct || s.GroupBy {
-		if cur != OrderKeyPos {
+		if cur != OrderKeyPos || !contiguous {
 			ops = append(ops, Op{Kind: OpSortKey})
 			cur = OrderKeyPos
+			contiguous = true
 		}
 		switch {
 		case s.Distinct && s.GroupBy:
@@ -308,31 +373,51 @@ func Build(s Shape) Plan {
 			ops = append(ops, Op{Kind: OpAggregate, Agg: s.Agg, WithFilter: pushFilter})
 		}
 		// Victims became fillers in place: real records remain key-sorted.
+		contiguous = false
 	}
 
 	if s.TopK > 0 {
-		if cur != OrderValDesc {
+		if cur != OrderValDesc || !contiguous {
 			ops = append(ops, Op{Kind: OpSortValDesc})
 			cur = OrderValDesc
+			contiguous = true
 		}
 		ops = append(ops, Op{Kind: OpTopK, K: s.TopK})
+		contiguous = false
 	}
 
 	// Output-order restoration (rule 1's deferred compaction): TopK's
 	// public order is descending value, already established; every other
-	// stage promises survivors in original order at the front.
+	// stage promises survivors in original order at the front — or, under
+	// KeyOrderOut, in key order, which a shape ending in Distinct/GroupBy
+	// already holds with no sort at all (Unload skips fillers, so
+	// interleaved fillers cost nothing at the public boundary).
 	output := cur
 	if s.TopK == 0 && (s.Filter || s.Distinct || s.GroupBy) {
-		if cur != OrderPos {
+		switch {
+		case s.KeyOrderOut && cur == OrderKeyPos:
+			output = OrderKeyPos
+		case s.KeyOrderOut:
+			ops = append(ops, Op{Kind: OpSortKey})
+			output = OrderKeyPos
+		case cur != OrderPos || !contiguous:
 			ops = append(ops, Op{Kind: OpCompactPos})
-			cur = OrderPos
+			output = OrderPos
+		default:
+			output = OrderPos
 		}
-		output = OrderPos
 	}
 
-	p := Plan{Ops: ops, KeyCols: keyCols, StagedSortPasses: stagedSorts(s), Output: output}
+	p := Plan{Ops: ops, KeyCols: keyCols, StagedSortPasses: stagedSorts(s),
+		Input: s.InputOrder, Output: output}
 	for _, op := range ops {
 		p.SortPasses += op.SortCost()
+	}
+	p.ColdSortPasses = p.SortPasses
+	if s.InputOrder != OrderInput && s.InputOrder != OrderPos {
+		cold := s
+		cold.InputOrder = OrderInput
+		p.ColdSortPasses = Build(cold).SortPasses
 	}
 	return p
 }

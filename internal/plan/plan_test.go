@@ -152,3 +152,115 @@ func TestKeyColsNeverChangeThePlan(t *testing.T) {
 		t.Fatalf("narrow rendering = %q, want %q", n, want)
 	}
 }
+
+// ordersAndShapes crosses every stage combination with every input-order
+// token and both output modes — the cross-query planning space.
+func ordersAndShapes() []Shape {
+	var out []Shape
+	for _, base := range shapes() {
+		for _, in := range []Order{OrderInput, OrderPos, OrderKeyPos, OrderValDesc} {
+			for _, ko := range []bool{false, true} {
+				s := base
+				s.InputOrder = in
+				s.KeyOrderOut = ko
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+func TestInputOrderNeverIncreasesSorts(t *testing.T) {
+	for _, s := range ordersAndShapes() {
+		p := Build(s)
+		cold := s
+		cold.InputOrder = OrderInput
+		if want := Build(cold).SortPasses; p.ColdSortPasses != want {
+			t.Errorf("shape %+v: ColdSortPasses = %d, want the cold build's %d", s, p.ColdSortPasses, want)
+		}
+		if p.SortPasses > p.ColdSortPasses {
+			t.Errorf("shape %+v: token plan runs %d sorts, cold only %d (%s)", s, p.SortPasses, p.ColdSortPasses, p)
+		}
+	}
+}
+
+func TestInputOrderSkipsFirstSort(t *testing.T) {
+	cases := []struct {
+		name        string
+		s           Shape
+		sorts, cold int
+	}{
+		// A key-ordered input feeds Distinct/GroupBy without their key sort.
+		{"distinct", Shape{Distinct: true, InputOrder: OrderKeyPos}, 1, 2},
+		{"groupby", Shape{GroupBy: true, Agg: 1, InputOrder: OrderKeyPos}, 1, 2},
+		// With KeyOrderOut the compaction goes too: a zero-sort aggregate.
+		{"distinct/keyout", Shape{Distinct: true, InputOrder: OrderKeyPos, KeyOrderOut: true}, 0, 1},
+		{"groupby/keyout", Shape{GroupBy: true, Agg: 1, InputOrder: OrderKeyPos, KeyOrderOut: true}, 0, 1},
+		// A key-only filter pushes below the group stage, so it does not
+		// break the contiguity the token needs.
+		{"keyfilter+groupby/keyout", Shape{Filter: true, FilterKeyOnly: true, GroupBy: true, Agg: 1, InputOrder: OrderKeyPos, KeyOrderOut: true}, 0, 1},
+		// A value-ordered input feeds TopK without its value sort.
+		{"topk", Shape{TopK: 3, InputOrder: OrderValDesc}, 0, 1},
+		// Wrong token: no skip.
+		{"topk/wrong-token", Shape{TopK: 3, InputOrder: OrderKeyPos}, 1, 1},
+	}
+	for _, tc := range cases {
+		p := Build(tc.s)
+		if p.SortPasses != tc.sorts || p.ColdSortPasses != tc.cold {
+			t.Errorf("%s: sorts = %d (cold %d), want %d (%d): %s",
+				tc.name, p.SortPasses, p.ColdSortPasses, tc.sorts, tc.cold, p)
+		}
+	}
+}
+
+func TestMarkPassBreaksContiguityForGroupStages(t *testing.T) {
+	// A non-key-only filter interleaves fillers among the key-sorted real
+	// records; dedup needs contiguous key groups, so the key sort must
+	// come back even though the token matches.
+	s := Shape{Filter: true, Distinct: true, InputOrder: OrderKeyPos}
+	p := Build(s)
+	found := false
+	for _, op := range p.Ops {
+		if op.Kind == OpSortKey {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("filter-mark + distinct over a key-ordered input must re-sort: %s", p)
+	}
+	if p.SortPasses != p.ColdSortPasses {
+		t.Fatalf("no skip expected: %d vs cold %d (%s)", p.SortPasses, p.ColdSortPasses, p)
+	}
+}
+
+func TestKeyOrderOutDropsCompaction(t *testing.T) {
+	plain := Build(Shape{GroupBy: true, Agg: 1})
+	keyed := Build(Shape{GroupBy: true, Agg: 1, KeyOrderOut: true})
+	if plain.SortPasses != 2 || keyed.SortPasses != 1 {
+		t.Fatalf("groupby: plain %d sorts, keyout %d, want 2 and 1 (%s / %s)",
+			plain.SortPasses, keyed.SortPasses, plain, keyed)
+	}
+	if keyed.Output != OrderKeyPos {
+		t.Fatalf("keyout output token = %v, want OrderKeyPos", keyed.Output)
+	}
+	// TopK's public order is descending value; KeyOrderOut is ignored.
+	tk := Build(Shape{TopK: 5})
+	tko := Build(Shape{TopK: 5, KeyOrderOut: true})
+	if tk.String() != tko.String() || tko.Output != OrderValDesc {
+		t.Fatalf("topk must ignore KeyOrderOut: %s vs %s (output %v)", tk, tko, tko.Output)
+	}
+}
+
+func TestOrderPosInputIsNoToken(t *testing.T) {
+	// Positions renumber on reload, so OrderPos carries no information:
+	// plans must match the cold build exactly.
+	for _, base := range shapes() {
+		s := base
+		s.InputOrder = OrderPos
+		cold := base
+		cold.InputOrder = OrderInput
+		if got, want := Build(s).String(), Build(cold).String(); got != want {
+			t.Errorf("shape %+v: OrderPos input planned %q, cold plans %q", base, got, want)
+		}
+	}
+}

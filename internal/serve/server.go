@@ -1,0 +1,487 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oblivmc"
+)
+
+// Admission errors.
+var (
+	// ErrBusy is returned when no session lane frees up within the queue
+	// timeout — the bounded-admission backpressure signal (HTTP 503).
+	ErrBusy = errors.New("serve: server busy, admission queue timed out")
+	// ErrDraining is returned for queries arriving after Shutdown began.
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// Options configures a Server.
+type Options struct {
+	// Lanes bounds the queries in flight: each lane owns one
+	// oblivmc.Session (persistent fork-join pool, address space, arena,
+	// shuffle sorter) and serves one query at a time. 0 = GOMAXPROCS/2,
+	// min 1 — queries are internally parallel, so a few lanes saturate
+	// the machine.
+	Lanes int
+	// QueueTimeout bounds how long an admitted request waits for a free
+	// lane before failing with ErrBusy (0 = 5s).
+	QueueTimeout time.Duration
+	// CacheSize bounds the materialized-result cache entries (0 = 128).
+	CacheSize int
+	// Exec is the execution config every lane session runs under. Its
+	// Workers field sizes each lane's pool (0 = GOMAXPROCS split evenly
+	// across lanes, min 1).
+	Exec oblivmc.Config
+}
+
+// lane is one admission slot: a session plus the size bucket (log₂ of
+// the largest relation length) it has served, which is what its arena,
+// tie planes, and Beneš level buffers are warmed for.
+type lane struct {
+	sess   *oblivmc.Session
+	bucket int
+}
+
+// Server is the oblivious analytics server: registry + result cache +
+// size-bucketed lane free list. It is the transport-independent core —
+// Execute/ExplainSpec/LoadTable are plain methods the tests drive
+// directly — with an http.Handler surface on top.
+type Server struct {
+	reg   *Registry
+	cache *resultCache
+	opts  Options
+
+	// sem holds one token per lane; acquiring a token guarantees the
+	// free list below is non-empty.
+	sem  chan struct{}
+	mu   sync.Mutex
+	free []*lane
+
+	drainMu  sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	// running / peak gauge the queries concurrently holding lanes — the
+	// admission-bound observable the stress test asserts on.
+	running atomic.Int64
+	peak    atomic.Int64
+}
+
+// NewServer builds a server and its lane sessions.
+func NewServer(opts Options) *Server {
+	if opts.Lanes <= 0 {
+		opts.Lanes = runtime.GOMAXPROCS(0) / 2
+		if opts.Lanes < 1 {
+			opts.Lanes = 1
+		}
+	}
+	if opts.QueueTimeout <= 0 {
+		opts.QueueTimeout = 5 * time.Second
+	}
+	cfg := opts.Exec
+	if cfg.Mode == oblivmc.ModeParallel && cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0) / opts.Lanes
+		if cfg.Workers < 1 {
+			cfg.Workers = 1
+		}
+	}
+	opts.Exec = cfg
+	s := &Server{
+		reg:   NewRegistry(),
+		cache: newResultCache(opts.CacheSize),
+		opts:  opts,
+		sem:   make(chan struct{}, opts.Lanes),
+	}
+	for i := 0; i < opts.Lanes; i++ {
+		s.free = append(s.free, &lane{sess: oblivmc.NewSession(cfg)})
+		s.sem <- struct{}{}
+	}
+	return s
+}
+
+// Registry exposes the server's table registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Lanes returns the admission bound.
+func (s *Server) Lanes() int { return s.opts.Lanes }
+
+// PeakConcurrency returns the high-water mark of queries concurrently
+// holding lanes since startup (always <= Lanes — the admission-control
+// invariant the stress test asserts).
+func (s *Server) PeakConcurrency() int { return int(s.peak.Load()) }
+
+// bucketOf maps a relation length to its lane size bucket (log₂ ceil).
+func bucketOf(n int) int {
+	b := 0
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}
+
+// checkout acquires a lane, preferring the best-fit size bucket: the
+// largest bucket <= hint (grown exactly to this request, keeping
+// bigger-warmed lanes free for the big requests that need their
+// caches), else the smallest bucket above it. Blocks up to the queue
+// timeout; admission order beyond the token queue is best-effort.
+func (s *Server) checkout(hint int) (*lane, error) {
+	select {
+	case <-s.sem:
+	default:
+		t := time.NewTimer(s.opts.QueueTimeout)
+		defer t.Stop()
+		select {
+		case <-s.sem:
+		case <-t.C:
+			return nil, ErrBusy
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := -1
+	for i, l := range s.free {
+		switch {
+		case best == -1:
+			best = i
+		case l.bucket <= hint && (s.free[best].bucket > hint || l.bucket > s.free[best].bucket):
+			best = i
+		case l.bucket > hint && s.free[best].bucket > hint && l.bucket < s.free[best].bucket:
+			best = i
+		}
+	}
+	l := s.free[best]
+	s.free = append(s.free[:best], s.free[best+1:]...)
+	n := s.running.Add(1)
+	for {
+		p := s.peak.Load()
+		if n <= p || s.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	return l, nil
+}
+
+// checkin returns a lane to the free list.
+func (s *Server) checkin(l *lane, hint int) {
+	if hint > l.bucket {
+		l.bucket = hint
+	}
+	s.running.Add(-1)
+	s.mu.Lock()
+	s.free = append(s.free, l)
+	s.mu.Unlock()
+	s.sem <- struct{}{}
+}
+
+// admit registers one in-flight request, failing when draining.
+func (s *Server) admit() error {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining {
+		return ErrDraining
+	}
+	s.inflight.Add(1)
+	return nil
+}
+
+// Shutdown drains the server: new queries fail with ErrDraining, in-
+// flight queries finish, then every lane session is closed. Idempotent.
+func (s *Server) Shutdown() {
+	s.drainMu.Lock()
+	if s.draining {
+		s.drainMu.Unlock()
+		return
+	}
+	s.draining = true
+	s.drainMu.Unlock()
+	s.inflight.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, l := range s.free {
+		l.sess.Close()
+	}
+}
+
+// Stats is the public execution accounting of one served query.
+type Stats struct {
+	// Cached reports a result-cache hit: the query ran zero oblivious
+	// sorts (or any other passes) — the response is the materialization.
+	Cached bool `json:"cached"`
+	// SortPasses is the executed sort-pass count (0 on a cache hit).
+	SortPasses int `json:"sort_passes"`
+	// ColdSortPasses is the plan's cost with no input-order token — the
+	// baseline the cross-query skip is measured against.
+	ColdSortPasses int `json:"cold_sort_passes"`
+	// Plan is the rendered plan of the executed (or cached) query.
+	Plan string `json:"plan"`
+	// Order is the result's sorted-by token.
+	Order string `json:"order"`
+}
+
+// Result is the outcome of one Execute.
+type Result struct {
+	Table oblivmc.Table
+	Stats Stats
+	// StoredAs / StoredVersion report the registry binding when the spec
+	// carried As.
+	StoredAs      string
+	StoredVersion int
+}
+
+// Execute runs one query spec end to end: compile against the registry,
+// serve from the result cache when the canonical key hits, otherwise
+// check out a session lane and run, then materialize (cache + optional
+// registry store). Safe for concurrent use; concurrency is bounded by
+// the lane count.
+func (s *Server) Execute(spec QuerySpec) (Result, error) {
+	if err := s.admit(); err != nil {
+		return Result{}, err
+	}
+	defer s.inflight.Done()
+
+	tab, q, key, err := spec.compile(s.reg)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	if hit, ok := s.cache.get(key); ok {
+		res = Result{
+			Table: hit.tab,
+			Stats: Stats{Cached: true, Plan: hit.plan, Order: hit.tab.Order().String()},
+		}
+	} else {
+		hint := bucketOf(tab.Len())
+		if q.Join != nil {
+			if b := bucketOf(q.Join.Left.Len() + tab.Len()); b > hint {
+				hint = b
+			}
+		}
+		l, err := s.checkout(hint)
+		if err != nil {
+			return Result{}, err
+		}
+		out, stats, err := l.sess.RunQuery(tab, q)
+		s.checkin(l, hint)
+		if err != nil {
+			return Result{}, err
+		}
+		s.cache.put(cached{key: key, tab: out, plan: stats.Plan})
+		res = Result{
+			Table: out,
+			Stats: Stats{
+				SortPasses:     stats.SortPasses,
+				ColdSortPasses: stats.ColdSortPasses,
+				Plan:           stats.Plan,
+				Order:          stats.Order.String(),
+			},
+		}
+	}
+	if spec.As != "" {
+		v, err := s.reg.Load(spec.As, res.Table, true)
+		if err != nil {
+			return Result{}, err
+		}
+		res.StoredAs, res.StoredVersion = spec.As, v
+	}
+	return res, nil
+}
+
+// ExplainSpec renders the order-aware plan the spec would execute,
+// without running it.
+func (s *Server) ExplainSpec(spec QuerySpec) (string, error) {
+	tab, q, _, err := spec.compile(s.reg)
+	if err != nil {
+		return "", err
+	}
+	return oblivmc.ExplainTable(tab, q)
+}
+
+// LoadTable validates rows and binds them in the registry.
+func (s *Server) LoadTable(name string, rows []oblivmc.WideRow, replace bool) (TableInfo, error) {
+	tab, err := oblivmc.NewWideTable(rows)
+	if err != nil {
+		return TableInfo{}, err
+	}
+	v, err := s.reg.Load(name, tab, replace)
+	if err != nil {
+		return TableInfo{}, err
+	}
+	return TableInfo{
+		Name: name, Version: v, Rows: tab.Len(), Width: tab.Width(),
+		Order: tab.Order(), OrderName: tab.Order().String(),
+	}, nil
+}
+
+// ---- HTTP surface ----
+
+// RowJSON is the wire form of one row.
+type RowJSON struct {
+	Keys []uint64 `json:"keys"`
+	Val  uint64   `json:"val"`
+}
+
+func rowsJSON(t oblivmc.Table) []RowJSON {
+	wide := t.WideRows()
+	out := make([]RowJSON, len(wide))
+	for i, r := range wide {
+		out[i] = RowJSON{Keys: r.Keys, Val: r.Val}
+	}
+	return out
+}
+
+// LoadRequest is the POST /v1/tables body.
+type LoadRequest struct {
+	Name    string    `json:"name"`
+	Rows    []RowJSON `json:"rows"`
+	Replace bool      `json:"replace,omitempty"`
+}
+
+// QueryResponse is the POST /v1/query body.
+type QueryResponse struct {
+	Rows          []RowJSON `json:"rows"`
+	Stats         Stats     `json:"stats"`
+	StoredAs      string    `json:"stored_as,omitempty"`
+	StoredVersion int       `json:"stored_version,omitempty"`
+}
+
+// ExplainResponse is the POST /v1/explain body.
+type ExplainResponse struct {
+	Plan string `json:"plan"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// statusOf maps server and library errors to HTTP statuses.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrNoSuchTable):
+		return http.StatusNotFound
+	case errors.Is(err, ErrTableExists):
+		return http.StatusConflict
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBadSpec):
+		return http.StatusBadRequest
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusOf(err), errorResponse{Error: err.Error()})
+}
+
+// Handler returns the server's HTTP surface:
+//
+//	GET    /v1/healthz        liveness + lane/table counts
+//	GET    /v1/tables         registry listing (public metadata)
+//	POST   /v1/tables         load (LoadRequest)
+//	DELETE /v1/tables/{name}  drop
+//	POST   /v1/query          execute a QuerySpec
+//	POST   /v1/explain        render a QuerySpec's plan
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ok", "lanes": s.opts.Lanes, "tables": len(s.reg.List()),
+		})
+	})
+	mux.HandleFunc("/v1/tables", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, s.reg.List())
+		case http.MethodPost:
+			var req LoadRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+				return
+			}
+			rows := make([]oblivmc.WideRow, len(req.Rows))
+			for i, rr := range req.Rows {
+				rows[i] = oblivmc.WideRow{Keys: rr.Keys, Val: rr.Val}
+			}
+			info, err := s.LoadTable(req.Name, rows, req.Replace)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, info)
+		default:
+			w.WriteHeader(http.StatusMethodNotAllowed)
+		}
+	})
+	mux.HandleFunc("/v1/tables/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodDelete {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		name := strings.TrimPrefix(r.URL.Path, "/v1/tables/")
+		if err := s.reg.Drop(name); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+	})
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		var spec QuerySpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		res, err := s.Execute(spec)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, QueryResponse{
+			Rows: rowsJSON(res.Table), Stats: res.Stats,
+			StoredAs: res.StoredAs, StoredVersion: res.StoredVersion,
+		})
+	})
+	mux.HandleFunc("/v1/explain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.WriteHeader(http.StatusMethodNotAllowed)
+			return
+		}
+		var spec QuerySpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		plan, err := s.ExplainSpec(spec)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ExplainResponse{Plan: plan})
+	})
+	return mux
+}
+
+// String renders the admission state (debugging).
+func (s *Server) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("serve.Server{lanes=%d free=%d tables=%d cache=%d}",
+		s.opts.Lanes, len(s.free), len(s.reg.List()), s.cache.len())
+}

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"oblivmc"
+)
+
+// ErrBadSpec is returned for a malformed query spec (unknown table names
+// map to ErrNoSuchTable instead).
+var ErrBadSpec = errors.New("serve: bad query spec")
+
+// FilterSpec is the declarative filter clause. Col selects the compared
+// column: a key column by index, or the value column when Col == -1. A
+// key-column filter is declared key-only to the planner (it drops whole
+// key groups), which is what lets it push below Distinct/GroupBy.
+type FilterSpec struct {
+	Col   int    `json:"col"`
+	Op    string `json:"op"` // eq, ne, lt, le, gt, ge
+	Value uint64 `json:"value"`
+}
+
+// JoinSpec is the declarative join clause: the named registered relation
+// becomes the query's join-left side, MaxOut its public output capacity.
+type JoinSpec struct {
+	Table  string `json:"table"`
+	MaxOut int    `json:"max_out"`
+}
+
+// QuerySpec is the wire form of one query: a declarative mirror of
+// oblivmc.Query with relation references by registered name. The whole
+// spec is public request data — it is what the result cache keys on
+// (canonicalKey), alongside the versions of the tables it references.
+type QuerySpec struct {
+	// Table names the queried relation.
+	Table string `json:"table"`
+	// Join, Filter, Distinct, GroupBy, TopK mirror oblivmc.Query. GroupBy
+	// is the aggregation name: sum, count, min, max, avg, var.
+	Join     *JoinSpec   `json:"join,omitempty"`
+	Filter   *FilterSpec `json:"filter,omitempty"`
+	Distinct bool        `json:"distinct,omitempty"`
+	GroupBy  string      `json:"group_by,omitempty"`
+	TopK     int         `json:"top_k,omitempty"`
+	// KeyOrderOut materializes the result in key order with the OrderKeys
+	// token (the cross-query sort-skipping seam; see oblivmc.Query).
+	KeyOrderOut bool `json:"key_order_out,omitempty"`
+	// NoOptimize runs the pre-fusion staged baseline.
+	NoOptimize bool `json:"no_optimize,omitempty"`
+	// As, when set, stores the result in the registry under this name
+	// (replacing any existing binding — its version bumps). Not part of
+	// the cache key: it names the result, it does not change it.
+	As string `json:"as,omitempty"`
+}
+
+var aggOf = map[string]oblivmc.Agg{
+	"":      oblivmc.AggNone,
+	"sum":   oblivmc.AggSum,
+	"count": oblivmc.AggCount,
+	"min":   oblivmc.AggMin,
+	"max":   oblivmc.AggMax,
+	"avg":   oblivmc.AggAvg,
+	"var":   oblivmc.AggVar,
+}
+
+// compileFilter builds the wide-row predicate of f over width w and
+// reports whether it is key-only. The predicate runs over every row
+// regardless of outcome (the mark pass is oblivious); only its
+// declaration — column class and operator, public spec fields — reaches
+// the planner.
+func compileFilter(f *FilterSpec, w int) (func(oblivmc.WideRow) bool, bool, error) {
+	if f == nil {
+		return nil, false, nil
+	}
+	if f.Col < -1 || f.Col >= w {
+		return nil, false, fmt.Errorf("%w: filter col %d out of range for width %d (use -1 for the value column)", ErrBadSpec, f.Col, w)
+	}
+	var cmp func(a, b uint64) bool
+	switch f.Op {
+	case "eq":
+		cmp = func(a, b uint64) bool { return a == b }
+	case "ne":
+		cmp = func(a, b uint64) bool { return a != b }
+	case "lt":
+		cmp = func(a, b uint64) bool { return a < b }
+	case "le":
+		cmp = func(a, b uint64) bool { return a <= b }
+	case "gt":
+		cmp = func(a, b uint64) bool { return a > b }
+	case "ge":
+		cmp = func(a, b uint64) bool { return a >= b }
+	default:
+		return nil, false, fmt.Errorf("%w: unknown filter op %q", ErrBadSpec, f.Op)
+	}
+	col, val := f.Col, f.Value
+	if col == -1 {
+		return func(r oblivmc.WideRow) bool { return cmp(r.Val, val) }, false, nil
+	}
+	return func(r oblivmc.WideRow) bool { return cmp(r.Keys[col], val) }, true, nil
+}
+
+// compile resolves s against the registry into a concrete (table, query)
+// pair plus the canonical cache key. The key embeds every referenced
+// table as name@version, so re-loads structurally invalidate dependent
+// entries.
+func (s QuerySpec) compile(reg *Registry) (oblivmc.Table, oblivmc.Query, string, error) {
+	if s.Table == "" {
+		return oblivmc.Table{}, oblivmc.Query{}, "", fmt.Errorf("%w: missing table", ErrBadSpec)
+	}
+	tab, ver, err := reg.Get(s.Table)
+	if err != nil {
+		return oblivmc.Table{}, oblivmc.Query{}, "", err
+	}
+	agg, ok := aggOf[s.GroupBy]
+	if !ok {
+		return oblivmc.Table{}, oblivmc.Query{}, "", fmt.Errorf("%w: unknown aggregation %q", ErrBadSpec, s.GroupBy)
+	}
+	if s.TopK < 0 {
+		return oblivmc.Table{}, oblivmc.Query{}, "", fmt.Errorf("%w: negative top_k", ErrBadSpec)
+	}
+	var key strings.Builder
+	fmt.Fprintf(&key, "t=%s@%d", s.Table, ver)
+	q := oblivmc.Query{
+		Distinct:    s.Distinct,
+		GroupBy:     agg,
+		TopK:        s.TopK,
+		KeyOrderOut: s.KeyOrderOut,
+		NoOptimize:  s.NoOptimize,
+	}
+	if s.Join != nil {
+		left, lver, err := reg.Get(s.Join.Table)
+		if err != nil {
+			return oblivmc.Table{}, oblivmc.Query{}, "", err
+		}
+		q.Join = &oblivmc.JoinSpec{Left: left, MaxOut: s.Join.MaxOut}
+		fmt.Fprintf(&key, "|j=%s@%d:%d", s.Join.Table, lver, s.Join.MaxOut)
+	}
+	pred, keyOnly, err := compileFilter(s.Filter, tab.Width())
+	if err != nil {
+		return oblivmc.Table{}, oblivmc.Query{}, "", err
+	}
+	if pred != nil {
+		q.FilterWide = pred
+		q.FilterKeyOnly = keyOnly
+		fmt.Fprintf(&key, "|f=%d %s %d", s.Filter.Col, s.Filter.Op, s.Filter.Value)
+	}
+	fmt.Fprintf(&key, "|d=%t|g=%s|k=%d|o=%t|n=%t",
+		s.Distinct, s.GroupBy, s.TopK, s.KeyOrderOut, s.NoOptimize)
+	return tab, q, key.String(), nil
+}

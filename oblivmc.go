@@ -38,7 +38,6 @@ package oblivmc
 
 import (
 	"errors"
-	"runtime"
 
 	"oblivmc/internal/core"
 	"oblivmc/internal/forkjoin"
@@ -171,26 +170,11 @@ func reportOf(m *forkjoin.Metrics) *Report {
 	}
 }
 
-// run executes fn under the configured executor.
+// run executes fn under the configured executor with one-shot resources
+// (fresh address space, per-call pool). Session holds the persistent
+// variant; see exec in session.go.
 func run(cfg Config, fn func(c *forkjoin.Ctx, sp *mem.Space)) *Report {
-	sp := mem.NewSpace()
-	switch cfg.Mode {
-	case ModeMetered:
-		m := forkjoin.RunMetered(forkjoin.MeterOpts{
-			CacheM: cfg.CacheM, CacheB: cfg.CacheB, EnableTrace: cfg.Trace,
-		}, func(c *forkjoin.Ctx) { fn(c, sp) })
-		return reportOf(m)
-	case ModeSerial:
-		fn(forkjoin.Serial(), sp)
-		return nil
-	default:
-		w := cfg.Workers
-		if w <= 0 {
-			w = runtime.GOMAXPROCS(0)
-		}
-		forkjoin.RunParallel(w, func(c *forkjoin.Ctx) { fn(c, sp) })
-		return nil
-	}
+	return exec{cfg: cfg}.run(fn)
 }
 
 // ErrEmptyInput is returned for empty inputs where a result is undefined.

@@ -170,9 +170,9 @@ func TestFusedRunsFewerSorts(t *testing.T) {
 			t.Fatal(err)
 		}
 		if staged {
-			_, _, err = runQueryStaged(Config{Mode: ModeSerial}, tab, q, kind, srt)
+			_, _, err = runQueryStaged(exec{cfg: Config{Mode: ModeSerial}}, tab, q, kind, srt)
 		} else {
-			_, _, err = runQueryPlanned(Config{Mode: ModeSerial}, tab, q, kind, srt)
+			_, _, err = runQueryPlanned(exec{cfg: Config{Mode: ModeSerial}}, tab, q, kind, srt)
 		}
 		if err != nil {
 			t.Fatal(err)
@@ -223,7 +223,7 @@ func TestWidthOneQueriesKeepTwoPassSchedule(t *testing.T) {
 		t.Fatal(err)
 	}
 	for w := 1; w <= relops.MaxKeyCols; w++ {
-		if pl := plan.Build(q.shape(kind, w)); pl.SortPasses != 2 {
+		if pl := plan.Build(q.shape(kind, w, OrderNone)); pl.SortPasses != 2 {
 			t.Fatalf("width %d: planned %d sorts, want 2 (%s)", w, pl.SortPasses, pl)
 		}
 	}
@@ -231,7 +231,7 @@ func TestWidthOneQueriesKeepTwoPassSchedule(t *testing.T) {
 	// Executed pass count, width 1: the full pipeline runs 2 sorts.
 	tab := mustTable(t, queryRows(64))
 	n := 0
-	if _, _, err := runQueryPlanned(Config{Mode: ModeSerial}, tab, q,
+	if _, _, err := runQueryPlanned(exec{cfg: Config{Mode: ModeSerial}}, tab, q,
 		kind, countingSorter{inner: obliv.SelectionNetwork{}, n: &n}); err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestWidthOneQueriesKeepTwoPassSchedule(t *testing.T) {
 	}
 	wtab := mustWideTable(t, wideQueryRows(64))
 	n = 0
-	if _, _, err := runQueryPlanned(Config{Mode: ModeSerial}, wtab, wq,
+	if _, _, err := runQueryPlanned(exec{cfg: Config{Mode: ModeSerial}}, wtab, wq,
 		wkind, countingSorter{inner: obliv.SelectionNetwork{}, n: &n}); err != nil {
 		t.Fatal(err)
 	}
@@ -538,9 +538,9 @@ func TestJoinedQueryExecutedSorts(t *testing.T) {
 		n := 0
 		srt := countingSorter{inner: obliv.SelectionNetwork{}, n: &n}
 		if staged {
-			_, _, err = runQueryStaged(Config{Mode: ModeSerial}, rt, q, kind, srt)
+			_, _, err = runQueryStaged(exec{cfg: Config{Mode: ModeSerial}}, rt, q, kind, srt)
 		} else {
-			_, _, err = runQueryPlanned(Config{Mode: ModeSerial}, rt, q, kind, srt)
+			_, _, err = runQueryPlanned(exec{cfg: Config{Mode: ModeSerial}}, rt, q, kind, srt)
 		}
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,19 @@
+// Command freeport prints one free TCP port on 127.0.0.1, for shell
+// scripts (scripts/serve_smoke.sh) that need to start a server on a port
+// no other job holds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+)
+
+func main() {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	fmt.Println(l.Addr().(*net.TCPAddr).Port)
+}

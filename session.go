@@ -1,0 +1,246 @@
+package oblivmc
+
+import (
+	"fmt"
+	"runtime"
+
+	"oblivmc/internal/core"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+	"oblivmc/internal/plan"
+	"oblivmc/internal/relops"
+)
+
+// exec is the execution environment a relational surface runs under. The
+// zero-value-with-cfg form (exec{cfg: cfg}) reproduces the one-shot
+// behavior: a fresh address space, a fresh pool in ModeParallel, and a
+// per-run arena. A Session fills the persistent fields so back-to-back
+// queries reuse the pool, the space, and the arena instead of rebuilding
+// them per invocation.
+type exec struct {
+	cfg Config
+	// pool, when non-nil, is a long-lived work-stealing pool used for
+	// ModeParallel runs instead of constructing (and tearing down) one per
+	// call.
+	pool *forkjoin.Pool
+	// sp, when non-nil, is a long-lived address space. Keeping the space
+	// stable across runs is what makes arena and sorter scratch caches
+	// effective: both drop their arrays when the requesting space changes.
+	sp *mem.Space
+	// arena, when non-nil, is a long-lived relational scratch arena handed
+	// to every run in place of a per-run one.
+	arena *relops.Arena
+}
+
+// run executes fn under e's executor.
+func (e exec) run(fn func(c *forkjoin.Ctx, sp *mem.Space)) *Report {
+	sp := e.sp
+	if sp == nil {
+		sp = mem.NewSpace()
+	}
+	switch e.cfg.Mode {
+	case ModeMetered:
+		m := forkjoin.RunMetered(forkjoin.MeterOpts{
+			CacheM: e.cfg.CacheM, CacheB: e.cfg.CacheB, EnableTrace: e.cfg.Trace,
+		}, func(c *forkjoin.Ctx) { fn(c, sp) })
+		return reportOf(m)
+	case ModeSerial:
+		fn(forkjoin.Serial(), sp)
+		return nil
+	default:
+		if e.pool != nil {
+			e.pool.Run(func(c *forkjoin.Ctx) { fn(c, sp) })
+			return nil
+		}
+		w := e.cfg.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		forkjoin.RunParallel(w, func(c *forkjoin.Ctx) { fn(c, sp) })
+		return nil
+	}
+}
+
+// QueryStats is the public bookkeeping of one Session.RunQuery: the
+// executed sort-pass count (measured at the sorter seam, not planned), the
+// cold-plan baseline the cross-query savings are measured against, and the
+// rendered plan. Everything here is a function of public query shape.
+type QueryStats struct {
+	// SortPasses counts the full sorting-network passes the query
+	// executed (0 for an identity plan or a fully order-covered one).
+	SortPasses int
+	// ColdSortPasses is what the same query plans with no input order
+	// token — the baseline a token-covered query beats.
+	ColdSortPasses int
+	// Plan is the rendered physical pass sequence (order-aware, e.g.
+	// "in(key,pos) → aggregate [0 sorts, cold 1, staged 2]").
+	Plan string
+	// Order is the result table's sorted-by token.
+	Order TableOrder
+	// Report carries the metered metrics when the session runs
+	// ModeMetered (nil otherwise).
+	Report *Report
+}
+
+// passCounter wraps the session's scheduled sorter and counts executed
+// full sorting passes — the counter QueryStats.SortPasses reports and the
+// serve-level tests assert on.
+type passCounter struct {
+	inner obliv.ScheduledSorter
+	n     *int
+}
+
+func (s passCounter) Name() string { return s.inner.Name() }
+
+func (s passCounter) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo, n int, key func(obliv.Elem) uint64) {
+	*s.n++
+	s.inner.Sort(c, sp, a, lo, n, key)
+}
+
+func (s passCounter) SortScheduled(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, scr *mem.Array[obliv.Elem], kscr *obliv.KeySchedule, lo, n int) {
+	*s.n++
+	s.inner.SortScheduled(c, sp, a, ks, scr, kscr, lo, n)
+}
+
+// Session is a reusable execution context for the relational query
+// surface — the seam a long-running server (internal/serve, cmd/oblivserve)
+// multiplexes requests over. Where the one-shot RunQuery rebuilds its
+// fork-join pool, address space, scratch arena, and sorter per invocation,
+// a Session constructs them once and reuses them across queries: the
+// arena's key schedules and element scratch, the shuffle backend's tie
+// planes and Beneš level buffers, and the pool's worker goroutines all
+// persist, so a steady stream of same-shape queries runs allocation-flat.
+//
+// A Session is NOT safe for concurrent use: queries must be issued
+// sequentially (the shuffle sorter and arena are stateful). A server gives
+// each admission lane its own Session. Close releases the pool's workers;
+// a closed session must not run further queries.
+//
+// Obliviousness is unchanged from the one-shot surfaces: resource reuse
+// follows the public sequence of (relation size, query shape) pairs only,
+// and the cross-query order tokens a Session feeds back into the planner
+// are themselves functions of prior public shapes.
+type Session struct {
+	cfg     Config
+	pool    *forkjoin.Pool
+	sp      *mem.Space
+	arena   *relops.Arena
+	shuffle *core.ShuffleSorter
+	closed  bool
+}
+
+// NewSession creates a session executing under cfg. In ModeParallel (the
+// default) it owns a long-lived work-stealing pool of cfg.Workers workers
+// (GOMAXPROCS when zero); call Close to release it.
+func NewSession(cfg Config) *Session {
+	s := &Session{cfg: cfg, sp: mem.NewSpace(), arena: relops.NewArena()}
+	if cfg.Mode == ModeParallel {
+		s.pool = forkjoin.NewPool(cfg.Workers)
+	}
+	// One persistent shuffle sorter per session (it is the stateful
+	// backend whose caches — tie planes, Beneš level buffers — make
+	// cross-request pooling worthwhile). The bitonic backend is stateless,
+	// so sessions hand out the same value every run.
+	switch cfg.SortBackend {
+	case SortBitonic:
+	case SortShuffle:
+		s.shuffle = &core.ShuffleSorter{FixedSeed: shuffleSeed(cfg), Crossover: 2}
+	default:
+		s.shuffle = &core.ShuffleSorter{FixedSeed: shuffleSeed(cfg), Crossover: cfg.SortCrossover}
+	}
+	return s
+}
+
+// Workers returns the session pool's size (cfg.Workers resolved; 1 outside
+// ModeParallel).
+func (s *Session) Workers() int {
+	if s.pool != nil {
+		return s.pool.Workers()
+	}
+	return 1
+}
+
+// Close releases the session's pool workers. The session must be idle.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.pool != nil {
+		s.pool.Close()
+	}
+}
+
+// sorter returns the session's scheduled sorter for one run.
+func (s *Session) sorter() obliv.ScheduledSorter {
+	if s.shuffle != nil {
+		return s.shuffle
+	}
+	return relSorter(s.cfg)
+}
+
+// exec assembles the session's execution environment.
+func (s *Session) exec() exec {
+	return exec{cfg: s.cfg, pool: s.pool, sp: s.sp, arena: s.arena}
+}
+
+// RunQuery executes q over t exactly like the package-level RunQuery, but
+// under the session's pooled resources, and returns the executed sort-pass
+// stats alongside the result. The input table's sorted-by token feeds the
+// planner (the cross-query skip); the result carries its own token for the
+// next query.
+func (s *Session) RunQuery(t Table, q Query) (Table, QueryStats, error) {
+	if s.closed {
+		return Table{}, QueryStats{}, fmt.Errorf("oblivmc: RunQuery on closed Session")
+	}
+	if t.Len() == 0 {
+		return Table{}, QueryStats{}, ErrEmptyInput
+	}
+	if q.Filter != nil && t.Width() > 1 {
+		return Table{}, QueryStats{}, errWideFilter("Query.Filter")
+	}
+	if q.Join != nil {
+		if err := checkJoinTables(q.Join.Left, t, q.Join.MaxOut); err != nil {
+			return Table{}, QueryStats{}, err
+		}
+	}
+	kind, err := queryAgg(q)
+	if err != nil {
+		return Table{}, QueryStats{}, err
+	}
+	passes := 0
+	srt := passCounter{inner: s.sorter(), n: &passes}
+	var (
+		out Table
+		rep *Report
+	)
+	if q.NoOptimize {
+		out, rep, err = runQueryStaged(s.exec(), t, q, kind, srt)
+	} else {
+		out, rep, err = runQueryPlanned(s.exec(), t, q, kind, srt)
+	}
+	if err != nil {
+		return Table{}, QueryStats{}, err
+	}
+	pl := plan.Build(q.shape(kind, t.Width(), t.order))
+	stats := QueryStats{
+		SortPasses:     passes,
+		ColdSortPasses: pl.ColdSortPasses,
+		Plan:           pl.String(),
+		Order:          out.order,
+		Report:         rep,
+	}
+	if q.NoOptimize {
+		stats.ColdSortPasses = pl.StagedSortPasses
+		stats.Plan = fmt.Sprintf("staged: %d sorts", pl.StagedSortPasses)
+	}
+	return out, stats, nil
+}
+
+// Explain renders the order-aware plan q would execute over t in this
+// session (identical to ExplainTable; the session adds nothing beyond the
+// table's token, but callers holding a session read more naturally).
+func (s *Session) Explain(t Table, q Query) (string, error) {
+	return ExplainTable(t, q)
+}

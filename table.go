@@ -84,17 +84,80 @@ type WideRow struct {
 	Val  uint64
 }
 
+// TableOrder is the public "sorted-by" token a Table carries across
+// queries — the cross-query planning seam. Tables built by NewTable /
+// NewWideTable carry OrderNone; tables returned by RunQuery (and
+// Session.RunQuery) carry the token of their plan's output order. The
+// token is a pure function of the producing query's public shape, never of
+// the table contents, so feeding it into the next query's plan (which
+// RunQuery does automatically) keeps every trace a function of public
+// query shapes only.
+type TableOrder int
+
+const (
+	// OrderNone — no known order (fresh loads, staged executions).
+	OrderNone TableOrder = iota
+	// OrderKeys — ascending (key tuple, first-occurrence) order: the
+	// output of a KeyOrderOut Distinct/GroupBy query. A follow-up query
+	// whose first sort is its key sort skips that sort entirely.
+	OrderKeys
+	// OrderValues — descending value order: the output of a TopK query. A
+	// follow-up pure-TopK query skips its value sort.
+	OrderValues
+)
+
+// String implements fmt.Stringer.
+func (o TableOrder) String() string {
+	switch o {
+	case OrderKeys:
+		return "keys"
+	case OrderValues:
+		return "values↓"
+	}
+	return "none"
+}
+
+// planOrderOf maps the public token to the planner's input-order token.
+func planOrderOf(o TableOrder) plan.Order {
+	switch o {
+	case OrderKeys:
+		return plan.OrderKeyPos
+	case OrderValues:
+		return plan.OrderValDesc
+	}
+	return plan.OrderInput
+}
+
+// tableOrderOf maps a plan's output order to the public token. OrderPos
+// (original-position order) deliberately maps to OrderNone: reloading
+// renumbers positions, so the token would carry no cross-query information.
+func tableOrderOf(o plan.Order) TableOrder {
+	switch o {
+	case plan.OrderKeyPos:
+		return OrderKeys
+	case plan.OrderValDesc:
+		return OrderValues
+	}
+	return OrderNone
+}
+
 // Table is a relation of rows accepted by the oblivious relational
 // operators (Filter, Distinct, GroupBy, GroupByCols, Join, TopK,
 // RunQuery). Key tuples may repeat. Construct with NewTable (one key
 // column) or NewWideTable (up to relops.MaxKeyCols columns); both validate
 // the bounds: key columns < relops.KeyLimit and at most relops.MaxRows
-// rows. The key-column count is public query shape, like the row count.
+// rows. The key-column count is public query shape, like the row count,
+// as is the sorted-by token (see TableOrder).
 type Table struct {
 	rows  []Row     // width-1 storage
 	wide  []WideRow // width >= 2 storage
 	width int
+	order TableOrder
 }
+
+// Order returns the table's public sorted-by token (OrderNone unless the
+// table is a materialized query result carrying one).
+func (t Table) Order() TableOrder { return t.order }
 
 // NewTable validates rows and wraps them in a width-1 Table. Violations of
 // the bounds return ErrKeyTooLarge / ErrTooManyRows (matchable with
@@ -222,16 +285,17 @@ func (a Agg) kind() (relops.AggKind, error) {
 }
 
 // runTableOp moves a table into the oblivious element representation and
-// runs body on it under cfg's executor with a per-run scratch arena and
-// the run's one sorter (srt — the shuffle backend is stateful, so exactly
-// one instance must serve all of a run's sorts), returning the surviving
-// rows of the relation body hands back (usually r itself; the join stage
-// replaces it with the expanded relation) at its width. A body error
-// aborts the run without converting a result.
-func runTableOp(cfg Config, t Table, srt obliv.Sorter, body func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error)) (Table, *Report, error) {
+// runs body on it under e's executor with a scratch arena (e's persistent
+// arena when it has one, else per-run) and the run's one sorter (srt — the
+// shuffle backend is stateful, so exactly one instance must serve all of a
+// run's sorts), returning the surviving rows of the relation body hands
+// back (usually r itself; the join stage replaces it with the expanded
+// relation) at its width. A body error aborts the run without converting a
+// result.
+func runTableOp(e exec, t Table, srt obliv.Sorter, body func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error)) (Table, *Report, error) {
 	var out Table
 	var runErr error
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep := e.run(func(c *forkjoin.Ctx, sp *mem.Space) {
 		r, err := relops.Load(sp, recordsOf(t), t.Width())
 		if err != nil {
 			// Unreachable via NewTable/NewWideTable, but Load re-checks its
@@ -239,7 +303,11 @@ func runTableOp(cfg Config, t Table, srt obliv.Sorter, body func(c *forkjoin.Ctx
 			runErr = err
 			return
 		}
-		if r, err = body(c, sp, relops.NewArena(), r, srt); err != nil {
+		ar := e.arena
+		if ar == nil {
+			ar = relops.NewArena()
+		}
+		if r, err = body(c, sp, ar, r, srt); err != nil {
 			runErr = err
 			return
 		}
@@ -319,7 +387,7 @@ func FilterRows(cfg Config, t Table, pred func(WideRow) bool) (Table, *Report, e
 		return Table{}, nil, fmt.Errorf("oblivmc: FilterRows requires a predicate")
 	}
 	w := t.Width()
-	return runTableOp(cfg, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(exec{cfg: cfg}, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.Compact(c, sp, ar, r, func(rec relops.Record) bool { return pred(wideRowOf(rec, w)) }, srt)
 		return r, nil
 	})
@@ -338,7 +406,7 @@ func Filter(cfg Config, t Table, pred func(Row) bool) (Table, *Report, error) {
 	if t.Width() > 1 {
 		return Table{}, nil, errWideFilter("Filter")
 	}
-	return runTableOp(cfg, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(exec{cfg: cfg}, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.Compact(c, sp, ar, r, func(rec relops.Record) bool { return pred(Row{Key: rec.Key, Val: rec.Val}) }, srt)
 		return r, nil
 	})
@@ -350,7 +418,7 @@ func Distinct(cfg Config, t Table) (Table, *Report, error) {
 	if t.Len() == 0 {
 		return Table{}, nil, ErrEmptyInput
 	}
-	return runTableOp(cfg, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(exec{cfg: cfg}, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.Distinct(c, sp, ar, r, srt)
 		return r, nil
 	})
@@ -370,7 +438,7 @@ func GroupByCols(cfg Config, t Table, agg Agg) (Table, *Report, error) {
 	if err != nil {
 		return Table{}, nil, err
 	}
-	return runTableOp(cfg, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(exec{cfg: cfg}, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.GroupBy(c, sp, ar, r, kind, srt)
 		return r, nil
 	})
@@ -392,7 +460,7 @@ func TopK(cfg Config, t Table, k int) (Table, *Report, error) {
 	if k < 0 {
 		return Table{}, nil, fmt.Errorf("oblivmc: negative k %d", k)
 	}
-	return runTableOp(cfg, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(exec{cfg: cfg}, t, relSorter(cfg), func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		relops.TopK(c, sp, ar, r, k, srt)
 		return r, nil
 	})
@@ -594,14 +662,29 @@ type Query struct {
 	GroupBy Agg
 	// TopK keeps only the k largest-value rows (0 = keep all).
 	TopK int
+	// KeyOrderOut delivers the result rows in ascending key-tuple order
+	// instead of the operators' first-occurrence order, and stamps the
+	// result Table with the OrderKeys token. For queries ending in
+	// Distinct/GroupBy the relation is already key-sorted after the group
+	// pass, so the position-restoring compaction sort disappears entirely
+	// (a plain GroupBy runs 1 sort instead of 2); other non-TopK shapes
+	// pay one key sort in place of the compaction sort. TopK queries
+	// ignore it (their public order is descending value). This is the
+	// serving layer's materialization mode: a follow-up query over the
+	// stored result skips its own key sort via the token. The requested
+	// order is public query shape, like every other field here.
+	KeyOrderOut bool
 	// NoOptimize executes the stages one stand-alone operator at a time,
 	// bypassing the planner — the pre-fusion baseline kept for A/B
 	// benchmarking and differential testing.
 	NoOptimize bool
 }
 
-// shape extracts the public planner shape of q over a width-w table.
-func (q Query) shape(kind relops.AggKind, w int) plan.Shape {
+// shape extracts the public planner shape of q over a width-w table whose
+// sorted-by token is ord. Every field — including the fed-forward input
+// order — is public, so the compiled plan (and with it the trace) stays a
+// function of query shapes only.
+func (q Query) shape(kind relops.AggKind, w int, ord TableOrder) plan.Shape {
 	return plan.Shape{
 		KeyCols:       w,
 		Join:          q.Join != nil,
@@ -611,6 +694,8 @@ func (q Query) shape(kind relops.AggKind, w int) plan.Shape {
 		GroupBy:       q.GroupBy != AggNone,
 		Agg:           uint8(kind),
 		TopK:          q.TopK,
+		InputOrder:    planOrderOf(ord),
+		KeyOrderOut:   q.KeyOrderOut,
 	}
 }
 
@@ -624,13 +709,25 @@ func Explain(q Query) (string, error) {
 	return ExplainWidth(q, 1)
 }
 
+// ExplainTable is Explain against a concrete table: the plan is built at
+// the table's key width and — the cross-query seam — against its sorted-by
+// token, so a query whose first sort the token covers renders without that
+// sort (e.g. "in(key,pos) → aggregate [0 sorts, cold 1, staged 2]").
+func ExplainTable(t Table, q Query) (string, error) {
+	return explainOrdered(q, t.Width(), t.order)
+}
+
 // ExplainWidth is Explain for a table of w key columns.
 func ExplainWidth(q Query, w int) (string, error) {
+	return explainOrdered(q, w, OrderNone)
+}
+
+func explainOrdered(q Query, w int, ord TableOrder) (string, error) {
 	kind, err := queryAgg(q)
 	if err != nil {
 		return "", err
 	}
-	pl := plan.Build(q.shape(kind, w))
+	pl := plan.Build(q.shape(kind, w, ord))
 	if !q.NoOptimize {
 		return pl.String(), nil
 	}
@@ -708,9 +805,9 @@ func RunQuery(cfg Config, t Table, q Query) (Table, *Report, error) {
 		return Table{}, nil, err
 	}
 	if q.NoOptimize {
-		return runQueryStaged(cfg, t, q, kind, relSorter(cfg))
+		return runQueryStaged(exec{cfg: cfg}, t, q, kind, relSorter(cfg))
 	}
-	return runQueryPlanned(cfg, t, q, kind, relSorter(cfg))
+	return runQueryPlanned(exec{cfg: cfg}, t, q, kind, relSorter(cfg))
 }
 
 // queryJoin runs q's join stage over the loaded right relation r (the
@@ -743,14 +840,16 @@ func queryJoin(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, j *JoinSpec, r 
 	return joined, nil
 }
 
-// runQueryPlanned compiles q's shape and executes the fused pass sequence.
-// The join stage is binary, so the query layer — which holds both
-// relations — peels it off the plan's head and hands Execute the remaining
-// unary passes over the expanded relation.
-func runQueryPlanned(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv.Sorter) (Table, *Report, error) {
-	pl := plan.Build(q.shape(kind, t.Width()))
+// runQueryPlanned compiles q's shape — including the input table's
+// sorted-by token, the cross-query seam — and executes the fused pass
+// sequence. The join stage is binary, so the query layer — which holds
+// both relations — peels it off the plan's head and hands Execute the
+// remaining unary passes over the expanded relation. The result table is
+// stamped with the plan's output order token.
+func runQueryPlanned(e exec, t Table, q Query, kind relops.AggKind, srt obliv.Sorter) (Table, *Report, error) {
+	pl := plan.Build(q.shape(kind, t.Width(), t.order))
 	pred := q.pred(t.Width())
-	return runTableOp(cfg, t, srt, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+	out, rep, err := runTableOp(e, t, srt, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		rest := pl
 		if q.Join != nil {
 			jop := rest.Ops[0] // plan.Build puts OpJoinAll first
@@ -763,6 +862,11 @@ func runQueryPlanned(cfg Config, t Table, q Query, kind relops.AggKind, srt obli
 		relops.Execute(c, sp, ar, r, rest, pred, srt)
 		return r, nil
 	})
+	if err != nil {
+		return Table{}, nil, err
+	}
+	out.order = tableOrderOf(pl.Output)
+	return out, rep, nil
 }
 
 // runQueryStaged is the pre-planner execution: each stage is a stand-alone
@@ -771,11 +875,11 @@ func runQueryPlanned(cfg Config, t Table, q Query, kind relops.AggKind, srt obli
 // same schedule path as everything else — the packed-composite closure
 // comparator no longer exists — so the A/B difference it isolates is
 // purely the planner's pass structure.)
-func runQueryStaged(cfg Config, t Table, q Query, kind relops.AggKind, srt obliv.Sorter) (Table, *Report, error) {
+func runQueryStaged(e exec, t Table, q Query, kind relops.AggKind, srt obliv.Sorter) (Table, *Report, error) {
 	// The unary operators run with nil scratch (per-call allocation), as
 	// the pre-planner baseline always has; only the join uses the per-run
 	// arena.
-	return runTableOp(cfg, t, srt, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
+	return runTableOp(e, t, srt, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		if q.Join != nil {
 			// The stand-alone operator pays its full four sorts.
 			var err error
