@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-shuffle vet race bench benchdiff fuzz-smoke serve-smoke docker clean
+.PHONY: all build test test-shuffle test-parallel vet race bench bench-sweep benchdiff fuzz-smoke serve-smoke docker clean
 
 all: vet build test
 
@@ -16,6 +16,15 @@ test:
 test-shuffle:
 	OBLIVMC_SORT_BACKEND=shuffle $(GO) test ./internal/relops
 
+# test-parallel is the ModeParallel matrix leg: the relational suite's
+# operator calls run on a shared work-stealing pool instead of the serial
+# executor (the env-aware testCtx seam), plus the top-level
+# serial-vs-parallel equivalence properties. Together with `make race`
+# this is the concurrency-correctness gate.
+test-parallel:
+	OBLIVMC_TEST_MODE=parallel $(GO) test ./internal/relops
+	$(GO) test . -run 'ModeParallel|FingerprintUnaffected|ScalingSmoke' -v
+
 race:
 	$(GO) test -race ./...
 
@@ -25,21 +34,33 @@ vet:
 # bench regenerates the relational-layer trend artifact: elems/s for
 # Compact/GroupBy (narrow, wide, and per sort backend)/Join/JoinAll and the
 # end-to-end query (staged vs planner-fused, per backend) at
-# n ∈ {2^12, 2^16, 2^20}. CI uploads BENCH_5.json on every push so the perf
+# n ∈ {2^12, 2^16, 2^20}. CI uploads the artifact on every push so the perf
 # trajectory is tracked per commit. BENCH_ARGS can bound the sweep, e.g.
 # make bench BENCH_ARGS="-max 65536".
 bench:
-	$(GO) run ./cmd/relbench -out BENCH_5.json $(BENCH_ARGS)
+	$(GO) run ./cmd/relbench -out BENCH_7.json $(BENCH_ARGS)
+
+# bench-sweep records the multicore scaling curve: every point measured
+# once per -procs pool size into one artifact (per-result workers field).
+# CI runs it bounded to 2^16 on the shared runner and uploads
+# BENCH_HEAD.json; run it unbounded on a quiet many-core machine for the
+# committed BENCH_*.json scaling baselines. SWEEP_PROCS must not exceed
+# GOMAXPROCS (relbench fails fast; -oversubscribe overrides).
+SWEEP_PROCS ?= 1,2,4
+SWEEP_ARGS ?= -max 65536
+bench-sweep:
+	$(GO) run ./cmd/relbench -procs $(SWEEP_PROCS) $(SWEEP_ARGS) -out BENCH_HEAD.json
+	$(GO) run ./cmd/benchdiff -base BENCH_HEAD.json -new BENCH_HEAD.json -warn
 
 # benchdiff measures the CURRENT build (a bounded fresh sweep into the
 # uncommitted BENCH_HEAD.json) and compares it against the latest committed
 # baseline, flagging elems/s regressions beyond the noise threshold
 # (warn-only in CI; drop -warn locally to gate). BENCHDIFF_ARGS widens the
 # sweep, e.g. BENCHDIFF_ARGS="" for the full sizes.
-BENCHDIFF_BASE ?= BENCH_5.json
+BENCHDIFF_BASE ?= BENCH_7.json
 BENCHDIFF_ARGS ?= -max 65536
 benchdiff:
-	$(GO) run ./cmd/relbench -out BENCH_HEAD.json $(BENCHDIFF_ARGS)
+	$(GO) run ./cmd/relbench -procs 1 -out BENCH_HEAD.json $(BENCHDIFF_ARGS)
 	$(GO) run ./cmd/benchdiff -base $(BENCHDIFF_BASE) -new BENCH_HEAD.json -warn
 
 # fuzz-smoke runs each native fuzz target (operator vs plain-Go reference,

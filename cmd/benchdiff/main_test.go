@@ -23,19 +23,19 @@ func TestDiffFlagsRegressionsBeyondThreshold(t *testing.T) {
 	for _, l := range lines {
 		flagged[l.Key] = l.Regression
 	}
-	if flagged[pointKey{"groupby", 4096}] {
+	if flagged[pointKey{"groupby", 4096, 0}] {
 		t.Fatal("-15% flagged at a 20% threshold")
 	}
-	if !flagged[pointKey{"groupby", 65536}] {
+	if !flagged[pointKey{"groupby", 65536, 0}] {
 		t.Fatal("-25% not flagged at a 20% threshold")
 	}
-	if flagged[pointKey{"join", 4096}] {
+	if flagged[pointKey{"join", 4096, 0}] {
 		t.Fatal("improvement flagged as regression")
 	}
-	if len(onlyBase) != 1 || onlyBase[0] != (pointKey{"retired", 4096}) {
+	if len(onlyBase) != 1 || onlyBase[0] != (pointKey{"retired", 4096, 0}) {
 		t.Fatalf("retired points = %v", onlyBase)
 	}
-	if len(onlyNew) != 1 || onlyNew[0] != (pointKey{"fresh", 4096}) {
+	if len(onlyNew) != 1 || onlyNew[0] != (pointKey{"fresh", 4096, 0}) {
 		t.Fatalf("new points = %v", onlyNew)
 	}
 }
@@ -46,5 +46,50 @@ func TestDiffZeroBaselineNeverFlags(t *testing.T) {
 	lines, _, _ := diff(base, cur, 0.2)
 	if len(lines) != 1 || lines[0].Regression {
 		t.Fatalf("zero-baseline point mishandled: %+v", lines)
+	}
+}
+
+// A schema-1 artifact (no per-result workers) must match a schema-2 sweep's
+// results at the file-level pool size: the old `workers: 1` single-pool
+// artifacts are the baselines the new scaling sweeps diff against.
+func TestDiffSchema1WorkersFallback(t *testing.T) {
+	base := File{Workers: 1, Results: []Result{
+		{Name: "groupby", N: 4096, ElemsPerSec: 1000}, // schema 1: Workers absent
+	}}
+	base.normalize()
+	cur := File{Workers: 1, Results: []Result{
+		{Name: "groupby", N: 4096, Workers: 1, ElemsPerSec: 1100},
+		{Name: "groupby", N: 4096, Workers: 4, ElemsPerSec: 3000},
+	}}
+	cur.normalize()
+	lines, onlyBase, onlyNew := diff(base, cur, 0.20)
+	if len(lines) != 1 || lines[0].Key != (pointKey{"groupby", 4096, 1}) {
+		t.Fatalf("schema-1 fallback did not match at workers=1: %+v", lines)
+	}
+	if len(onlyBase) != 0 {
+		t.Fatalf("retired points = %v", onlyBase)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != (pointKey{"groupby", 4096, 4}) {
+		t.Fatalf("the 4-worker point should be new, got %v", onlyNew)
+	}
+}
+
+func TestCurvesGroupsSweeps(t *testing.T) {
+	f := File{Results: []Result{
+		{Name: "groupby", N: 4096, Workers: 4, ElemsPerSec: 3000},
+		{Name: "groupby", N: 4096, Workers: 1, ElemsPerSec: 1000},
+		{Name: "groupby", N: 4096, Workers: 8, ElemsPerSec: 5000},
+		{Name: "join", N: 4096, Workers: 1, ElemsPerSec: 500}, // single size: no curve
+	}}
+	cs := curves(f)
+	if len(cs) != 1 {
+		t.Fatalf("got %d curves, want 1", len(cs))
+	}
+	pts := cs[[2]interface{}{"groupby", 4096}]
+	if len(pts) != 3 || pts[0].Workers != 1 || pts[1].Workers != 4 || pts[2].Workers != 8 {
+		t.Fatalf("curve not sorted by workers: %+v", pts)
+	}
+	if pts[2].ElemsPerSec/pts[0].ElemsPerSec != 5.0 {
+		t.Fatalf("speedup = %v, want 5.0", pts[2].ElemsPerSec/pts[0].ElemsPerSec)
 	}
 }

@@ -91,11 +91,11 @@ func cmdServe(args []string) {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Printf("oblivserve: draining")
-		srv.Shutdown()  // finish in-flight queries, close lane sessions
-		_ = hs.Close()  // then drop the listener
+		srv.Shutdown() // finish in-flight queries, close lane sessions
+		_ = hs.Close() // then drop the listener
 		close(done)
 	}()
-	log.Printf("oblivserve: listening on %s (%d lanes)", *addr, srv.Lanes())
+	log.Printf("oblivserve: listening on %s (%d lanes × %d workers)", *addr, srv.Lanes(), srv.WorkersPerLane())
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

@@ -35,7 +35,7 @@ func SortIterativeKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.Key
 }
 
 func layerKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySchedule, lo, n, k, j int, asc bool) {
-	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, from, to int) {
+	forkjoin.ParallelRange(c, 0, n, layerGrain, func(c *forkjoin.Ctx, from, to int) {
 		for i := from; i < to; i++ {
 			if i&j != 0 {
 				continue
@@ -155,7 +155,7 @@ func SortOddEvenKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySc
 	for p := 1; p < n; p <<= 1 {
 		for k := p; k >= 1; k >>= 1 {
 			off := k % p
-			forkjoin.ParallelRange(c, 0, n-k, 0, func(c *forkjoin.Ctx, from, to int) {
+			forkjoin.ParallelRange(c, 0, n-k, layerGrain, func(c *forkjoin.Ctx, from, to int) {
 				for t := from; t < to; t++ {
 					if t < off {
 						continue

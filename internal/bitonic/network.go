@@ -36,10 +36,16 @@ func SortIterative(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], lo, n int, asc boo
 	}
 }
 
+// layerGrain is the leaf width of a comparator layer's fork tree: each
+// leaf runs layerGrain/2 compare-exchanges (half the indices skip), enough
+// work per task that an n/2-wide layer splits without drowning in deque
+// traffic. Metered runs ignore it (grain is forced to 1 there).
+const layerGrain = 1 << 8
+
 // layer applies one butterfly layer: compare i with i|j for all i with
 // bit j clear; direction flips with bit k of i (global direction asc).
 func layer(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], lo, n, k, j int, asc bool, key func(obliv.Elem) uint64) {
-	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, from, to int) {
+	forkjoin.ParallelRange(c, 0, n, layerGrain, func(c *forkjoin.Ctx, from, to int) {
 		for i := from; i < to; i++ {
 			if i&j != 0 {
 				continue
@@ -54,7 +60,7 @@ func layer(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], lo, n, k, j int, asc bool,
 // merge over a[lo:lo+m] in direction asc. The input must be bitonic.
 func mergeIterative(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], lo, m int, asc bool, key func(obliv.Elem) uint64) {
 	for j := m >> 1; j > 0; j >>= 1 {
-		forkjoin.ParallelRange(c, 0, m, 0, func(c *forkjoin.Ctx, from, to int) {
+		forkjoin.ParallelRange(c, 0, m, layerGrain, func(c *forkjoin.Ctx, from, to int) {
 			for i := from; i < to; i++ {
 				if i&j == 0 {
 					obliv.CompareExchange(c, a, lo+i, lo+(i|j), asc, key)

@@ -18,7 +18,7 @@ func SortOddEven(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], lo, n int, key func(
 	for p := 1; p < n; p <<= 1 {
 		for k := p; k >= 1; k >>= 1 {
 			off := k % p
-			forkjoin.ParallelRange(c, 0, n-k, 0, func(c *forkjoin.Ctx, from, to int) {
+			forkjoin.ParallelRange(c, 0, n-k, layerGrain, func(c *forkjoin.Ctx, from, to int) {
 				for t := from; t < to; t++ {
 					if t < off {
 						continue

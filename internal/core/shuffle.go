@@ -283,7 +283,7 @@ func (s *ShuffleSorter) SortScheduled(c *forkjoin.Ctx, sp *mem.Space, a *mem.Arr
 	// buffer and routing scratch are the sorter's cached ones — repeated
 	// same-size sorts reroute in place, allocation-free.
 	pl := s.benesPlanFor(n)
-	routeBenesInto(pl, s.perm(src, n), &s.route)
+	routeBenesInto(c, pl, s.perm(src, n), &s.route)
 	pl.apply(c, av, scrv, ksv, kscrv)
 
 	// Stage 2 — insecure keyed sample sort on the permuted sequence. The
@@ -355,14 +355,31 @@ func newBenesPlan(n int) *benesPlan {
 // buffers through routeBenesInto instead.
 func routeBenes(p []int) *benesPlan {
 	pl := newBenesPlan(len(p))
-	routeBenesInto(pl, p, &routeScratch{})
+	routeBenesInto(forkjoin.Serial(), pl, p, &routeScratch{})
 	return pl
 }
+
+// routeGrain is the minimum number of permutation entries one routing task
+// covers when the switch-setting computation forks across a level's blocks:
+// a block's coloring is O(m) pointer-chasing over harness memory, so leaves
+// much smaller than this are dominated by task bookkeeping.
+const routeGrain = 1 << 12
 
 // routeBenesInto routes p into pl's switch planes in place, drawing all
 // working memory from rs. Allocation-free once pl and rs have seen the
 // size; p is left untouched.
-func routeBenesInto(pl *benesPlan, p []int, rs *routeScratch) {
+//
+// Within a level the blocks are independent — each reads and writes only
+// its own [off, off+m) slice of every buffer — so in parallel mode the
+// per-block cycle coloring forks across the pool (each block colors over
+// its own disjoint pinv/color slice; no shared state). The computed switch
+// settings are identical to the serial route at every level: blocks are
+// deterministic functions of their slice of cur, and the level barrier
+// (ParallelRange joins before the buffer swap) preserves the level-
+// synchronous order. Serial and metered contexts take the plain loop, so
+// metered traces — which would otherwise record the extra forks — and
+// FixedSeed fingerprints are byte-identical to the pre-parallel routing.
+func routeBenesInto(c *forkjoin.Ctx, pl *benesPlan, p []int, rs *routeScratch) {
 	n := pl.n
 	if len(p) != n {
 		panic("core: Beneš routing permutation length mismatch")
@@ -371,19 +388,49 @@ func routeBenesInto(pl *benesPlan, p []int, rs *routeScratch) {
 	rs.grow(n)
 	cur, nxt := rs.cur[:n], rs.nxt[:n]
 	pinv, color := rs.pinv[:n], rs.color[:n]
+	par := c.ParallelMode()
 	copy(cur, p)
 	for l := 0; l < k-1; l++ {
 		m := n >> l
-		for off := 0; off < n; off += m {
-			routeBlock(cur[off:off+m], nxt[off:off+m],
-				pl.layers[l][off/2:off/2+m/2], pl.layers[2*k-2-l][off/2:off/2+m/2],
-				pinv[:m], color[:m])
+		blocks := n / m
+		if par && n >= 2*routeGrain {
+			grain := routeGrain / m
+			if grain < 1 {
+				grain = 1
+			}
+			sIn, sOut := pl.layers[l], pl.layers[2*k-2-l]
+			curv, nxtv := cur, nxt
+			forkjoin.ParallelRange(c, 0, blocks, grain, func(_ *forkjoin.Ctx, from, to int) {
+				routeBlocks(curv, nxtv, sIn, sOut, pinv, color, m, from, to)
+			})
+		} else {
+			routeBlocks(cur, nxt, pl.layers[l], pl.layers[2*k-2-l], pinv, color, m, 0, blocks)
 		}
 		cur, nxt = nxt, cur
 	}
 	mid := pl.layers[k-1]
-	for t := 0; t < n/2; t++ {
-		mid[t] = cur[2*t] == 1
+	if par && n >= 2*routeGrain {
+		forkjoin.ParallelRange(c, 0, n/2, routeGrain/2, func(_ *forkjoin.Ctx, from, to int) {
+			for t := from; t < to; t++ {
+				mid[t] = cur[2*t] == 1
+			}
+		})
+	} else {
+		for t := 0; t < n/2; t++ {
+			mid[t] = cur[2*t] == 1
+		}
+	}
+}
+
+// routeBlocks routes blocks [from, to) of one level: block b covers the
+// [b·m, (b+1)·m) slice of every buffer, so concurrent calls over disjoint
+// block ranges touch disjoint memory.
+func routeBlocks(cur, nxt []int, sIn, sOut []bool, pinv []int, color []int8, m, from, to int) {
+	for b := from; b < to; b++ {
+		off := b * m
+		routeBlock(cur[off:off+m], nxt[off:off+m],
+			sIn[off/2:off/2+m/2], sOut[off/2:off/2+m/2],
+			pinv[off:off+m], color[off:off+m])
 	}
 }
 
@@ -436,6 +483,14 @@ func routeBlock(p, q []int, sIn, sOut []bool, pinv []int, color []int8) {
 	}
 }
 
+// benesApplyGrain is the switch count per leaf task when a network layer
+// forks: each switch moves two elements plus their schedule words, so the
+// leaf carries a few thousand memory touches — large enough to amortize
+// task bookkeeping, small enough that every n/2-wide layer still splits
+// hundreds of ways at the sizes the shuffle backend serves (n ≥ 2^13).
+// Metered runs ignore it (the grain-1 policy measures the full span).
+const benesApplyGrain = 1 << 10
+
 // apply runs the routed network over the element array and every schedule
 // plane in lockstep, double-buffering through scr/kscr (same length and
 // width; the result lands back in a/ks — the layer count that leaves the
@@ -472,7 +527,7 @@ func (pl *benesPlan) apply(c *forkjoin.Ctx, a, scr *mem.Array[obliv.Elem], ks, k
 		m := n >> l
 		h := m / 2
 		set := pl.layers[l]
-		forkjoin.ParallelRange(c, 0, n/2, 0, func(c *forkjoin.Ctx, from, to int) {
+		forkjoin.ParallelRange(c, 0, n/2, benesApplyGrain, func(c *forkjoin.Ctx, from, to int) {
 			for t := from; t < to; t++ {
 				off := 2 * t / m * m
 				j := t - off/2
@@ -483,7 +538,7 @@ func (pl *benesPlan) apply(c *forkjoin.Ctx, a, scr *mem.Array[obliv.Elem], ks, k
 		curk, nxtk = nxtk, curk
 	}
 	mid := pl.layers[k-1]
-	forkjoin.ParallelRange(c, 0, n/2, 0, func(c *forkjoin.Ctx, from, to int) {
+	forkjoin.ParallelRange(c, 0, n/2, benesApplyGrain, func(c *forkjoin.Ctx, from, to int) {
 		for t := from; t < to; t++ {
 			c.Op(1)
 			i0, i1 := 2*t, 2*t+1
@@ -507,7 +562,7 @@ func (pl *benesPlan) apply(c *forkjoin.Ctx, a, scr *mem.Array[obliv.Elem], ks, k
 		m := n >> l
 		h := m / 2
 		set := pl.layers[2*k-2-l]
-		forkjoin.ParallelRange(c, 0, n/2, 0, func(c *forkjoin.Ctx, from, to int) {
+		forkjoin.ParallelRange(c, 0, n/2, benesApplyGrain, func(c *forkjoin.Ctx, from, to int) {
 			for t := from; t < to; t++ {
 				off := 2 * t / m * m
 				j := t - off/2

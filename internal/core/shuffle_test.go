@@ -344,7 +344,7 @@ func TestBenesRouteIntoMatchesFresh(t *testing.T) {
 		pl := newBenesPlan(n)
 		for rep := 0; rep < 3; rep++ {
 			perm := src.Perm(n)
-			routeBenesInto(pl, perm, &rs)
+			routeBenesInto(forkjoin.Serial(), pl, perm, &rs)
 			want := routeBenes(perm)
 			for l := range want.layers {
 				for j := range want.layers[l] {
@@ -365,8 +365,9 @@ func TestBenesRouteIntoMatchesFresh(t *testing.T) {
 func TestBenesLevelBufferReuseFlatAllocs(t *testing.T) {
 	s := &ShuffleSorter{FixedSeed: fixedSeed(3), Crossover: 2}
 	src := prng.New(29) // stable coins: coins() itself is one fixed-size alloc per sort
+	serial := forkjoin.Serial()
 	route := func(n int) {
-		routeBenesInto(s.benesPlanFor(n), s.perm(src, n), &s.route)
+		routeBenesInto(serial, s.benesPlanFor(n), s.perm(src, n), &s.route)
 	}
 	// Warm both sizes (plan buffers, routing scratch, perm buffer).
 	route(1 << 10)
@@ -405,6 +406,67 @@ func TestShuffleSorterReusesPlanesAcrossSorts(t *testing.T) {
 			planes = &pl.layers[0][0]
 		} else if planes != &pl.layers[0][0] {
 			t.Fatalf("rep %d: plan storage was rebuilt across sorts", rep)
+		}
+	}
+}
+
+// TestBenesRouteParallelMatchesSerial pins the parallel switch-setting
+// computation (the multicore PR's routing fork): routing the same
+// permutation under the work-stealing pool and under the serial executor
+// must produce bit-identical switch planes at every size — the settings
+// encode the permutation, so any divergence would change the realized
+// shuffle and break the FixedSeed trace replay downstream. Sizes straddle
+// the routeGrain fork threshold so both the forked and the inline path of
+// the pool context are exercised.
+func TestBenesRouteParallelMatchesSerial(t *testing.T) {
+	src := prng.New(41)
+	for _, n := range []int{1 << 10, 2 * routeGrain, 4 * routeGrain} {
+		perm := src.Perm(n)
+		want := routeBenes(perm)
+		got := newBenesPlan(n)
+		var rs routeScratch
+		forkjoin.RunParallel(4, func(c *forkjoin.Ctx) {
+			routeBenesInto(c, got, perm, &rs)
+		})
+		for l := range want.layers {
+			for j := range want.layers[l] {
+				if got.layers[l][j] != want.layers[l][j] {
+					t.Fatalf("n=%d: layer %d switch %d diverges between parallel and serial routing", n, l, j)
+				}
+			}
+		}
+	}
+}
+
+// TestShuffleSortParallelMatchesSerial runs the full FixedSeed shuffle sort
+// pipeline — routing, network application, keyed sample sort — under the
+// serial executor and under pools of 2 and 4 workers, and asserts the
+// sorted arrays are byte-identical: with deterministic coins the strict
+// total order (keys, TiePos, tie word) has exactly one realization, so the
+// parallel schedule may not change any output bit.
+func TestShuffleSortParallelMatchesSerial(t *testing.T) {
+	const n, w = 4 * routeGrain, 2 // past the routing fork threshold
+	sorted := func(workers int) []obliv.Elem {
+		sp := mem.NewSpace()
+		src := prng.New(7)
+		a, ks := shuffleInput(sp, src, n, n-100, w)
+		shuf := &ShuffleSorter{FixedSeed: fixedSeed(5), Crossover: 2}
+		if workers == 0 {
+			shuf.SortScheduled(forkjoin.Serial(), sp, a, ks, nil, nil, 0, n)
+		} else {
+			forkjoin.RunParallel(workers, func(c *forkjoin.Ctx) {
+				shuf.SortScheduled(c, sp, a, ks, nil, nil, 0, n)
+			})
+		}
+		return append([]obliv.Elem(nil), a.Data()...)
+	}
+	want := sorted(0)
+	for _, workers := range []int{2, 4} {
+		got := sorted(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: output diverges from serial at %d: %+v want %+v", workers, i, got[i], want[i])
+			}
 		}
 	}
 }

@@ -145,6 +145,31 @@ func (c *Ctx) Metered() bool { return c != nil && c.m != nil }
 // serialize their write phases in this mode.
 func (c *Ctx) ParallelMode() bool { return c != nil && c.w != nil }
 
+// WorkerID returns the index of the pool worker executing c, or 0 in the
+// serial and metered executors. A worker runs one task at a time, so
+// WorkerID together with Workers is the per-worker scratch seam: harness
+// code indexes a Workers()-long slice of scratch by WorkerID and gets
+// lock-free thread-local reuse without allocating inside the hot leaf.
+// Two caveats: pad or space the per-worker entries (adjacent scratch
+// headers written by different workers false-share), and never hold an
+// entry across a Fork — a worker waiting at a join leapfrogs into stolen
+// tasks, and one of those may claim the same worker's entry.
+func (c *Ctx) WorkerID() int {
+	if c != nil && c.w != nil {
+		return c.w.id
+	}
+	return 0
+}
+
+// Workers returns the size of the pool executing c, or 1 in the serial and
+// metered executors.
+func (c *Ctx) Workers() int {
+	if c != nil && c.w != nil {
+		return len(c.w.pool.workers)
+	}
+	return 1
+}
+
 // Op charges n unit-cost operations (work and span each increase by n).
 // Algorithms call Op for local computation that touches no instrumented
 // memory, so the work measure reflects total operations, not just memory

@@ -8,10 +8,20 @@ import "sync/atomic"
 // The owner pushes and pops at the bottom; thieves steal from the top. Go's
 // atomic operations are sequentially consistent, which is stronger than the
 // fences the algorithm requires.
+//
+// top is CASed by thieves while the owner rewrites bottom on every push and
+// pop; if the two indices share a cache line each steal attempt invalidates
+// the owner's line and every push pays a coherence miss. The pads keep top,
+// bottom, and the ring pointer on separate 64-byte lines (the deque is
+// embedded in worker, so the pads also insulate it from the worker's other
+// fields).
 type deque struct {
 	top    atomic.Int64
+	_      [56]byte
 	bottom atomic.Int64
+	_      [56]byte
 	buf    atomic.Pointer[ring]
+	_      [56]byte
 }
 
 type ring struct {

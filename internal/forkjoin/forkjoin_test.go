@@ -369,3 +369,44 @@ func TestMarkOnlyAffectsTrace(t *testing.T) {
 		t.Fatal("different marks should change the trace")
 	}
 }
+
+func TestWorkerIDSeam(t *testing.T) {
+	// Serial and metered contexts report the degenerate single-worker view.
+	if Serial().WorkerID() != 0 || Serial().Workers() != 1 {
+		t.Fatalf("serial ctx: WorkerID=%d Workers=%d", Serial().WorkerID(), Serial().Workers())
+	}
+	RunMetered(MeterOpts{}, func(c *Ctx) {
+		if c.WorkerID() != 0 || c.Workers() != 1 {
+			t.Errorf("metered ctx: WorkerID=%d Workers=%d", c.WorkerID(), c.Workers())
+		}
+	})
+
+	// Pool mode: per-worker accumulators indexed by WorkerID, padded to a
+	// cache line each, summed without any synchronization — the scratch-seam
+	// usage the accessor exists for. Every leaf must see a stable in-range id.
+	const n = 1 << 14
+	RunParallel(4, func(c *Ctx) {
+		if c.Workers() != 4 {
+			t.Errorf("Workers() = %d, want 4", c.Workers())
+		}
+		type padded struct {
+			v int64
+			_ [56]byte
+		}
+		acc := make([]padded, c.Workers())
+		ParallelFor(c, 0, n, 16, func(c *Ctx, i int) {
+			id := c.WorkerID()
+			if id < 0 || id >= len(acc) {
+				panic("WorkerID out of range")
+			}
+			acc[id].v++
+		})
+		var total int64
+		for i := range acc {
+			total += acc[i].v
+		}
+		if total != n {
+			t.Errorf("per-worker accumulation lost updates: got %d, want %d", total, n)
+		}
+	})
+}

@@ -51,6 +51,13 @@ func NewPool(n int) *Pool {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return len(p.workers) }
 
+// OwnerCtx returns worker 0's context, for harnesses that issue a sequence
+// of direct algorithm calls as the pool's root computation: the calling
+// goroutine acts as worker 0 exactly as it does inside Run, with the
+// background workers stealing its forks. Must not be used concurrently
+// with Run or from more than one goroutine at a time.
+func (p *Pool) OwnerCtx() *Ctx { return &p.workers[0].ctx }
+
 // Run executes root on the pool and returns when root (and therefore every
 // task it forked, by full strictness) has completed.
 func (p *Pool) Run(root func(*Ctx)) {

@@ -24,9 +24,13 @@ const addrAlign = 1 << 12
 
 // Space allocates non-overlapping address ranges. It is safe for concurrent
 // allocation (parallel-mode algorithms may allocate scratch inside forked
-// tasks).
+// tasks). The pads keep the shared counter on its own cache line so
+// allocating tasks contend only on the counter itself, not on whatever the
+// runtime happens to place next to a small heap object.
 type Space struct {
+	_    [64]byte
 	next atomic.Uint64
+	_    [56]byte
 }
 
 // NewSpace returns an empty address space.

@@ -25,11 +25,31 @@ func ScanOp[T any](c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[T], op func(T, T
 	scanDown(c, a, tree, 0, 0, n, id, op, inclusive)
 }
 
+// scanGrain is the subtree size below which the up/down sweeps stop
+// forking outside metered mode and recurse serially instead. The sweeps
+// used to fork all the way to single leaves — per-element task creation
+// that made every segmented scan (GroupBy aggregation, Distribute's
+// rightward propagation, the partition prefix sums) pay two closure
+// allocations and a deque round-trip per array element; at 2^20-element
+// relations that bookkeeping dominated the actual combine work and was the
+// serial-equivalent tail of join_all. A subtree of scanGrain leaves is
+// ~2·scanGrain memory touches per task — comfortably past the point where
+// stealing pays — while a 2^20 scan still splits 2^11 ways. Metered runs
+// keep the fully forked recursion: the measured span must remain the
+// O(log n) critical path of the paper's all-prefix-sums bound, and the
+// recorded trace (fork events included) must not move when grains are
+// retuned.
+const scanGrain = 1 << 9
+
 // scanUp fills tree[pos] (pre-order root of [lo,hi)) with the combine of
 // a[lo:hi) and returns nothing; subtree of k leaves occupies 2k-1 slots.
 func scanUp[T any](c *forkjoin.Ctx, a *mem.Array[T], tree *mem.Array[T], pos, lo, hi int, op func(T, T) T) {
 	if hi-lo == 1 {
 		tree.Set(c, pos, a.Get(c, lo))
+		return
+	}
+	if hi-lo <= scanGrain && !c.Metered() {
+		scanUpSerial(c, a, tree, pos, lo, hi, op)
 		return
 	}
 	mid := lo + (hi-lo)/2
@@ -45,6 +65,24 @@ func scanUp[T any](c *forkjoin.Ctx, a *mem.Array[T], tree *mem.Array[T], pos, lo
 	tree.Set(c, pos, op(l, r))
 }
 
+// scanUpSerial is scanUp without forks or fork closures: the identical
+// pre-order tree fill (same slots, same combine order), recursed by plain
+// calls. Only reached outside metered mode.
+func scanUpSerial[T any](c *forkjoin.Ctx, a *mem.Array[T], tree *mem.Array[T], pos, lo, hi int, op func(T, T) T) {
+	if hi-lo == 1 {
+		tree.Set(c, pos, a.Get(c, lo))
+		return
+	}
+	mid := lo + (hi-lo)/2
+	leftPos := pos + 1
+	rightPos := pos + 2*(mid-lo)
+	scanUpSerial(c, a, tree, leftPos, lo, mid, op)
+	scanUpSerial(c, a, tree, rightPos, mid, hi, op)
+	l := tree.Get(c, leftPos)
+	r := tree.Get(c, rightPos)
+	tree.Set(c, pos, op(l, r))
+}
+
 func scanDown[T any](c *forkjoin.Ctx, a *mem.Array[T], tree *mem.Array[T], pos, lo, hi int, carry T, op func(T, T) T, inclusive bool) {
 	if hi-lo == 1 {
 		if inclusive {
@@ -54,6 +92,10 @@ func scanDown[T any](c *forkjoin.Ctx, a *mem.Array[T], tree *mem.Array[T], pos, 
 		} else {
 			a.Set(c, lo, carry)
 		}
+		return
+	}
+	if hi-lo <= scanGrain && !c.Metered() {
+		scanDownSerial(c, a, tree, pos, lo, hi, carry, op, inclusive)
 		return
 	}
 	mid := lo + (hi-lo)/2
@@ -66,6 +108,27 @@ func scanDown[T any](c *forkjoin.Ctx, a *mem.Array[T], tree *mem.Array[T], pos, 
 		func(c *forkjoin.Ctx) { scanDown(c, a, tree, leftPos, lo, mid, carry, op, inclusive) },
 		func(c *forkjoin.Ctx) { scanDown(c, a, tree, rightPos, mid, hi, rightCarry, op, inclusive) },
 	)
+}
+
+// scanDownSerial is scanDown without forks or fork closures; see
+// scanUpSerial.
+func scanDownSerial[T any](c *forkjoin.Ctx, a *mem.Array[T], tree *mem.Array[T], pos, lo, hi int, carry T, op func(T, T) T, inclusive bool) {
+	if hi-lo == 1 {
+		if inclusive {
+			v := tree.Get(c, pos) // original a[lo]
+			a.Set(c, lo, op(carry, v))
+		} else {
+			a.Set(c, lo, carry)
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	leftPos := pos + 1
+	rightPos := pos + 2*(mid-lo)
+	leftSum := tree.Get(c, leftPos)
+	rightCarry := op(carry, leftSum)
+	scanDownSerial(c, a, tree, leftPos, lo, mid, carry, op, inclusive)
+	scanDownSerial(c, a, tree, rightPos, mid, hi, rightCarry, op, inclusive)
 }
 
 // PrefixSumU64 computes the prefix sum of a in place.

@@ -37,7 +37,7 @@ func TestJoinAllBasic(t *testing.T) {
 	}
 	sp := mem.NewSpace()
 	left, right := mustLoad(t, sp, lrecs), mustLoad(t, sp, rrecs)
-	out, count, err := JoinAll(forkjoin.Serial(), sp, NewArena(), left, right, 8, obliv.SelectionNetwork{})
+	out, count, err := JoinAll(testCtx(), sp, NewArena(), left, right, 8, obliv.SelectionNetwork{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,8 +73,8 @@ func TestJoinAllSubsumesJoin(t *testing.T) {
 
 		sp := mem.NewSpace()
 		srt := bitonic.CacheAgnostic{}
-		jOut, jCount := Join(forkjoin.Serial(), sp, NewArena(), mustLoadW(t, sp, dedup, w), mustLoadW(t, sp, rrecs, w), srt)
-		aOut, aCount, err := JoinAll(forkjoin.Serial(), sp, NewArena(), mustLoadW(t, sp, dedup, w), mustLoadW(t, sp, rrecs, w), len(rrecs), srt)
+		jOut, jCount := Join(testCtx(), sp, NewArena(), mustLoadW(t, sp, dedup, w), mustLoadW(t, sp, rrecs, w), srt)
+		aOut, aCount, err := JoinAll(testCtx(), sp, NewArena(), mustLoadW(t, sp, dedup, w), mustLoadW(t, sp, rrecs, w), len(rrecs), srt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func TestJoinAllOverflowBoundary(t *testing.T) {
 	run := func(maxOut int) (int, error) {
 		sp := mem.NewSpace()
 		left, right := mustLoad(t, sp, lrecs), mustLoad(t, sp, rrecs)
-		_, count, err := JoinAll(forkjoin.Serial(), sp, NewArena(), left, right, maxOut, obliv.SelectionNetwork{})
+		_, count, err := JoinAll(testCtx(), sp, NewArena(), left, right, maxOut, obliv.SelectionNetwork{})
 		return count, err
 	}
 
@@ -149,7 +149,7 @@ func TestJoinAllDeferredMatchesFull(t *testing.T) {
 
 			sp := mem.NewSpace()
 			srt := bitonic.CacheAgnostic{}
-			def, count, err := JoinAllDeferred(forkjoin.Serial(), sp, NewArena(),
+			def, count, err := JoinAllDeferred(testCtx(), sp, NewArena(),
 				mustLoadW(t, sp, lrecs, w), mustLoadW(t, sp, rrecs, w), maxOut, srt)
 			if err != nil {
 				t.Fatal(err)

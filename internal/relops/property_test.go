@@ -12,7 +12,6 @@ import (
 	"errors"
 	"testing"
 
-	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
 	"oblivmc/internal/prng"
@@ -107,7 +106,7 @@ func checkJoinAll(t testing.TB, seed uint64, nl, nr, w, dist int) {
 		left := mustLoadW(t, sp, lrecs, w)
 		right := mustLoadW(t, sp, rrecs, w)
 		srt := testSorter(obliv.NextPow2(obliv.NextPow2(left.Len()+right.Len()) + obliv.NextPow2(maxOut)))
-		return JoinAll(forkjoin.Serial(), sp, NewArena(), left, right, maxOut, srt)
+		return JoinAll(testCtx(), sp, NewArena(), left, right, maxOut, srt)
 	}
 
 	for _, maxOut := range []int{max(1, m), m + 1 + int(src.Uint64n(8))} {
@@ -157,7 +156,7 @@ func checkJoin(t testing.TB, seed uint64, nl, nr, w, dist int) {
 	sp := mem.NewSpace()
 	left := mustLoadW(t, sp, lrecs, w)
 	right := mustLoadW(t, sp, rrecs, w)
-	out, count := Join(forkjoin.Serial(), sp, NewArena(), left, right,
+	out, count := Join(testCtx(), sp, NewArena(), left, right,
 		testSorter(obliv.NextPow2(left.Len()+right.Len())))
 	if count != len(want) {
 		t.Fatalf("seed=%d nl=%d nr=%d w=%d dist=%d: Join count = %d, want %d", seed, nl, nr, w, dist, count, len(want))
@@ -173,7 +172,7 @@ func checkGroupBy(t testing.TB, seed uint64, n, w, dist int, agg AggKind) {
 	want := refGroupBy(recs, agg, w > 1)
 	sp := mem.NewSpace()
 	a := mustLoadW(t, sp, recs, w)
-	count := GroupBy(forkjoin.Serial(), sp, NewArena(), a, agg, testSorter(a.Len()))
+	count := GroupBy(testCtx(), sp, NewArena(), a, agg, testSorter(a.Len()))
 	if count != len(want) {
 		t.Fatalf("seed=%d n=%d w=%d dist=%d agg=%d: GroupBy count = %d, want %d", seed, n, w, dist, agg, count, len(want))
 	}
@@ -200,7 +199,7 @@ func checkDistinct(t testing.TB, seed uint64, n, w, dist int) {
 	}
 	sp := mem.NewSpace()
 	a := mustLoadW(t, sp, recs, w)
-	count := Distinct(forkjoin.Serial(), sp, NewArena(), a, testSorter(a.Len()))
+	count := Distinct(testCtx(), sp, NewArena(), a, testSorter(a.Len()))
 	if count != len(want) {
 		t.Fatalf("seed=%d n=%d w=%d dist=%d: Distinct count = %d, want %d", seed, n, w, dist, count, len(want))
 	}

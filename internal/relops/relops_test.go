@@ -5,6 +5,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 
 	"oblivmc/internal/bitonic"
@@ -13,6 +14,26 @@ import (
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
 	"oblivmc/internal/prng"
+)
+
+// testCtx returns the executor the suite's operator calls run under:
+// serial by default, or a package-wide 4-worker stealing pool when
+// OBLIVMC_TEST_MODE=parallel (CI's ModeParallel matrix leg, `make
+// test-parallel`), so every correctness and property check in this package
+// also exercises true concurrent execution. The trace-fingerprint tests
+// are unaffected: fingerprints are defined by the metered executor, which
+// is sequential by construction and never goes through this helper.
+func testCtx() *forkjoin.Ctx {
+	if os.Getenv("OBLIVMC_TEST_MODE") != "parallel" {
+		return forkjoin.Serial()
+	}
+	suitePoolOnce.Do(func() { suitePool = forkjoin.NewPool(4) })
+	return suitePool.OwnerCtx()
+}
+
+var (
+	suitePool     *forkjoin.Pool
+	suitePoolOnce sync.Once
 )
 
 // mustLoad is width-1 Load for known-in-range test data; the error path has
@@ -105,7 +126,7 @@ func TestCompactRandom(t *testing.T) {
 		}
 		sp := mem.NewSpace()
 		a := mustLoad(t, sp, recs)
-		count := Compact(forkjoin.Serial(), sp, NewArena(), a, pred, testSorter(a.Len()))
+		count := Compact(testCtx(), sp, NewArena(), a, pred, testSorter(a.Len()))
 		if count != len(want) {
 			t.Fatalf("n=%d: Compact count = %d, want %d", n, count, len(want))
 		}
@@ -116,7 +137,7 @@ func TestCompactRandom(t *testing.T) {
 func TestCompactNoneSurvive(t *testing.T) {
 	sp := mem.NewSpace()
 	a := mustLoad(t, sp, randRecords(prng.New(5), 16, 10, 10))
-	count := Compact(forkjoin.Serial(), sp, NewArena(), a, func(Record) bool { return false }, obliv.SelectionNetwork{})
+	count := Compact(testCtx(), sp, NewArena(), a, func(Record) bool { return false }, obliv.SelectionNetwork{})
 	if count != 0 || len(Unload(a)) != 0 {
 		t.Fatalf("expected empty result, got count=%d records=%v", count, Unload(a))
 	}
@@ -136,7 +157,7 @@ func TestDistinctRandom(t *testing.T) {
 		}
 		sp := mem.NewSpace()
 		a := mustLoad(t, sp, recs)
-		count := Distinct(forkjoin.Serial(), sp, NewArena(), a, testSorter(a.Len()))
+		count := Distinct(testCtx(), sp, NewArena(), a, testSorter(a.Len()))
 		if count != len(want) {
 			t.Fatalf("n=%d: Distinct count = %d, want %d", n, count, len(want))
 		}
@@ -162,7 +183,7 @@ func TestDistinctWideKeys(t *testing.T) {
 		}
 		sp := mem.NewSpace()
 		a := mustLoadW(t, sp, recs, 2)
-		count := Distinct(forkjoin.Serial(), sp, NewArena(), a, testSorter(a.Len()))
+		count := Distinct(testCtx(), sp, NewArena(), a, testSorter(a.Len()))
 		if count != len(want) {
 			t.Fatalf("n=%d: wide Distinct count = %d, want %d", n, count, len(want))
 		}
@@ -240,7 +261,7 @@ func TestGroupByRandom(t *testing.T) {
 			want := refGroupBy(recs, agg, false)
 			sp := mem.NewSpace()
 			a := mustLoad(t, sp, recs)
-			count := GroupBy(forkjoin.Serial(), sp, NewArena(), a, agg, testSorter(a.Len()))
+			count := GroupBy(testCtx(), sp, NewArena(), a, agg, testSorter(a.Len()))
 			if count != len(want) {
 				t.Fatalf("agg=%d n=%d: GroupBy count = %d, want %d", agg, n, count, len(want))
 			}
@@ -259,7 +280,7 @@ func TestGroupByWideKeys(t *testing.T) {
 			want := refGroupBy(recs, agg, true)
 			sp := mem.NewSpace()
 			a := mustLoadW(t, sp, recs, 2)
-			count := GroupBy(forkjoin.Serial(), sp, NewArena(), a, agg, testSorter(a.Len()))
+			count := GroupBy(testCtx(), sp, NewArena(), a, agg, testSorter(a.Len()))
 			if count != len(want) {
 				t.Fatalf("agg=%d n=%d: wide GroupBy count = %d, want %d", agg, n, count, len(want))
 			}
@@ -282,7 +303,7 @@ func TestGroupByMaxLegalKeys(t *testing.T) {
 	}
 	sp := mem.NewSpace()
 	a := mustLoadW(t, sp, recs, 2)
-	count := GroupBy(forkjoin.Serial(), sp, NewArena(), a, AggAvg, obliv.SelectionNetwork{})
+	count := GroupBy(testCtx(), sp, NewArena(), a, AggAvg, obliv.SelectionNetwork{})
 	want := []Record{
 		{Key: maxKey, Key2: maxKey, Val: 20},
 		{Key: 0, Key2: 1, Val: 1},
@@ -319,7 +340,7 @@ func TestJoinRandom(t *testing.T) {
 
 			sp := mem.NewSpace()
 			left, right := mustLoad(t, sp, lrecs), mustLoad(t, sp, rrecs)
-			out, count := Join(forkjoin.Serial(), sp, NewArena(), left, right, testSorter(obliv.NextPow2(left.Len()+right.Len())))
+			out, count := Join(testCtx(), sp, NewArena(), left, right, testSorter(obliv.NextPow2(left.Len()+right.Len())))
 			if count != len(want) {
 				t.Fatalf("nl=%d nr=%d: Join count = %d, want %d", nl, nr, count, len(want))
 			}
@@ -366,7 +387,7 @@ func TestJoinWideKeys(t *testing.T) {
 	}
 	sp := mem.NewSpace()
 	left, right := mustLoadW(t, sp, lrecs, 2), mustLoadW(t, sp, rrecs, 2)
-	out, count := Join(forkjoin.Serial(), sp, NewArena(), left, right, obliv.SelectionNetwork{})
+	out, count := Join(testCtx(), sp, NewArena(), left, right, obliv.SelectionNetwork{})
 	if count != len(want) {
 		t.Fatalf("wide Join count = %d, want %d", count, len(want))
 	}
@@ -382,7 +403,7 @@ func TestJoinNoMatches(t *testing.T) {
 	sp := mem.NewSpace()
 	left := mustLoad(t, sp, []Record{{Key: 1, Val: 10}, {Key: 2, Val: 20}})
 	right := mustLoad(t, sp, []Record{{Key: 7, Val: 1}, {Key: 8, Val: 2}, {Key: 9, Val: 3}})
-	out, count := Join(forkjoin.Serial(), sp, NewArena(), left, right, obliv.SelectionNetwork{})
+	out, count := Join(testCtx(), sp, NewArena(), left, right, obliv.SelectionNetwork{})
 	if count != 0 || len(UnloadJoined(out)) != 0 {
 		t.Fatalf("expected no matches, got count=%d %v", count, UnloadJoined(out))
 	}
@@ -410,7 +431,7 @@ func TestTopKRandom(t *testing.T) {
 
 			sp := mem.NewSpace()
 			a := mustLoad(t, sp, recs)
-			count := TopK(forkjoin.Serial(), sp, NewArena(), a, k, testSorter(a.Len()))
+			count := TopK(testCtx(), sp, NewArena(), a, k, testSorter(a.Len()))
 			wantCount := k
 			if wantCount > n {
 				wantCount = n
@@ -442,7 +463,7 @@ func TestTopKTiesAndZeros(t *testing.T) {
 
 		sp := mem.NewSpace()
 		a := mustLoad(t, sp, recs)
-		count := TopK(forkjoin.Serial(), sp, NewArena(), a, k, obliv.SelectionNetwork{})
+		count := TopK(testCtx(), sp, NewArena(), a, k, obliv.SelectionNetwork{})
 		got := Unload(a)
 		wantCount := k
 		if wantCount > n {
@@ -531,9 +552,9 @@ func TestArenaReuseMatchesFreshScratch(t *testing.T) {
 		sp := mem.NewSpace()
 		srt := bitonic.CacheAgnostic{}
 		a := mustLoad(t, sp, recs)
-		Distinct(forkjoin.Serial(), sp, ar, a, srt)
+		Distinct(testCtx(), sp, ar, a, srt)
 		b := mustLoad(t, sp, recs)
-		GroupBy(forkjoin.Serial(), sp, ar, b, AggSum, srt)
+		GroupBy(testCtx(), sp, ar, b, AggSum, srt)
 		return Unload(a), Unload(b)
 	}
 	d1, g1 := run(NewArena())
@@ -554,11 +575,11 @@ func TestArenaMixedWidths(t *testing.T) {
 	srt := bitonic.CacheAgnostic{}
 
 	a := mustLoad(t, sp, narrow)
-	GroupBy(forkjoin.Serial(), sp, ar, a, AggSum, srt)
+	GroupBy(testCtx(), sp, ar, a, AggSum, srt)
 	b := mustLoadW(t, sp, wide, 2)
-	GroupBy(forkjoin.Serial(), sp, ar, b, AggAvg, srt)
+	GroupBy(testCtx(), sp, ar, b, AggAvg, srt)
 	c := mustLoad(t, sp, narrow)
-	GroupBy(forkjoin.Serial(), sp, ar, c, AggSum, srt)
+	GroupBy(testCtx(), sp, ar, c, AggSum, srt)
 
 	checkRecords(t, Unload(a), refGroupBy(narrow, AggSum, false), "narrow before wide")
 	checkRecords(t, Unload(b), refGroupBy(wide, AggAvg, true), "wide between narrows")
@@ -591,7 +612,7 @@ func TestArenaRebindsAcrossSpaces(t *testing.T) {
 	for round := 0; round < 2; round++ {
 		sp := mem.NewSpace()
 		a := mustLoad(t, sp, recs)
-		GroupBy(forkjoin.Serial(), sp, arr, a, AggSum, bitonic.CacheAgnostic{})
+		GroupBy(testCtx(), sp, arr, a, AggSum, bitonic.CacheAgnostic{})
 		got[round] = Unload(a)
 	}
 	checkRecords(t, got[1], got[0], "arena across spaces")

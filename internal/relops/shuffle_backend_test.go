@@ -39,7 +39,7 @@ func checkGroupByBackends(t testing.TB, seed, sortSeed uint64, n, w, dist int, a
 	run := func(srt obliv.Sorter) []Record {
 		sp := mem.NewSpace()
 		a := mustLoadW(t, sp, recs, w)
-		GroupBy(forkjoin.Serial(), sp, NewArena(), a, agg, srt)
+		GroupBy(testCtx(), sp, NewArena(), a, agg, srt)
 		return Unload(a)
 	}
 	checkRecords(t, run(shuffleSorter(sortSeed)), run(bitonic.CacheAgnostic{}), "GroupBy backends")
@@ -63,7 +63,7 @@ func TestBackendEquivalenceProperty(t *testing.T) {
 				runOp := func(srt obliv.Sorter, op func(c *forkjoin.Ctx, sp *mem.Space, r Rel, srt obliv.Sorter)) []Record {
 					sp := mem.NewSpace()
 					r := mustLoadW(t, sp, recs, w)
-					op(forkjoin.Serial(), sp, r, srt)
+					op(testCtx(), sp, r, srt)
 					return Unload(r)
 				}
 				distinct := func(c *forkjoin.Ctx, sp *mem.Space, r Rel, srt obliv.Sorter) {
@@ -82,7 +82,7 @@ func TestBackendEquivalenceProperty(t *testing.T) {
 						sp := mem.NewSpace()
 						l := mustLoadW(t, sp, lrecs, w)
 						r := mustLoadW(t, sp, recs, w)
-						out, _, err := JoinAll(forkjoin.Serial(), sp, NewArena(), l, r, maxOut, srt)
+						out, _, err := JoinAll(testCtx(), sp, NewArena(), l, r, maxOut, srt)
 						if err != nil {
 							t.Fatal(err)
 						}

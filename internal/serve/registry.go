@@ -33,10 +33,10 @@ var (
 // here is public shape (names, counts, widths, versions, order tokens),
 // never contents.
 type TableInfo struct {
-	Name    string            `json:"name"`
-	Version int               `json:"version"`
-	Rows    int               `json:"rows"`
-	Width   int               `json:"width"`
+	Name    string             `json:"name"`
+	Version int                `json:"version"`
+	Rows    int                `json:"rows"`
+	Width   int                `json:"width"`
 	Order   oblivmc.TableOrder `json:"-"`
 	// OrderName is Order rendered for the JSON surface.
 	OrderName string `json:"order"`
@@ -53,8 +53,8 @@ type tableEntry struct {
 // name@version can never alias a stale relation — the re-load
 // invalidation is structural, not a scan.
 type Registry struct {
-	mu      sync.RWMutex
-	tables  map[string]*tableEntry
+	mu     sync.RWMutex
+	tables map[string]*tableEntry
 	// versions survives drops: re-loading a dropped name continues its
 	// version sequence instead of restarting at 1, keeping old cache keys
 	// dead forever.

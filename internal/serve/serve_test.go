@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -444,4 +445,42 @@ func TestLaneBucketsPreferWarmedSessions(t *testing.T) {
 		t.Fatalf("small request got the big-warmed lane")
 	}
 	s.checkin(l, small)
+}
+
+// The default worker split is GOMAXPROCS/lanes; with more lanes than
+// GOMAXPROCS the integer division resolves to 0, which forkjoin.NewPool
+// would silently expand to a *full* GOMAXPROCS pool per lane —
+// lanes×GOMAXPROCS runnable goroutines on a machine admitting lanes
+// queries at once. NewServer clamps the split to one worker per lane;
+// this pins the clamp and the resolved per-lane pool size.
+func TestWorkerSplitClampedToOne(t *testing.T) {
+	lanes := runtime.GOMAXPROCS(0) + 3
+	s := NewServer(Options{
+		Lanes:        lanes,
+		QueueTimeout: 2 * time.Second,
+		Exec:         oblivmc.Config{Mode: oblivmc.ModeParallel},
+	})
+	t.Cleanup(s.Shutdown)
+	if got := s.WorkersPerLane(); got != 1 {
+		t.Fatalf("WorkersPerLane() = %d, want 1 (lanes=%d, GOMAXPROCS=%d)", got, lanes, runtime.GOMAXPROCS(0))
+	}
+	for i, l := range s.free {
+		if w := l.sess.Workers(); w != 1 {
+			t.Fatalf("lane %d session Workers() = %d, want 1", i, w)
+		}
+	}
+}
+
+// With lanes that divide the machine evenly, the split is GOMAXPROCS/lanes
+// and an explicit Workers wins over the split.
+func TestWorkerSplitExplicitWins(t *testing.T) {
+	s := NewServer(Options{
+		Lanes:        2,
+		QueueTimeout: 2 * time.Second,
+		Exec:         oblivmc.Config{Mode: oblivmc.ModeParallel, Workers: 3},
+	})
+	t.Cleanup(s.Shutdown)
+	if got := s.WorkersPerLane(); got != 3 {
+		t.Fatalf("WorkersPerLane() = %d, want explicit 3", got)
+	}
 }

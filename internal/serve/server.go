@@ -113,6 +113,17 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Lanes returns the admission bound.
 func (s *Server) Lanes() int { return s.opts.Lanes }
 
+// WorkersPerLane returns the resolved fork-join pool size each lane
+// session runs with (1 outside ModeParallel). The machine's cores are
+// split lanes ways by default, clamped to at least one worker per lane
+// when lanes exceed GOMAXPROCS.
+func (s *Server) WorkersPerLane() int {
+	if s.opts.Exec.Mode == oblivmc.ModeParallel && s.opts.Exec.Workers > 0 {
+		return s.opts.Exec.Workers
+	}
+	return 1
+}
+
 // PeakConcurrency returns the high-water mark of queries concurrently
 // holding lanes since startup (always <= Lanes — the admission-control
 // invariant the stress test asserts).

@@ -220,6 +220,15 @@ func bucketOf(r *krow, pivots []krow, w int) int {
 // partitionChunk bounds the per-chunk serial work of the q-way scatter.
 const partitionChunk = 4096
 
+// prefixParThreshold is the q·chunks table size past which the scatter's
+// (bucket, chunk) offset prefix is worth forking; prefixBucketGrain is how
+// many bucket columns a leaf walks (each column is `chunks` ints, strided
+// q apart, so a leaf touches grain·chunks counters).
+const (
+	prefixParThreshold = 1 << 14
+	prefixBucketGrain  = 16
+)
+
 // partitionK stably partitions s[lo:lo+n) into len(pivots)+1 buckets,
 // filling bounds (offsets relative to lo, len(pivots)+2 entries) and
 // leaving the buckets contiguous in s. Two element passes: chunk-local
@@ -246,14 +255,46 @@ func partitionK(c *forkjoin.Ctx, s, scratch kseq, lo, n int, pivots []krow, boun
 	})
 	// Exclusive prefix in (bucket, chunk) order: chunk ch of bucket b
 	// scatters behind every chunk of earlier buckets and earlier chunks of
-	// its own — the stable order. O(q·chunks) serial harness work.
-	off := 0
-	for b := 0; b < q; b++ {
-		bounds[b] = off
-		for ch := 0; ch < chunks; ch++ {
-			cnt := counts[ch*q+b]
-			counts[ch*q+b] = off
-			off += cnt
+	// its own — the stable order. O(q·chunks) harness work; with q ~ √n and
+	// chunks ~ n/partitionChunk that is ~n/64 at the top level, enough to be
+	// a visible serial tail, so in pool mode it splits per bucket: totals
+	// first, then a q-length serial prefix for the bucket bases, then each
+	// bucket rewrites its own column of counts independently.
+	if c.ParallelMode() && q*chunks >= prefixParThreshold {
+		totals := make([]int, q)
+		forkjoin.ParallelRange(c, 0, q, prefixBucketGrain, func(_ *forkjoin.Ctx, bFrom, bTo int) {
+			for b := bFrom; b < bTo; b++ {
+				t := 0
+				for ch := 0; ch < chunks; ch++ {
+					t += counts[ch*q+b]
+				}
+				totals[b] = t
+			}
+		})
+		off := 0
+		for b := 0; b < q; b++ {
+			bounds[b] = off
+			off += totals[b]
+		}
+		forkjoin.ParallelRange(c, 0, q, prefixBucketGrain, func(_ *forkjoin.Ctx, bFrom, bTo int) {
+			for b := bFrom; b < bTo; b++ {
+				off := bounds[b]
+				for ch := 0; ch < chunks; ch++ {
+					cnt := counts[ch*q+b]
+					counts[ch*q+b] = off
+					off += cnt
+				}
+			}
+		})
+	} else {
+		off := 0
+		for b := 0; b < q; b++ {
+			bounds[b] = off
+			for ch := 0; ch < chunks; ch++ {
+				cnt := counts[ch*q+b]
+				counts[ch*q+b] = off
+				off += cnt
+			}
 		}
 	}
 	bounds[q] = n

@@ -1,0 +1,159 @@
+package oblivmc
+
+// Parallel-correctness property tests for the multicore path: the same
+// queries under ModeSerial and ModeParallel (several pool sizes) across
+// both sort backends must produce byte-identical public results, and the
+// trace fingerprint — which is defined by the metered executor, sequential
+// by construction — must be unaffected by however many workers the pool
+// runs. These tests run under -race by design: the pool's deques, the
+// per-level Beneš routing fan-out, the grained scan sweeps, and the
+// sample-sort scatter all execute with real concurrency here.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"oblivmc/internal/prng"
+)
+
+// stressQueryRows draws a workload with heavy key duplication so Distinct,
+// GroupBy, and TopK all do real work, padded past a power of two so the
+// oblivious padding paths run too.
+func stressQueryRows(n int, seed uint64) []Row {
+	src := prng.New(seed)
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{Key: src.Uint64n(97), Val: src.Uint64n(1 << 30)}
+	}
+	return rows
+}
+
+func TestModeParallelMatchesSerial(t *testing.T) {
+	tab := mustTable(t, stressQueryRows(3000, 1234)) // pads to 4096 slots
+	queries := []Query{
+		{
+			Filter:   func(r Row) bool { return r.Val%7 != 0 },
+			Distinct: true,
+			GroupBy:  AggSum,
+			TopK:     11,
+		},
+		{GroupBy: AggMax},
+	}
+	for qi, q := range queries {
+		for _, backend := range []SortBackend{SortBitonic, SortShuffle} {
+			ref, _, err := RunQuery(Config{Mode: ModeSerial, SortBackend: backend, Seed: 7}, tab, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 8} {
+				cfg := Config{Mode: ModeParallel, Workers: workers, SortBackend: backend, Seed: 7}
+				got, _, err := RunQuery(cfg, tab, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("query %d, backend %d, workers %d", qi, backend, workers)
+				if len(got.Rows()) != len(ref.Rows()) {
+					t.Fatalf("%s: %d rows, want %d", label, len(got.Rows()), len(ref.Rows()))
+				}
+				for j := range ref.Rows() {
+					if got.Rows()[j] != ref.Rows()[j] {
+						t.Fatalf("%s: row %d = %v, want %v", label, j, got.Rows()[j], ref.Rows()[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFingerprintUnaffectedByParallelRuns pins that the adversary's-view
+// fingerprint is a property of the metered (sequential) executor alone:
+// metered runs bracketing a batch of multi-worker pool runs report the
+// same fingerprint bit for bit.
+func TestFingerprintUnaffectedByParallelRuns(t *testing.T) {
+	tab := mustTable(t, stressQueryRows(700, 99)) // pads to 1024 slots
+	q := Query{GroupBy: AggSum, TopK: 5}
+	metered := func() interface{} {
+		_, rep, err := RunQuery(Config{Mode: ModeMetered, Trace: true, SortBackend: SortBitonic}, tab, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TraceFingerprint
+	}
+	before := metered()
+	for _, workers := range []int{2, 8} {
+		if _, _, err := RunQuery(Config{Mode: ModeParallel, Workers: workers, SortBackend: SortBitonic}, tab, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := metered(); after != before {
+		t.Fatalf("metered fingerprint moved across parallel runs: %v != %v", after, before)
+	}
+}
+
+// TestScalingSmoke is the CI guard against parallelism regressions: a 2^18
+// fused query at 4 workers must be no slower than the serial run (within a
+// noise margin — it asserts "parallel doesn't lose", not a brittle speedup
+// ratio, so it stays green on loaded runners). The measured ratio is
+// logged, and appended to the job summary when GITHUB_STEP_SUMMARY is set,
+// so the actual speedup trend is visible per run without gating on it.
+func TestScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling smoke skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("scaling smoke is a timing check; the race detector distorts it")
+	}
+	if runtime.NumCPU() < 2 {
+		t.Skipf("scaling smoke needs >= 2 CPUs, have %d", runtime.NumCPU())
+	}
+	const n = 1 << 18
+	tab := mustTable(t, stressQueryRows(n-n/8, 4321)) // pads to 2^18 slots
+	q := Query{
+		Filter:   func(r Row) bool { return r.Val%3 != 0 },
+		Distinct: true,
+		GroupBy:  AggSum,
+		TopK:     benchTopKSmoke,
+	}
+	run := func(cfg Config) float64 {
+		// Warm, then best-of-two: the minimum damps one-off scheduler and
+		// allocator noise without averaging away a real regression.
+		if _, _, err := RunQuery(cfg, tab, q); err != nil {
+			t.Fatal(err)
+		}
+		best := 0.0
+		for i := 0; i < 2; i++ {
+			start := time.Now()
+			if _, _, err := RunQuery(cfg, tab, q); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start).Seconds(); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	serial := run(Config{Mode: ModeSerial, SortBackend: SortShuffle, Seed: 1, DeterministicShuffle: true})
+	par := run(Config{Mode: ModeParallel, Workers: 4, SortBackend: SortShuffle, Seed: 1, DeterministicShuffle: true})
+	ratio := serial / par // >1 means the parallel run was faster
+	line := fmt.Sprintf("scaling smoke: n=%d serial=%.3fs 4-workers=%.3fs speedup=%.2fx (NumCPU=%d)",
+		n, serial, par, ratio, runtime.NumCPU())
+	t.Log(line)
+	if path := os.Getenv("GITHUB_STEP_SUMMARY"); path != "" {
+		if f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644); err == nil {
+			fmt.Fprintf(f, "%s\n\n", line)
+			f.Close()
+		}
+	}
+	// 10% headroom: on >= 2 real cores a 4-worker pool must at minimum not
+	// lose to serial; anything below that is a scheduling or contention
+	// regression, not noise.
+	if par > serial*1.10 {
+		t.Fatalf("4-worker run slower than serial beyond noise: %s", line)
+	}
+}
+
+// benchTopKSmoke keeps the smoke query's TopK in one place.
+const benchTopKSmoke = 9
