@@ -38,7 +38,7 @@ vet:
 # trajectory is tracked per commit. BENCH_ARGS can bound the sweep, e.g.
 # make bench BENCH_ARGS="-max 65536".
 bench:
-	$(GO) run ./cmd/relbench -out BENCH_7.json $(BENCH_ARGS)
+	$(GO) run ./cmd/relbench -out BENCH_8.json $(BENCH_ARGS)
 
 # bench-sweep records the multicore scaling curve: every point measured
 # once per -procs pool size into one artifact (per-result workers field).
@@ -57,7 +57,7 @@ bench-sweep:
 # baseline, flagging elems/s regressions beyond the noise threshold
 # (warn-only in CI; drop -warn locally to gate). BENCHDIFF_ARGS widens the
 # sweep, e.g. BENCHDIFF_ARGS="" for the full sizes.
-BENCHDIFF_BASE ?= BENCH_7.json
+BENCHDIFF_BASE ?= BENCH_8.json
 BENCHDIFF_ARGS ?= -max 65536
 benchdiff:
 	$(GO) run ./cmd/relbench -procs 1 -out BENCH_HEAD.json $(BENCHDIFF_ARGS)
@@ -71,6 +71,7 @@ benchdiff:
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzJoinAll$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzJoinAllCapacityAdvisor$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzJoin$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzGroupBy$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzDistinct$$' -fuzztime $(FUZZTIME)

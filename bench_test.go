@@ -520,9 +520,14 @@ func BenchmarkJoin(b *testing.B) {
 
 // BenchmarkJoinAll is the many-to-many expansion join point: left keys
 // repeat (multiplicity 2), the match count equals n exactly, and the public
-// capacity is tight (maxOut = n) — the operator's four sorts run over the
+// capacity is tight (maxOut = n) — the operator's three sorts plus the
+// expansion's bitonic merge run over the
 // NextPow2(NextPow2(nl+n)+NextPow2(n)) work relation at full occupancy.
+// The sorter is the size-adaptive shuffle-then-sort backend (the library
+// default at these sizes), matching cmd/relbench's join_all point; the
+// seed is pinned so iterations measure identical traces.
 func BenchmarkJoinAll(b *testing.B) {
+	var seed uint64 = 1
 	for _, n := range relopsSizes {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			lrecs, rrecs, maxOut := benchdata.JoinAllRecords(n)
@@ -532,7 +537,8 @@ func BenchmarkJoinAll(b *testing.B) {
 					sp := mem.NewSpace()
 					l := benchLoad(b, sp, lrecs)
 					r := benchLoad(b, sp, rrecs)
-					if _, _, err := relops.JoinAll(c, sp, relops.NewArena(), l, r, maxOut, bitonic.CacheAgnostic{}); err != nil {
+					srt := &core.ShuffleSorter{FixedSeed: &seed}
+					if _, _, err := relops.JoinAll(c, sp, relops.NewArena(), l, r, maxOut, srt); err != nil {
 						b.Fatal(err)
 					}
 				})

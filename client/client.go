@@ -32,10 +32,14 @@ type Filter struct {
 	Value uint64 `json:"value"`
 }
 
-// Join is the declarative join clause against a loaded relation.
+// Join is the declarative join clause against a loaded relation. Set
+// MaxOut to a public output capacity, or JoinCap to "auto" to let the
+// server's capacity advisor size the output at the worst-case match bound
+// (mutually exclusive).
 type Join struct {
-	Table  string `json:"table"`
-	MaxOut int    `json:"max_out"`
+	Table   string `json:"table"`
+	MaxOut  int    `json:"max_out,omitempty"`
+	JoinCap string `json:"join_cap,omitempty"`
 }
 
 // Spec is one declarative query over a loaded relation.

@@ -14,12 +14,15 @@
 // individual point is within the noise threshold. Exit status is 1 when
 // any matched point regresses beyond the threshold, unless -warn is set
 // (CI runs warn-only: shared runners are noisy and the artifact is a trend
-// indicator, not a gate).
+// indicator, not a gate). The exception is the gated benchmark (-gate,
+// default join_all): a gated point slower than base by more than
+// -gate-threshold fails the run even under -warn, so the join_all
+// recovery can never silently regress.
 //
 // Usage:
 //
-//	benchdiff -base BENCH_5.json -new BENCH_7.json
-//	benchdiff -base BENCH_5.json -new BENCH_7.json -threshold 0.30 -warn
+//	benchdiff -base BENCH_7.json -new BENCH_8.json
+//	benchdiff -base BENCH_7.json -new BENCH_8.json -threshold 0.30 -warn
 package main
 
 import (
@@ -208,6 +211,8 @@ func main() {
 	newPath := flag.String("new", "BENCH_3.json", "new artifact")
 	threshold := flag.Float64("threshold", 0.20, "flag matched points slower than base by more than this fraction")
 	warn := flag.Bool("warn", false, "report regressions but exit 0 (CI trend mode)")
+	gate := flag.String("gate", "join_all", "benchmark name whose regressions fail even under -warn (empty disables)")
+	gateThreshold := flag.Float64("gate-threshold", 0.15, "hard-failure fraction for the gated benchmark")
 	flag.Parse()
 
 	base, err := load(*basePath)
@@ -220,13 +225,17 @@ func main() {
 	}
 
 	lines, onlyBase, onlyNew := diff(base, cur, *threshold)
-	regressions := 0
+	regressions, gated := 0, 0
 	fmt.Printf("%-22s %10s %4s %14s %14s %8s\n", "benchmark", "n", "w", "base elems/s", "new elems/s", "ratio")
 	for _, l := range lines {
 		flagStr := ""
 		if l.Regression {
 			flagStr = "  << REGRESSION"
 			regressions++
+		}
+		if *gate != "" && l.Key.Name == *gate && l.Base > 0 && l.Ratio < 1-*gateThreshold {
+			flagStr = "  << GATED REGRESSION"
+			gated++
 		}
 		fmt.Printf("%-22s %10d %4d %14.0f %14.0f %7.2fx%s\n", l.Key.Name, l.Key.N, l.Key.Workers, l.Base, l.New, l.Ratio, flagStr)
 	}
@@ -240,6 +249,11 @@ func main() {
 	printCurves("base", base)
 	printCurves("new", cur)
 
+	if gated > 0 {
+		fmt.Printf("\n%d %s point(s) regressed beyond the %.0f%% gate (%s → %s) — failing even in warn mode\n",
+			gated, *gate, *gateThreshold*100, base.Generated, cur.Generated)
+		os.Exit(1)
+	}
 	if regressions > 0 {
 		fmt.Printf("\n%d point(s) regressed beyond %.0f%% (%s → %s)\n",
 			regressions, *threshold*100, base.Generated, cur.Generated)

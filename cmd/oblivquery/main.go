@@ -7,7 +7,9 @@
 // dimension table (keys drawn from the same -groups space, so keys repeat:
 // the join is many-to-many) is equi-joined against the table first; the
 // output capacity -joincap is public query shape, and a run whose true
-// match count exceeds it fails with the count a retry needs.
+// match count exceeds it fails with the count a retry needs. -joincap auto
+// delegates the capacity to the engine's advisor (the worst-case match
+// bound, which can never overflow — revealed as public shape).
 //
 // Usage:
 //
@@ -39,7 +41,7 @@ func main() {
 	cols := flag.Int("cols", 1, "key columns per row (1 or 2; 2 groups by the full (a, b) tuple)")
 	useStdin := flag.Bool("stdin", false, "read \"key... value\" rows (one per line, -cols keys) from stdin")
 	joinN := flag.Int("join", 0, "many-to-many join: equi-join a generated dimension table of this many rows against the table first (0 = no join)")
-	joinCap := flag.Int("joincap", 0, "public output capacity of the join (0 = auto: 4x the table's rows)")
+	joinCap := flag.String("joincap", "", "public output capacity of the join: a row count, \"auto\" for the capacity advisor's worst-case bound, or empty for 4x the table's rows")
 	minVal := flag.Uint64("min", 0, "filter: keep rows with value >= min (0 = no filter; any width)")
 	minKey := flag.Uint64("minkey", 0, "key-only filter: keep rows with key column 0 >= minkey (0 = none; plannable below distinct/group-by; any width)")
 	distinct := flag.Bool("distinct", false, "deduplicate rows by key tuple before aggregating")
@@ -131,9 +133,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		capacity := *joinCap
-		if capacity == 0 {
-			capacity = 4 * table.Len()
+		capacity := 4 * table.Len()
+		switch *joinCap {
+		case "", "0":
+		case "auto":
+			capacity = oblivmc.JoinCapAuto
+		default:
+			capacity, err = strconv.Atoi(*joinCap)
+			if err != nil {
+				log.Fatalf("-joincap must be a row count or \"auto\": %v", err)
+			}
 		}
 		q.Join = &oblivmc.JoinSpec{Left: dim, MaxOut: capacity}
 	}

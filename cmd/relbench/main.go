@@ -22,7 +22,7 @@
 // Usage:
 //
 //	relbench -out BENCH_HEAD.json             # full sweep, one pool size
-//	relbench -procs 1,4,8 -out BENCH_7.json   # scaling sweep
+//	relbench -procs 1,4,8 -out BENCH_8.json   # scaling sweep
 //	relbench -max 65536 -iters 5              # bounded sweep for quick checks
 //	relbench -points groupby_shuffle,join_all # only the named points
 package main

@@ -45,7 +45,7 @@ func BinPlace(
 	// Step 1: copy input, then append binZ temps per bin; trailing slots
 	// remain fillers (zero value).
 	mem.CopyPar(c, w, 0, in, 0, nIn)
-	forkjoin.ParallelRange(c, 0, outLen, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, outLen, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for k := lo; k < hi; k++ {
 			w.Set(c, nIn+k, Elem{Kind: Temp, Tag: uint32(k / binZ)})
 		}
@@ -103,7 +103,7 @@ func BinPlace(
 	srt.Sort(c, sp, w, 0, wLen, key2)
 
 	// Step 5: truncate, turning temps into fillers and clearing marks.
-	forkjoin.ParallelRange(c, 0, outLen, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, outLen, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := w.Get(c, i)
 			if e.Kind == Temp {

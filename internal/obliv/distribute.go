@@ -19,6 +19,18 @@ import (
 // fixed elementwise passes, so the trace is a function of
 // (len(sources), outLen) only.
 
+// passGrain is the leaf size of the fixed elementwise passes and of each
+// bitonic-merge comparator layer outside metered mode. The expansion path
+// runs these passes over work relations of 2^21+ slots; at the old default
+// grain of 64 the fork bookkeeping (two closure allocations and a deque
+// round-trip per task) rivaled the loop bodies themselves and was the
+// serial-equivalent tail that made extra workers a net loss. 2^10 elements
+// per leaf is past the point where stealing pays while a 2^20 pass still
+// splits 2^10 ways. Metered runs are pinned to grain 1 by forkjoin.grainFor,
+// so the recorded trace (fork events included) never moves when this is
+// retuned.
+const passGrain = 1 << 10
+
 // distVal is the carrier of Distribute's "latest participant wins" prefix
 // scan: after the inclusive scan, position p holds the participating source
 // with the largest destination at or before p.
@@ -95,7 +107,7 @@ func Distribute(
 	// keys the InfKey sentinel. The keys are all distinct (distinct
 	// destinations, distinct slot indices, disjoint parities), so the
 	// default TieNetwork rule never fires on live elements.
-	forkjoin.ParallelRange(c, 0, nIn, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, nIn, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := sources.Get(c, i)
 			d := dests.Get(c, i)
@@ -108,13 +120,13 @@ func Distribute(
 			plane.Set(c, i, key)
 		}
 	})
-	forkjoin.ParallelRange(c, 0, outLen, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, outLen, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for s := lo; s < hi; s++ {
 			w.Set(c, nIn+s, Elem{Kind: Temp, Aux: uint64(s)})
 			plane.Set(c, nIn+s, uint64(s)<<1|1)
 		}
 	})
-	forkjoin.ParallelRange(c, nIn+outLen, wLen, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, nIn+outLen, wLen, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for p := lo; p < hi; p++ {
 			plane.Set(c, p, InfKey)
 		}
@@ -127,7 +139,7 @@ func Distribute(
 	// network in lockstep with the elements, so plane[p] is the key — and
 	// hence the destination — of the element now at p.
 	pv := mem.Alloc[distVal](sp, wLen)
-	forkjoin.ParallelRange(c, 0, wLen, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, wLen, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for p := lo; p < hi; p++ {
 			e := w.Get(c, p)
 			key := plane.Get(c, p)
@@ -143,7 +155,7 @@ func Distribute(
 
 	// Slots adopt their governing participant via apply; consumed
 	// participants clear to fillers; everything else passes through.
-	forkjoin.ParallelRange(c, 0, wLen, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, wLen, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for p := lo; p < hi; p++ {
 			e := w.Get(c, p)
 			key := plane.Get(c, p)
@@ -161,4 +173,150 @@ func Distribute(
 		}
 	})
 	return w
+}
+
+// DistributeOrdered is Distribute for the case every caller in this module
+// actually has: destinations that come out of a prefix sum over the source
+// array, so they are already non-decreasing in array order. That order makes
+// the full data-independent sort at the heart of Distribute overkill — the
+// key array built below is one ascending run (the sources) followed by one
+// descending run (the slots, laid out reversed), i.e. bitonic, and a single
+// bitonic merge (log2(wLen) compare-exchange layers instead of a full
+// sorting network or shuffle pass) interleaves participants and slots. For
+// the join expansion at 2^20 rows this removes one of the operator's four
+// O(n log n)-with-large-constants sorts outright and replaces it with the
+// cheapest oblivious primitive we have.
+//
+// Contract, in place of Distribute's InfKey masking convention:
+//
+//   - dests[i] clamped to outLen must be non-decreasing over [0, len(sources));
+//   - source i participates iff it is Real, participates(sources[i]) holds,
+//     and dests[i] < outLen (out-of-range participants degrade to
+//     pass-through, same as Distribute);
+//   - participating destinations must be strictly increasing, and a
+//     non-participant between two participants must carry a destination
+//     between theirs — exactly what an exclusive prefix sum of per-source
+//     span widths yields.
+//
+// Violating the order contract yields an unspecified (but still oblivious —
+// the comparator sequence is fixed) permutation. The returned array matches
+// Distribute's: length NextPow2(len(sources)+outLen); slots hold
+// apply(s, d, src, ok), non-participants pass through unchanged, consumed
+// participants and padding are fillers; slot order is not restored. The
+// access pattern depends only on (len(sources), outLen).
+func DistributeOrdered(
+	c *forkjoin.Ctx, sp *mem.Space,
+	sources *mem.Array[Elem], dests *mem.Array[uint64], outLen int,
+	participates func(Elem) bool,
+	apply func(slot, d uint64, src Elem, ok bool) Elem,
+) *mem.Array[Elem] {
+	if outLen < 1 || uint64(outLen) >= MaxKey>>1 {
+		panic(fmt.Sprintf("obliv: DistributeOrdered outLen %d out of range [1, 2^61)", outLen))
+	}
+	if dests.Len() < sources.Len() {
+		panic("obliv: DistributeOrdered dests shorter than sources")
+	}
+	nIn := sources.Len()
+	wLen := NextPow2(nIn + outLen)
+	w := mem.Alloc[Elem](sp, wLen)
+	ks := AllocKeySchedule(sp, wLen, 1)
+	plane := ks.Plane(0)
+	lim := uint64(outLen)
+
+	// Two class bits under the destination word keep the merge's key order
+	// identical to Distribute's semantic order while preserving the bitonic
+	// shape: a participant bound for d keys d<<2|1, the slot it governs keys
+	// s<<2|2 (so the participant sorts immediately before its first slot),
+	// and a non-participant keys its clamped running offset with class 0 (so
+	// it never splits a participant from its span). Sources ascend because
+	// the clamped offsets do; slots are written reversed (position wLen-1-s
+	// holds slot s) with InfKey padding above them, so the tail descends —
+	// one run up, one run down, and the whole array is bitonic by
+	// construction.
+	forkjoin.ParallelRange(c, 0, nIn, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := sources.Get(c, i)
+			d := dests.Get(c, i)
+			c.Op(1)
+			cd := d
+			if cd > lim {
+				cd = lim
+			}
+			key := cd << 2
+			if e.Kind == Real && d < lim && participates(e) {
+				key = d<<2 | 1
+			}
+			w.Set(c, i, e)
+			plane.Set(c, i, key)
+		}
+	})
+	forkjoin.ParallelRange(c, nIn, wLen-outLen, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			w.Set(c, p, Elem{})
+			plane.Set(c, p, InfKey)
+		}
+	})
+	forkjoin.ParallelRange(c, 0, outLen, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			w.Set(c, wLen-1-s, Elem{Kind: Temp, Aux: uint64(s)})
+			plane.Set(c, wLen-1-s, uint64(s)<<2|2)
+		}
+	})
+
+	mergeBitonic(c, w, ks, wLen)
+
+	// From here the pipeline is Distribute's, reading the class bits instead
+	// of the parity bit: the latest-participant scan then the apply pass.
+	pv := mem.Alloc[distVal](sp, wLen)
+	forkjoin.ParallelRange(c, 0, wLen, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			e := w.Get(c, p)
+			key := plane.Get(c, p)
+			c.Op(1)
+			v := distVal{}
+			if key&3 == 1 {
+				v = distVal{src: e, d: key >> 2, has: true}
+			}
+			pv.Set(c, p, v)
+		}
+	})
+	ScanOp(c, sp, pv, distOp, distVal{}, true)
+
+	forkjoin.ParallelRange(c, 0, wLen, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			e := w.Get(c, p)
+			key := plane.Get(c, p)
+			v := pv.Get(c, p)
+			c.Op(1)
+			switch key & 3 {
+			case 1:
+				// Consumed participant: cleared to a filler.
+				e = Elem{}
+			case 2:
+				e = apply(key>>2, v.d, v.src, v.has)
+			default:
+				// Non-participating source (class 0) or InfKey padding
+				// (class 3): unchanged.
+			}
+			w.Set(c, p, e)
+		}
+	})
+	return w
+}
+
+// mergeBitonic sorts the bitonic sequence a[0:n) ascending by its width-1
+// cached key schedule: a half-cleaner cascade of log2(n) data-independent
+// comparator layers, each layer's disjoint compare-exchanges forked with the
+// shared pass grain. n must be a power of two. The comparator sequence is a
+// function of n alone.
+func mergeBitonic(c *forkjoin.Ctx, a *mem.Array[Elem], ks *KeySchedule, n int) {
+	for j := n >> 1; j > 0; j >>= 1 {
+		forkjoin.ParallelRange(c, 0, n, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if i&j == 0 {
+					CompareExchangeCachedW(c, a, ks, i, i|j, true)
+				}
+			}
+		})
+	}
 }

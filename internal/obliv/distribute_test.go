@@ -152,3 +152,109 @@ func TestDistributeObliviousTrace(t *testing.T) {
 	oblivtest.FingerprintEqual(t, "Distribute", mk(a, 9), mk(b, 9), mk(d, 9))
 	oblivtest.Different(t, "Distribute outLen", mk(a, 9), mk(a, 16))
 }
+
+// runDistributeOrdered is runDistribute for the merge-based variant: the
+// same specs, but the destination array carries the raw running offsets
+// (non-decreasing, as the contract requires) and participation rides the
+// span count stashed in Lbl instead of an InfKey mask.
+func runDistributeOrdered(c *forkjoin.Ctx, sp *mem.Space, specs []distSpec, outLen int) (slots []Elem, passed []Elem) {
+	n := len(specs)
+	sources := mem.Alloc[Elem](sp, n)
+	dests := mem.Alloc[uint64](sp, n)
+	off := uint64(0)
+	for i, s := range specs {
+		sources.Data()[i] = Elem{Key: uint64(i), Val: s.val, Lbl: s.span, Kind: Real}
+		dests.Data()[i] = off
+		off += s.span
+	}
+	w := DistributeOrdered(c, sp, sources, dests, outLen,
+		func(e Elem) bool { return e.Lbl > 0 },
+		func(slot, d uint64, src Elem, ok bool) Elem {
+			if !ok {
+				return Elem{Key: slot, Val: InfKey, Kind: Real, Tag: 2}
+			}
+			return Elem{Key: slot, Val: src.Val, Aux: d, Lbl: src.Key, Kind: Real, Tag: 2}
+		})
+	slots = make([]Elem, outLen)
+	for _, e := range w.Data() {
+		if e.Kind != Real {
+			continue
+		}
+		if e.Tag == 2 {
+			slots[e.Key] = e
+		} else {
+			passed = append(passed, e)
+		}
+	}
+	return slots, passed
+}
+
+// TestDistributeOrderedMatchesDistribute: on prefix-sum destinations — the
+// only ones the ordered variant accepts — the merge-based expansion must
+// agree with the sort-based Distribute slot for slot, including spans
+// running past outLen and participants demoted beyond it.
+func TestDistributeOrderedMatchesDistribute(t *testing.T) {
+	src := prng.New(331)
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + src.Intn(40)
+		specs := make([]distSpec, n)
+		total := uint64(0)
+		for i := range specs {
+			specs[i] = distSpec{val: 1 + src.Uint64n(1<<30), span: src.Uint64n(4)}
+			total += specs[i].span
+		}
+		outLen := 1 + src.Intn(int(total)+8)
+
+		spA, spB := mem.NewSpace(), mem.NewSpace()
+		refSlots, refPassed := runDistribute(forkjoin.Serial(), spA, specs, outLen)
+		gotSlots, gotPassed := runDistributeOrdered(forkjoin.Serial(), spB, specs, outLen)
+		for s := 0; s < outLen; s++ {
+			if gotSlots[s].Val != refSlots[s].Val || gotSlots[s].Aux != refSlots[s].Aux {
+				t.Fatalf("trial %d: slot %d = (val %d, d %d), Distribute says (val %d, d %d) (specs %v, outLen %d)",
+					trial, s, gotSlots[s].Val, gotSlots[s].Aux, refSlots[s].Val, refSlots[s].Aux, specs, outLen)
+			}
+		}
+		if len(gotPassed) != len(refPassed) {
+			t.Fatalf("trial %d: %d passed-through sources, Distribute says %d", trial, len(gotPassed), len(refPassed))
+		}
+		sum := func(es []Elem) (s uint64) {
+			for _, e := range es {
+				s += e.Val
+			}
+			return s
+		}
+		if sum(gotPassed) != sum(refPassed) {
+			t.Fatalf("trial %d: passed-through %v, Distribute says %v", trial, gotPassed, refPassed)
+		}
+	}
+}
+
+func TestDistributeOrderedNoParticipants(t *testing.T) {
+	sp := mem.NewSpace()
+	slots, passed := runDistributeOrdered(forkjoin.Serial(), sp, []distSpec{{val: 7, span: 0}}, 4)
+	for s, e := range slots {
+		if e.Kind != Real || e.Val != InfKey {
+			t.Fatalf("ungoverned slot %d = %v, want the ok=false marker", s, e)
+		}
+	}
+	if len(passed) != 1 || passed[0].Val != 7 {
+		t.Fatalf("non-participant not passed through: %v", passed)
+	}
+}
+
+// TestDistributeOrderedObliviousTrace: the bitonic merge's comparator
+// sequence is a function of the array length alone, so same-shape runs
+// with different spans and values must have identical views, and a
+// different outLen must not.
+func TestDistributeOrderedObliviousTrace(t *testing.T) {
+	mk := func(specs []distSpec, outLen int) oblivtest.Body {
+		return func(c *forkjoin.Ctx, sp *mem.Space) {
+			runDistributeOrdered(c, sp, specs, outLen)
+		}
+	}
+	a := []distSpec{{1, 9}, {2, 0}, {3, 0}, {4, 0}}
+	b := []distSpec{{5, 1}, {6, 1}, {7, 1}, {8, 1}}
+	d := []distSpec{{0, 0}, {0, 0}, {0, 0}, {0, 0}}
+	oblivtest.FingerprintEqual(t, "DistributeOrdered", mk(a, 9), mk(b, 9), mk(d, 9))
+	oblivtest.Different(t, "DistributeOrdered outLen", mk(a, 9), mk(a, 16))
+}

@@ -113,7 +113,7 @@ func (ks *KeySchedule) View(lo, n int) *KeySchedule {
 // the key of a[i].
 func BuildKeySchedule(c *forkjoin.Ctx, a *mem.Array[Elem], ks *KeySchedule, lo, n int, key func(e Elem, out []uint64)) {
 	w := ks.Width()
-	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, from, to int) {
+	forkjoin.ParallelRange(c, 0, n, passGrain, func(c *forkjoin.Ctx, from, to int) {
 		var buf [MaxScheduleWidth]uint64
 		out := buf[:w]
 		for i := from; i < to; i++ {

@@ -79,7 +79,7 @@ func PropagateFirstBy(
 		return
 	}
 	p := mem.Alloc[propVal](sp, n)
-	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, n, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			boundary := i == 0
@@ -93,7 +93,7 @@ func PropagateFirstBy(
 		}
 	})
 	ScanOp(c, sp, p, propOp, propVal{}, true)
-	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, n, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			pv := p.Get(c, i)
@@ -149,7 +149,7 @@ func AggregateSuffixBy[V any](
 	// Build the carrier in reversed order so a plain prefix scan computes
 	// the suffix aggregate; boundaries sit at original group *ends*.
 	p := mem.Alloc[segVal[V]](sp, n)
-	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, n, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			i := n - 1 - j
 			e := a.Get(c, i)
@@ -170,7 +170,7 @@ func AggregateSuffixBy[V any](
 	}
 	var id segVal[V]
 	ScanOp(c, sp, p, op, id, true)
-	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, n, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			pv := p.Get(c, n-1-i)

@@ -31,7 +31,7 @@ func SendReceive(c *forkjoin.Ctx, sp *mem.Space, sources, dests *mem.Array[Elem]
 		tagSource = 0
 		tagDest   = 1
 	)
-	forkjoin.ParallelRange(c, 0, ns, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, ns, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s := sources.Get(c, i)
 			e := Elem{} // non-Real source slots contribute nothing
@@ -42,7 +42,7 @@ func SendReceive(c *forkjoin.Ctx, sp *mem.Space, sources, dests *mem.Array[Elem]
 			w.Set(c, i, e)
 		}
 	})
-	forkjoin.ParallelRange(c, 0, nd, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, nd, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			d := dests.Get(c, j)
 			key := d.Key
@@ -98,7 +98,7 @@ func SendReceive(c *forkjoin.Ctx, sp *mem.Space, sources, dests *mem.Array[Elem]
 	srt.Sort(c, sp, w, 0, wLen, key2)
 
 	out := mem.Alloc[Elem](sp, nd)
-	forkjoin.ParallelRange(c, 0, nd, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, nd, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			e := w.Get(c, j)
 			r := Elem{Key: e.Key, Val: e.Val, Aux: e.Aux, Kind: Real}

@@ -169,10 +169,12 @@ const (
 	OpCompactPos
 	// OpJoinAll is the many-to-many expansion join feeding the unary
 	// pipeline (relops.JoinAll; executed by the query layer, which holds
-	// both relations — the fused executor rejects it). Four sorts
-	// stand-alone; with Deferred set, the join's value-propagation and
-	// output-compaction sorts are dropped (rule 1 applied to the join's
-	// propagate+compact tail) and it costs two.
+	// both relations — the fused executor rejects it). Three sorts
+	// stand-alone (the expansion rides the interleave sort's order through
+	// a bitonic merge rather than sorting again); with Deferred set, the
+	// join's value-propagation and output-compaction sorts are dropped
+	// (rule 1 applied to the join's propagate+compact tail) and it costs
+	// one.
 	OpJoinAll
 )
 
@@ -276,12 +278,13 @@ func (p Plan) String() string {
 	return fmt.Sprintf("%s [%d sorts, staged %d]", s, p.SortPasses, p.StagedSortPasses)
 }
 
-// Join-stage sort costs: the stand-alone operator's four sorting passes
-// (key sort, distribution sort, left-index sort, output compaction) and
-// the two that remain once deferral drops the propagate+compact tail.
+// Join-stage sort costs: the stand-alone operator's three sorting passes
+// (key sort — whose order the bitonic-merge expansion reuses in place of
+// the old distribution sort — left-index sort, output compaction) and the
+// one that remains once deferral drops the propagate+compact tail.
 const (
-	joinSorts         = 4
-	joinSortsDeferred = 2
+	joinSorts         = 3
+	joinSortsDeferred = 1
 )
 
 // SortCost is the number of full sorting-network passes op runs.
@@ -423,7 +426,7 @@ func Build(s Shape) Plan {
 }
 
 // stagedSorts counts the sorting passes of the pre-planner execution: each
-// stand-alone operator pays its own sorts (JoinAll 4, Filter 1, Distinct 2,
+// stand-alone operator pays its own sorts (JoinAll 3, Filter 1, Distinct 2,
 // GroupBy 2, TopK 1 — see internal/relops).
 func stagedSorts(s Shape) int {
 	n := 0

@@ -1,0 +1,103 @@
+package relops
+
+import (
+	"testing"
+
+	"oblivmc/internal/bitonic"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+	"oblivmc/internal/obliv/oblivtest"
+	"oblivmc/internal/prng"
+)
+
+// checkJoinCapAdvise is the advisor's differential property: the advised
+// bound must equal the nested-loop reference's exact pair count, and a
+// JoinAll run at that capacity (floored to the legal minimum of 1) must
+// never overflow.
+func checkJoinCapAdvise(t testing.TB, seed uint64, nl, nr, w, dist int) {
+	t.Helper()
+	src := prng.New(seed)
+	lrecs := genRecords(src, nl, w, dist)
+	rrecs := genRecords(src, nr, w, dist)
+	want := len(refJoinAll(lrecs, rrecs, w))
+
+	sp := mem.NewSpace()
+	left := mustLoadW(t, sp, lrecs, w)
+	right := mustLoadW(t, sp, rrecs, w)
+	advised, err := JoinCapAdvise(testCtx(), sp, NewArena(), left, right, testSorter(obliv.NextPow2(left.Len()+right.Len())))
+	if err != nil {
+		t.Fatalf("JoinCapAdvise(nl=%d nr=%d w=%d dist=%d): %v", nl, nr, w, dist, err)
+	}
+	if advised != int64(want) {
+		t.Fatalf("JoinCapAdvise(nl=%d nr=%d w=%d dist=%d) = %d, reference bound %d", nl, nr, w, dist, advised, want)
+	}
+
+	capOut := int(advised)
+	if capOut < 1 {
+		capOut = 1
+	}
+	sp2 := mem.NewSpace()
+	l2 := mustLoadW(t, sp2, lrecs, w)
+	r2 := mustLoadW(t, sp2, rrecs, w)
+	wLen := obliv.NextPow2(obliv.NextPow2(l2.Len()+r2.Len()) + obliv.NextPow2(capOut))
+	_, m, err := JoinAll(testCtx(), sp2, NewArena(), l2, r2, capOut, testSorter(wLen))
+	if err != nil {
+		t.Fatalf("JoinAll at the advised capacity %d overflowed or failed: %v", capOut, err)
+	}
+	if m != want {
+		t.Fatalf("JoinAll at advised capacity reports %d matches, reference %d", m, want)
+	}
+}
+
+func TestJoinCapAdvise(t *testing.T) {
+	// Hand-checked group structure: key 1 → 2·2 pairs, key 2 → 1·3, key 3
+	// left-only, key 4 right-only.
+	lrecs := []Record{{Key: 1, Val: 10}, {Key: 1, Val: 11}, {Key: 2, Val: 12}, {Key: 3, Val: 13}}
+	rrecs := []Record{{Key: 1, Val: 20}, {Key: 1, Val: 21}, {Key: 2, Val: 22}, {Key: 2, Val: 23}, {Key: 2, Val: 24}, {Key: 4, Val: 25}}
+	sp := mem.NewSpace()
+	left := mustLoadW(t, sp, lrecs, 1)
+	right := mustLoadW(t, sp, rrecs, 1)
+	advised, err := JoinCapAdvise(testCtx(), sp, NewArena(), left, right, testSorter(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advised != 7 {
+		t.Fatalf("advised %d, want 2*2 + 1*3 = 7", advised)
+	}
+}
+
+func TestJoinCapAdviseProperty(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		for _, dist := range []int{distSpread, distDupHeavy, distAllEqual} {
+			for w := 1; w <= MaxKeyCols; w++ {
+				checkJoinCapAdvise(t, seed+uint64(97*dist), 1+int(seed)%13, 1+int(3*seed)%17, w, dist)
+			}
+		}
+	}
+}
+
+// TestJoinCapAdviseObliviousTrace: the advisor runs one sort and one
+// segmented scan over the interleave — its view must be identical across
+// same-shape contents (the bound itself is a raw read) at both widths.
+func TestJoinCapAdviseObliviousTrace(t *testing.T) {
+	srt := bitonic.CacheAgnostic{}
+	check := func(name string, inputs [][]Record, w int) {
+		bodies := make([]oblivtest.Body, 0, len(inputs)*len(inputs))
+		for _, lrecs := range inputs {
+			for _, rrecs := range inputs {
+				lrecs, rrecs := lrecs, rrecs
+				bodies = append(bodies, func(c *forkjoin.Ctx, sp *mem.Space) {
+					l := mustLoadW(t, sp, lrecs, w)
+					r := mustLoadW(t, sp, rrecs, w)
+					if _, err := JoinCapAdvise(c, sp, NewArena(), l, r, srt); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+		oblivtest.FingerprintEqual(t, name, bodies...)
+	}
+	check("JoinCapAdvise", traceInputs(32), 1)
+	check("WideJoinCapAdvise", wideTraceInputs(32), 2)
+}

@@ -64,7 +64,7 @@ func filterOf(op plan.Op, pred func(Record) bool) func(Record) bool {
 // fillers to the tail). Every slot is read and rewritten regardless of the
 // predicate's outcome.
 func filterMark(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], pred func(Record) bool) {
-	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, a.Len(), passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			c.Op(1)
@@ -92,7 +92,7 @@ func filterMark(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], pred func(Record) boo
 func dedupDrop(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel, withAgg bool, agg AggKind, pred func(Record) bool) {
 	markBoundaries(c, sp, ar, r)
 	a := r.A
-	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, a.Len(), passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			c.Op(1)
@@ -121,7 +121,7 @@ func aggregateDrop(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel, agg AggKind
 	aggregateGroups(c, sp, r, agg)
 	markBoundaries(c, sp, ar, r)
 	a := r.A
-	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, a.Len(), passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			c.Op(1)

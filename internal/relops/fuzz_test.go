@@ -58,6 +58,22 @@ func FuzzDistinct(f *testing.F) {
 	})
 }
 
+// FuzzJoinAllCapacityAdvisor differentially fuzzes the capacity advisor:
+// the advised bound must equal the nested-loop reference's pair count, and
+// a JoinAll at that capacity must never overflow — the property the
+// JoinCapAuto mode rests on.
+func FuzzJoinAllCapacityAdvisor(f *testing.F) {
+	f.Add(uint64(1), uint8(5), uint8(7), uint8(0), uint8(0))
+	f.Add(uint64(2), uint8(16), uint8(16), uint8(1), uint8(1))
+	f.Add(uint64(3), uint8(3), uint8(31), uint8(0), uint8(2))
+	f.Add(uint64(4), uint8(32), uint8(1), uint8(1), uint8(2))
+	f.Fuzz(func(t *testing.T, seed uint64, nl, nr, w, dist uint8) {
+		nlv, wv, dv := fuzzShape(nl, w, dist)
+		nrv, _, _ := fuzzShape(nr, w, dist)
+		checkJoinCapAdvise(t, seed, nlv, nrv, wv, dv)
+	})
+}
+
 // FuzzGroupByBackends differentially fuzzes the shuffle-then-sort backend
 // against the keyed bitonic backend: the same GroupBy instance must produce
 // identical surviving records under both (every relational order is strict

@@ -155,7 +155,7 @@ func GroupBy(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel, agg AggKind, srt 
 	// the aggregate as their value; markBoundaries then flags exactly them.
 	markBoundaries(c, sp, ar, r)
 	a := r.A
-	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, a.Len(), passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			c.Op(1)

@@ -50,14 +50,14 @@ func Join(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right Rel, srt obliv.
 	wLen := obliv.NextPow2(nl + nr)
 	wrk := Rel{A: mem.Alloc[obliv.Elem](sp, wLen), W: w} // trailing slots are fillers
 
-	forkjoin.ParallelRange(c, 0, nl, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, nl, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := left.A.Get(c, i)
 			e.Tag = tagLeft
 			wrk.A.Set(c, i, e)
 		}
 	})
-	forkjoin.ParallelRange(c, 0, nr, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, nr, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			e := right.A.Get(c, j)
 			e.Tag = tagRight

@@ -13,7 +13,7 @@ import (
 // restriction by composing the paper's distribution/propagation building
 // blocks into an oblivious expansion: every left multiplicity is counted
 // with the segmented-scan primitives, the right relation is duplicated
-// across computed output spans by obliv.Distribute, and the existing
+// across computed output spans by obliv.DistributeOrdered, and the existing
 // propagate+compact tail then pairs each duplicated copy with its distinct
 // left partner. The output length is a caller-supplied *public* capacity
 // maxOut — the true match count is data and must stay invisible in the
@@ -21,9 +21,9 @@ import (
 // reports an overflow through the returned error (a raw read outside the
 // adversary's view, like every survivor count here).
 //
-// Pass structure (4 data-independent sorts, the rest scans and fixed
-// elementwise passes; the trace is a function of (len(left), len(right),
-// width, maxOut) only):
+// Pass structure (3 data-independent sorts plus one bitonic merge, the rest
+// scans and fixed elementwise passes; the trace is a function of
+// (len(left), len(right), width, maxOut) only):
 //
 //  1. interleave and sort by (key columns..., side, position) — each key
 //     group is its left records (in position order) then its right records;
@@ -31,9 +31,13 @@ import (
 //     left multiplicity cnt, every left its within-group index, and every
 //     right its copy count; an exclusive prefix sum turns the counts into
 //     disjoint output spans [d, d+cnt);
-//  3. obliv.Distribute expands each right record across its span: copy k of
-//     a right record is the (k+1)-th match of that record, destined for the
-//     left record with within-group index k;
+//  3. obliv.DistributeOrdered expands each right record across its span:
+//     copy k of a right record is the (k+1)-th match of that record,
+//     destined for the left record with within-group index k. Because the
+//     span offsets come out of a prefix sum over the already-sorted
+//     relation, the expansion needs only a single bitonic merge — the
+//     multiplicity-count sort of step 1 does double duty as the expansion
+//     order, fusing what used to be two full sorts into one;
 //  4. sort by (key columns..., left index, side, position) and propagate
 //     each left value to its copies, then compact the matched copies into
 //     (right position, left index) order with a schedule snapshotted before
@@ -56,14 +60,14 @@ func joinExpand(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right Rel, maxO
 	outLen := obliv.NextPow2(maxOut)
 	a := mem.Alloc[obliv.Elem](sp, n1) // trailing slots are fillers
 
-	forkjoin.ParallelRange(c, 0, nl, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, nl, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := left.A.Get(c, i)
 			e.Tag = tagLeft
 			a.Set(c, i, e)
 		}
 	})
-	forkjoin.ParallelRange(c, 0, nr, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, nr, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for j := lo; j < hi; j++ {
 			e := right.A.Get(c, j)
 			e.Tag = tagRight
@@ -120,12 +124,14 @@ func joinExpand(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right Rel, maxO
 	}
 
 	// Step 2c: disjoint output spans. Each right record claims cnt output
-	// slots; the exclusive prefix sum of the counts is its span offset.
-	// Everything that is not a right record with at least one match is
-	// masked out of the distribution (offsets are strictly increasing over
-	// the participants, as Distribute requires).
+	// slots; the exclusive prefix sum of the counts is its span offset. The
+	// offsets are left raw: they are non-decreasing in array order by
+	// construction (and strictly increasing over the participants, whose
+	// counts are positive), which is exactly DistributeOrdered's contract —
+	// the participation test rides along as a predicate instead of the old
+	// InfKey masking pass.
 	ranks := ar.Ranks(sp, n1)
-	forkjoin.ParallelRange(c, 0, n1, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, n1, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			c.Op(1)
@@ -137,24 +143,16 @@ func joinExpand(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right Rel, maxO
 		}
 	})
 	obliv.PrefixSumU64(c, sp, ranks, false)
-	forkjoin.ParallelRange(c, 0, n1, 0, func(c *forkjoin.Ctx, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			e := a.Get(c, i)
-			d := ranks.Get(c, i)
-			c.Op(1)
-			if e.Kind != obliv.Real || e.Tag != tagRight || e.Lbl == 0 {
-				d = obliv.InfKey
-			}
-			ranks.Set(c, i, d)
-		}
-	})
 
 	// Step 3: expand. Slot s of a right record's span [d, d+cnt) becomes
 	// copy s-d of that record — Mark distinguishes fresh copies from
-	// zero-multiplicity rights passed through by Distribute, which the
+	// zero-multiplicity rights passed through by the distribution, which the
 	// cleanup pass below turns into fillers. Left records pass through
-	// untouched for step 4.
-	wrkA := obliv.Distribute(c, sp, a, ranks, outLen,
+	// untouched for step 4. The step-1 sort order plus the prefix-sum
+	// offsets let DistributeOrdered place the copies with a single bitonic
+	// merge instead of a second full sort.
+	wrkA := obliv.DistributeOrdered(c, sp, a, ranks, outLen,
+		func(e obliv.Elem) bool { return e.Tag == tagRight && e.Lbl > 0 },
 		func(slot, d uint64, src obliv.Elem, ok bool) obliv.Elem {
 			li := slot - d
 			if !ok || li >= src.Lbl {
@@ -165,8 +163,8 @@ func joinExpand(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right Rel, maxO
 				Aux: src.Aux, Lbl: li,
 				Tag: tagRight, Kind: obliv.Real, Mark: 1,
 			}
-		}, srt)
-	forkjoin.ParallelRange(c, 0, wrkA.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
+		})
+	forkjoin.ParallelRange(c, 0, wrkA.Len(), passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := wrkA.Get(c, i)
 			c.Op(1)
@@ -292,7 +290,7 @@ func JoinAll(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right Rel, maxOut 
 		panic(fmt.Sprintf("relops: sorter %s does not support key schedules (obliv.ScheduledSorter)", srt.Name()))
 	}
 	ss.SortScheduled(c, sp, wrk.A, ks, ar.ElemScratch(sp, n), kscr, 0, n)
-	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, n, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := wrk.A.Get(c, i)
 			c.Op(1)
@@ -314,7 +312,8 @@ func JoinAll(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right Rel, maxOut 
 // JoinAllDeferred is JoinAll for the planner's deferred-compaction rule:
 // when a later pipeline stage re-sorts the relation anyway, the join's
 // value-propagation and output-compaction sorts (steps 4a-4d — two of the
-// operator's four) are pure waste. The result relation holds one record
+// operator's three) are pure waste, leaving a single sort plus the
+// expansion merge. The result relation holds one record
 // per match — the right record's key tuple, value, and original position —
 // scattered among fillers in unspecified order, with the left values *not*
 // delivered; the caller's next sorting pass restores contiguity. Length is
@@ -329,7 +328,7 @@ func JoinAllDeferred(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, left, right Rel,
 	// Drop the left partners (their values are not delivered on this path)
 	// and clear the copies' scratch index so downstream passes see plain
 	// records.
-	forkjoin.ParallelRange(c, 0, wrk.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, wrk.Len(), passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := wrk.A.Get(c, i)
 			c.Op(1)

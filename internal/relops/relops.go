@@ -76,6 +76,14 @@ const (
 	// sentinel of every schedule word, so key columns span the full uint64
 	// range below it (0 .. 2^64-2).
 	KeyLimit = obliv.InfKey
+	// passGrain is the leaf size of the operators' fixed elementwise passes
+	// outside metered mode. At the forkjoin default of 64 the fork
+	// bookkeeping rivaled these passes' loop bodies on 2^20+ relations —
+	// the serial-equivalent tail behind join_all losing throughput at 4
+	// workers. 2^10 elements per leaf keeps stealing profitable while a
+	// 2^20 pass still splits 2^10 ways; metered runs are pinned to grain 1
+	// by forkjoin.grainFor, so fingerprints never move when this is retuned.
+	passGrain = 1 << 10
 )
 
 // Boundary errors. The messages are derived from the active constants so
@@ -98,6 +106,11 @@ var (
 	// data, so the capacity must be chosen from public knowledge (at worst
 	// len(left)*len(right), itself capped by the MaxRows capacity bound).
 	ErrJoinOverflow = fmt.Errorf("relops: join match count exceeds the public output capacity maxOut (capacities range up to 2^%d rows)", maxRowsLog)
+	// ErrCapTooLarge is returned by JoinCapAdvise (and the JoinCapAuto
+	// resolution built on it) when the worst-case match bound Σ|L_g|·|R_g|
+	// exceeds MaxRows: no legal capacity can hold the join, so the caller
+	// must shrink the inputs rather than retry.
+	ErrCapTooLarge = fmt.Errorf("relops: advised join capacity exceeds MaxRows (2^%d rows)", maxRowsLog)
 )
 
 // CheckCapacity validates a public join output capacity against the same
@@ -348,7 +361,7 @@ func markBoundaries(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel) {
 	a := r.A
 	same := sameGroup(r.W)
 	head := ar.Marks(sp, n)
-	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, n, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			h := i == 0
@@ -364,7 +377,7 @@ func markBoundaries(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel) {
 			head.Set(c, i, b)
 		}
 	})
-	forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, n, passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			e.Mark = head.Get(c, i)
@@ -381,7 +394,7 @@ func markBoundaries(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel) {
 // data-independent sort plus one elementwise pass.
 func compactMarked(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Elem], srt obliv.Sorter) int {
 	sortSched(c, sp, ar, a, markSched(), srt)
-	forkjoin.ParallelRange(c, 0, a.Len(), 0, func(c *forkjoin.Ctx, lo, hi int) {
+	forkjoin.ParallelRange(c, 0, a.Len(), passGrain, func(c *forkjoin.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e := a.Get(c, i)
 			c.Op(1)

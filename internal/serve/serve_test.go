@@ -324,6 +324,43 @@ func TestAdmissionBusy(t *testing.T) {
 	}
 }
 
+// TestJoinCapAutoSpec wires the "join_cap": "auto" capacity mode through
+// the spec layer: the advisor-sized join must match an amply-capacitied
+// explicit run, malformed modes and auto+max_out conflicts are ErrBadSpec,
+// and the auto sentinel keys the cache distinctly from explicit bounds.
+func TestJoinCapAutoSpec(t *testing.T) {
+	s := serialServer(t, 1)
+	mustLoad(t, s, "sales", testRows(128, 8, 21))
+	mustLoad(t, s, "dim", testRows(16, 8, 22))
+
+	explicit, err := s.Execute(QuerySpec{Table: "sales", Join: &JoinSpec{Table: "dim", MaxOut: 4096}, GroupBy: "count"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := s.Execute(QuerySpec{Table: "sales", Join: &JoinSpec{Table: "dim", JoinCap: "auto"}, GroupBy: "count"})
+	if err != nil {
+		t.Fatalf("join_cap auto: %v", err)
+	}
+	if fmt.Sprint(auto.Table.Rows()) != fmt.Sprint(explicit.Table.Rows()) {
+		t.Fatalf("auto rows %v differ from explicit-capacity rows %v", auto.Table.Rows(), explicit.Table.Rows())
+	}
+	if !auto.Stats.Cached {
+		// Second identical auto query must hit the cache under the
+		// sentinel's own key.
+		again, err := s.Execute(QuerySpec{Table: "sales", Join: &JoinSpec{Table: "dim", JoinCap: "auto"}, GroupBy: "count"})
+		if err != nil || !again.Stats.Cached {
+			t.Fatalf("repeated auto query not cached: err=%v cached=%t", err, again.Stats.Cached)
+		}
+	}
+
+	if _, err := s.Execute(QuerySpec{Table: "sales", Join: &JoinSpec{Table: "dim", JoinCap: "bogus"}}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("bogus join_cap: %v, want ErrBadSpec", err)
+	}
+	if _, err := s.Execute(QuerySpec{Table: "sales", Join: &JoinSpec{Table: "dim", JoinCap: "auto", MaxOut: 64}}); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("auto with max_out: %v, want ErrBadSpec", err)
+	}
+}
+
 func TestShutdownDrains(t *testing.T) {
 	s := serialServer(t, 2)
 	mustLoad(t, s, "t", testRows(64, 4, 3))

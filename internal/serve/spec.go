@@ -24,9 +24,14 @@ type FilterSpec struct {
 
 // JoinSpec is the declarative join clause: the named registered relation
 // becomes the query's join-left side, MaxOut its public output capacity.
+// JoinCap may name the "auto" capacity mode instead of MaxOut: the engine's
+// advisor sizes the output at the worst-case match bound (which cannot
+// overflow), revealing that bound as public shape. Setting both is an
+// error.
 type JoinSpec struct {
-	Table  string `json:"table"`
-	MaxOut int    `json:"max_out"`
+	Table   string `json:"table"`
+	MaxOut  int    `json:"max_out,omitempty"`
+	JoinCap string `json:"join_cap,omitempty"`
 }
 
 // QuerySpec is the wire form of one query: a declarative mirror of
@@ -133,8 +138,22 @@ func (s QuerySpec) compile(reg *Registry) (oblivmc.Table, oblivmc.Query, string,
 		if err != nil {
 			return oblivmc.Table{}, oblivmc.Query{}, "", err
 		}
-		q.Join = &oblivmc.JoinSpec{Left: left, MaxOut: s.Join.MaxOut}
-		fmt.Fprintf(&key, "|j=%s@%d:%d", s.Join.Table, lver, s.Join.MaxOut)
+		maxOut := s.Join.MaxOut
+		switch s.Join.JoinCap {
+		case "":
+		case "auto":
+			if maxOut != 0 {
+				return oblivmc.Table{}, oblivmc.Query{}, "", fmt.Errorf("%w: join_cap \"auto\" and max_out %d are mutually exclusive", ErrBadSpec, maxOut)
+			}
+			maxOut = oblivmc.JoinCapAuto
+		default:
+			return oblivmc.Table{}, oblivmc.Query{}, "", fmt.Errorf("%w: unknown join_cap %q (only \"auto\")", ErrBadSpec, s.Join.JoinCap)
+		}
+		q.Join = &oblivmc.JoinSpec{Left: left, MaxOut: maxOut}
+		// The auto sentinel keys as its own token: the resolved capacity
+		// depends on the left table's contents, so the version stamp — not
+		// the bound — is what keeps cached entries honest.
+		fmt.Fprintf(&key, "|j=%s@%d:%d", s.Join.Table, lver, maxOut)
 	}
 	pred, keyOnly, err := compileFilter(s.Filter, tab.Width())
 	if err != nil {

@@ -489,23 +489,24 @@ func TestJoinedQueryWide(t *testing.T) {
 }
 
 // TestJoinPlanSortPasses is the planner sort-pass-count pin for the join
-// stage: the stand-alone join plans its four operator sorts, and feeding a
-// downstream stage defers the propagate+compact tail down to two — so the
-// fused join+group-by pipeline runs 4 sorts against the staged 6.
+// stage: the stand-alone join plans its three operator sorts (the
+// bitonic-merge expansion absorbed the old distribution sort), and feeding
+// a downstream stage defers the propagate+compact tail down to one — so
+// the fused join+group-by pipeline runs 3 sorts against the staged 5.
 func TestJoinPlanSortPasses(t *testing.T) {
 	for _, tc := range []struct {
 		shape         plan.Shape
 		sorts, staged int
 		rendered      string
 	}{
-		{plan.Shape{Join: true}, 4, 4,
-			"join-all [4 sorts, staged 4]"},
-		{plan.Shape{Join: true, GroupBy: true}, 4, 6,
-			"join-all+defer → sort(key,pos) → aggregate → compact(pos) [4 sorts, staged 6]"},
-		{plan.Shape{Join: true, TopK: 3}, 3, 5,
-			"join-all+defer → sort(val↓) → topk [3 sorts, staged 5]"},
-		{plan.Shape{Join: true, Distinct: true, GroupBy: true}, 4, 8,
-			"join-all+defer → sort(key,pos) → dedup+aggregate → compact(pos) [4 sorts, staged 8]"},
+		{plan.Shape{Join: true}, 3, 3,
+			"join-all [3 sorts, staged 3]"},
+		{plan.Shape{Join: true, GroupBy: true}, 3, 5,
+			"join-all+defer → sort(key,pos) → aggregate → compact(pos) [3 sorts, staged 5]"},
+		{plan.Shape{Join: true, TopK: 3}, 2, 4,
+			"join-all+defer → sort(val↓) → topk [2 sorts, staged 4]"},
+		{plan.Shape{Join: true, Distinct: true, GroupBy: true}, 3, 7,
+			"join-all+defer → sort(key,pos) → dedup+aggregate → compact(pos) [3 sorts, staged 7]"},
 	} {
 		pl := plan.Build(tc.shape)
 		if pl.SortPasses != tc.sorts || pl.StagedSortPasses != tc.staged {
@@ -524,9 +525,9 @@ func TestJoinPlanSortPasses(t *testing.T) {
 }
 
 // TestJoinedQueryExecutedSorts counts the sorting passes the executor
-// actually runs for a joined pipeline: the deferred join's two sorts plus
-// the group-by stage's two — exactly the planned 4 — against the staged 6
-// (stand-alone JoinAll's four plus GroupBy's two).
+// actually runs for a joined pipeline: the deferred join's one sort plus
+// the group-by stage's two — exactly the planned 3 — against the staged 5
+// (stand-alone JoinAll's three plus GroupBy's two).
 func TestJoinedQueryExecutedSorts(t *testing.T) {
 	lt, rt, left, rows := joinedQueryTables(t, 32)
 	q := Query{Join: &JoinSpec{Left: lt, MaxOut: len(refJoinedRows(left, rows)) + 1}, GroupBy: AggSum}
@@ -547,8 +548,8 @@ func TestJoinedQueryExecutedSorts(t *testing.T) {
 		}
 		return n
 	}
-	if fused, staged := sortsOf(false), sortsOf(true); fused != 4 || staged != 6 {
-		t.Fatalf("joined group-by pipeline: fused %d sorts, staged %d — want 4 and 6", fused, staged)
+	if fused, staged := sortsOf(false), sortsOf(true); fused != 3 || staged != 5 {
+		t.Fatalf("joined group-by pipeline: fused %d sorts, staged %d — want 3 and 5", fused, staged)
 	}
 }
 
@@ -605,6 +606,52 @@ func TestJoinedQueryObliviousTrace(t *testing.T) {
 	bigger := queryTraceOf(t, rt, Query{Join: &JoinSpec{Left: lt, MaxOut: 2 * maxOut}, GroupBy: AggSum})
 	if bigger.Equal(fps[0]) {
 		t.Fatal("different join capacities should yield different views")
+	}
+}
+
+// TestJoinCapAuto: a JoinCapAuto capacity resolves to the advisor's exact
+// worst-case bound inside the run, so the query result matches an explicit
+// exact capacity, the join can never overflow, and both surfaces (Query
+// and JoinAllRows) accept the sentinel.
+func TestJoinCapAuto(t *testing.T) {
+	lt, rt, left, rows := joinedQueryTables(t, 48)
+	want := refJoinedRows(left, rows)
+
+	exact, _, err := RunQuery(Config{Mode: ModeSerial}, rt, Query{Join: &JoinSpec{Left: lt, MaxOut: len(want)}, GroupBy: AggSum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, _, err := RunQuery(Config{Mode: ModeSerial}, rt, Query{Join: &JoinSpec{Left: lt, MaxOut: JoinCapAuto}, GroupBy: AggSum})
+	if err != nil {
+		t.Fatalf("JoinCapAuto query: %v", err)
+	}
+	if fmt.Sprint(auto.Rows()) != fmt.Sprint(exact.Rows()) {
+		t.Fatalf("auto-capacity rows %v differ from exact-capacity rows %v", auto.Rows(), exact.Rows())
+	}
+
+	// The staged path resolves the sentinel through the same seam.
+	staged, _, err := RunQuery(Config{Mode: ModeSerial}, rt, Query{Join: &JoinSpec{Left: lt, MaxOut: JoinCapAuto}, GroupBy: AggSum, NoOptimize: true})
+	if err != nil {
+		t.Fatalf("JoinCapAuto staged query: %v", err)
+	}
+	if fmt.Sprint(staged.Rows()) != fmt.Sprint(exact.Rows()) {
+		t.Fatalf("staged auto-capacity rows %v differ from exact %v", staged.Rows(), exact.Rows())
+	}
+
+	// JoinAllRows honors the sentinel and delivers every match.
+	joined, _, err := JoinAllRows(Config{Mode: ModeSerial}, lt, rt, JoinCapAuto)
+	if err != nil {
+		t.Fatalf("JoinAllRows(JoinCapAuto): %v", err)
+	}
+	if len(joined) != len(want) {
+		t.Fatalf("JoinAllRows(JoinCapAuto) delivered %d rows, want every match: %d", len(joined), len(want))
+	}
+
+	// No possible matches: the advised bound of zero is floored to the
+	// legal minimum capacity instead of failing validation.
+	disjoint := mustTable(t, []Row{{Key: 1 << 30, Val: 1}})
+	if rows, _, err := JoinAllRows(Config{Mode: ModeSerial}, disjoint, rt, JoinCapAuto); err != nil || len(rows) != 0 {
+		t.Fatalf("disjoint JoinCapAuto: rows %v, err %v — want empty success", rows, err)
 	}
 }
 

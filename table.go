@@ -69,7 +69,22 @@ var (
 	// count a retry needs.
 	ErrJoinOverflow = fmt.Errorf("oblivmc: join match count exceeds the declared output capacity: %w",
 		relops.ErrJoinOverflow)
+	// ErrCapTooLarge is returned by a JoinCapAuto join whose advised
+	// worst-case bound exceeds relops.MaxRows: no legal capacity can hold
+	// the result, so the inputs must shrink rather than the capacity grow.
+	ErrCapTooLarge = fmt.Errorf("oblivmc: advised join capacity exceeds %d rows: %w",
+		uint64(relops.MaxRows), relops.ErrCapTooLarge)
 )
+
+// JoinCapAuto, passed as a join's maxOut (JoinSpec.MaxOut or JoinAllRows),
+// asks the engine to size the output with the capacity advisor
+// (relops.JoinCapAdvise): the worst-case match bound Σ over key groups of
+// |left group|·|right group|, computed obliviously inside the same run (one
+// extra sorting pass) and then used as the public capacity — so the join
+// can never overflow and the guess-retry loop disappears. The advised
+// bound becomes public shape exactly like a hand-picked maxOut: callers
+// opt into revealing the worst-case match bound, never the true count.
+const JoinCapAuto = -1
 
 // Row is one single-key-column (key, value) record of a Table.
 type Row struct {
@@ -539,7 +554,8 @@ func wideJoinedOf(recs []relops.Joined, w int) []WideJoinedRow {
 }
 
 // checkJoinTables validates a join's public shape: non-empty sides, equal
-// key widths, and a capacity within the row bounds.
+// key widths, and a capacity within the row bounds (or the JoinCapAuto
+// sentinel, resolved by the advisor inside the run).
 func checkJoinTables(left, right Table, maxOut int) error {
 	if left.Len() == 0 || right.Len() == 0 {
 		return ErrEmptyInput
@@ -547,10 +563,32 @@ func checkJoinTables(left, right Table, maxOut int) error {
 	if left.Width() != right.Width() {
 		return fmt.Errorf("%w (join of width-%d and width-%d tables)", ErrBadWidth, left.Width(), right.Width())
 	}
+	if maxOut == JoinCapAuto {
+		return nil
+	}
 	if err := relops.CheckCapacity(int64(maxOut)); err != nil {
 		return fmt.Errorf("%w (maxOut %d)", ErrBadCapacity, maxOut)
 	}
 	return nil
+}
+
+// resolveJoinCap turns a join's declared capacity into the concrete public
+// maxOut: a JoinCapAuto sentinel runs the capacity advisor over the loaded
+// relations (one extra sorting pass inside the same run); anything else
+// passes through untouched. An advised bound of zero still needs one
+// output slot to be a legal capacity.
+func resolveJoinCap(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, declared int, l, r relops.Rel, srt obliv.Sorter) (int, error) {
+	if declared != JoinCapAuto {
+		return declared, nil
+	}
+	advised, err := relops.JoinCapAdvise(c, sp, ar, l, r, srt)
+	if err != nil {
+		return 0, fmt.Errorf("%w (advised %d)", ErrCapTooLarge, advised)
+	}
+	if advised < 1 {
+		advised = 1
+	}
+	return int(advised), nil
 }
 
 // JoinAllRows obliviously computes the full many-to-many equi-join of left
@@ -564,7 +602,9 @@ func checkJoinTables(left, right Table, maxOut int) error {
 // the true match count, which stays invisible to the adversary. When the
 // match count exceeds maxOut, the error wraps ErrJoinOverflow and carries
 // the true count, so the caller can retry with a sufficient public bound
-// (at worst len(left)*len(right)).
+// (at worst len(left)*len(right)). Passing JoinCapAuto instead sizes the
+// output with the capacity advisor — the worst-case bound, which cannot
+// overflow — at the cost of revealing that bound as public shape.
 func JoinAllRows(cfg Config, left, right Table, maxOut int) ([]WideJoinedRow, *Report, error) {
 	if err := checkJoinTables(left, right, maxOut); err != nil {
 		return nil, nil, err
@@ -583,9 +623,16 @@ func JoinAllRows(cfg Config, left, right Table, maxOut int) ([]WideJoinedRow, *R
 			runErr = err
 			return
 		}
-		j, m, err := relops.JoinAll(c, sp, relops.NewArena(), l, r, maxOut, relSorter(cfg))
+		ar := relops.NewArena()
+		srt := relSorter(cfg)
+		capOut, err := resolveJoinCap(c, sp, ar, maxOut, l, r, srt)
+		if err != nil {
+			runErr = err
+			return
+		}
+		j, m, err := relops.JoinAll(c, sp, ar, l, r, capOut, srt)
 		if errors.Is(err, relops.ErrJoinOverflow) {
-			runErr = fmt.Errorf("%w (%d matches, capacity %d)", ErrJoinOverflow, m, maxOut)
+			runErr = fmt.Errorf("%w (%d matches, capacity %d)", ErrJoinOverflow, m, capOut)
 			return
 		}
 		if err != nil {
@@ -608,7 +655,8 @@ type JoinSpec struct {
 	Left Table
 	// MaxOut is the public output capacity of the join — part of the query
 	// shape, like the table sizes. A query whose true match count exceeds
-	// it fails with ErrJoinOverflow.
+	// it fails with ErrJoinOverflow. JoinCapAuto delegates the choice to
+	// the capacity advisor (the worst-case bound can never overflow).
 	MaxOut int
 }
 
@@ -822,17 +870,21 @@ func queryJoin(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, j *JoinSpec, r 
 	if err != nil {
 		return relops.Rel{}, err
 	}
+	maxOut, err := resolveJoinCap(c, sp, ar, j.MaxOut, l, r, srt)
+	if err != nil {
+		return relops.Rel{}, err
+	}
 	var (
 		joined relops.Rel
 		m      int
 	)
 	if deferred {
-		joined, m, err = relops.JoinAllDeferred(c, sp, ar, l, r, j.MaxOut, srt)
+		joined, m, err = relops.JoinAllDeferred(c, sp, ar, l, r, maxOut, srt)
 	} else {
-		joined, m, err = relops.JoinAll(c, sp, ar, l, r, j.MaxOut, srt)
+		joined, m, err = relops.JoinAll(c, sp, ar, l, r, maxOut, srt)
 	}
 	if errors.Is(err, relops.ErrJoinOverflow) {
-		return relops.Rel{}, fmt.Errorf("%w (%d matches, capacity %d)", ErrJoinOverflow, m, j.MaxOut)
+		return relops.Rel{}, fmt.Errorf("%w (%d matches, capacity %d)", ErrJoinOverflow, m, maxOut)
 	}
 	if err != nil {
 		return relops.Rel{}, err
@@ -881,7 +933,7 @@ func runQueryStaged(e exec, t Table, q Query, kind relops.AggKind, srt obliv.Sor
 	// arena.
 	return runTableOp(e, t, srt, func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error) {
 		if q.Join != nil {
-			// The stand-alone operator pays its full four sorts.
+			// The stand-alone operator pays its full three sorts.
 			var err error
 			if r, err = queryJoin(c, sp, ar, q.Join, r, false, srt); err != nil {
 				return relops.Rel{}, err
