@@ -23,6 +23,7 @@ test-shuffle:
 # this is the concurrency-correctness gate.
 test-parallel:
 	OBLIVMC_TEST_MODE=parallel $(GO) test ./internal/relops
+	OBLIVMC_TEST_MODE=parallel $(GO) test ./internal/graph
 	$(GO) test . -run 'ModeParallel|FingerprintUnaffected|ScalingSmoke' -v
 
 race:
@@ -32,13 +33,14 @@ vet:
 	$(GO) vet ./...
 
 # bench regenerates the relational-layer trend artifact: elems/s for
-# Compact/GroupBy (narrow, wide, and per sort backend)/Join/JoinAll and the
-# end-to-end query (staged vs planner-fused, per backend) at
+# Compact/GroupBy (narrow, wide, and per sort backend)/Join/JoinAll, the
+# end-to-end query (staged vs planner-fused, per backend), and the graph
+# pipeline (connected components per backend, MSF) at
 # n ∈ {2^12, 2^16, 2^20}. CI uploads the artifact on every push so the perf
 # trajectory is tracked per commit. BENCH_ARGS can bound the sweep, e.g.
 # make bench BENCH_ARGS="-max 65536".
 bench:
-	$(GO) run ./cmd/relbench -out BENCH_8.json $(BENCH_ARGS)
+	$(GO) run ./cmd/relbench -out BENCH_9.json $(BENCH_ARGS)
 
 # bench-sweep records the multicore scaling curve: every point measured
 # once per -procs pool size into one artifact (per-result workers field).
@@ -57,17 +59,19 @@ bench-sweep:
 # baseline, flagging elems/s regressions beyond the noise threshold
 # (warn-only in CI; drop -warn locally to gate). BENCHDIFF_ARGS widens the
 # sweep, e.g. BENCHDIFF_ARGS="" for the full sizes.
-BENCHDIFF_BASE ?= BENCH_8.json
+BENCHDIFF_BASE ?= BENCH_9.json
 BENCHDIFF_ARGS ?= -max 65536
 benchdiff:
 	$(GO) run ./cmd/relbench -procs 1 -out BENCH_HEAD.json $(BENCHDIFF_ARGS)
 	$(GO) run ./cmd/benchdiff -base $(BENCHDIFF_BASE) -new BENCH_HEAD.json -warn
 
 # fuzz-smoke runs each native fuzz target (operator vs plain-Go reference,
-# see internal/relops/fuzz_test.go) for a short exploration budget beyond
-# the committed seed corpus. Go allows one -fuzz pattern per invocation, so
-# the targets run back to back. FuzzGroupByBackends differentially fuzzes
-# the shuffle backend against the bitonic backend.
+# see internal/relops/fuzz_test.go and internal/graph/fuzz_test.go) for a
+# short exploration budget beyond the committed seed corpus. Go allows one
+# -fuzz pattern per invocation, so the targets run back to back.
+# FuzzGroupByBackends differentially fuzzes the shuffle backend against the
+# bitonic backend; the graph targets replay oblivious CC/MSF against their
+# sequential references on fuzzer-shaped graphs.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzJoinAll$$' -fuzztime $(FUZZTIME)
@@ -76,6 +80,8 @@ fuzz-smoke:
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzGroupBy$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzDistinct$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzGroupByBackends$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzConnectedComponents$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzMSF$$' -fuzztime $(FUZZTIME)
 
 # serve-smoke is the end-to-end serving check: build oblivserve, start it
 # on a random free port, load the generated example through the client,

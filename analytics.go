@@ -3,7 +3,6 @@ package oblivmc
 import (
 	"fmt"
 
-	"oblivmc/internal/bitonic"
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
@@ -102,7 +101,8 @@ func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error)
 // send-receive (§F): result[i] holds the value for queries[i] and found[i]
 // reports whether the key exists. Table keys must be distinct; all keys
 // must be < 2^62. The access pattern depends only on the table and query
-// sizes.
+// sizes. The routing sorts run the configured sort backend
+// (Config.SortBackend), like every other relational operation.
 func Lookup(cfg Config, tableKeys, tableVals, queries []uint64) ([]uint64, []bool, *Report, error) {
 	if len(tableKeys) == 0 || len(queries) == 0 {
 		return nil, nil, nil, ErrEmptyInput
@@ -119,7 +119,7 @@ func Lookup(cfg Config, tableKeys, tableVals, queries []uint64) ([]uint64, []boo
 	vals := make([]uint64, len(queries))
 	found := make([]bool, len(queries))
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
-		srt := bitonic.CacheAgnostic{}
+		srt := relSorter(cfg)
 		sources := mem.Alloc[obliv.Elem](sp, len(tableKeys))
 		for i, k := range tableKeys {
 			sources.Data()[i] = obliv.Elem{Key: k, Val: tableVals[i], Kind: obliv.Real}

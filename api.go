@@ -64,7 +64,9 @@ func ListRank(cfg Config, succ []int, weights []uint64) ([]uint64, *Report, erro
 	}
 	var out []uint64
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
-		out = graph.ListRankOblivious(c, sp, succ, weights, cfg.Seed, cfg.Tuning.params())
+		p := cfg.Tuning.params()
+		p.Sorter = relSorter(cfg)
+		out = graph.ListRankOblivious(c, sp, succ, weights, cfg.Seed, p)
 	})
 	return out, rep, nil
 }
@@ -94,7 +96,9 @@ func TreeFunctions(cfg Config, n int, edges [][2]int, root int) (TreeInfo, *Repo
 	}
 	var tf graph.TreeFuncs
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
-		tf = graph.TreeFunctionsOblivious(c, sp, n, edges, root, cfg.Seed, cfg.Tuning.params())
+		p := cfg.Tuning.params()
+		p.Sorter = relSorter(cfg)
+		tf = graph.TreeFunctionsOblivious(c, sp, n, edges, root, cfg.Seed, p)
 	})
 	return TreeInfo(tf), rep, nil
 }
@@ -127,7 +131,9 @@ func EvaluateExpressionTree(cfg Config, t ExpressionTree) (uint64, *Report, erro
 	}
 	var out uint64
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
-		out = graph.EvalTreeOblivious(c, sp, gt, cfg.Seed, cfg.Tuning.params())
+		p := cfg.Tuning.params()
+		p.Sorter = relSorter(cfg)
+		out = graph.EvalTreeOblivious(c, sp, gt, cfg.Seed, p)
 	})
 	return out, rep, nil
 }
@@ -147,7 +153,9 @@ func ConnectedComponents(cfg Config, n int, edges [][2]int) ([]int, *Report, err
 	}
 	var out []int
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
-		out = graph.ConnectedComponentsOblivious(c, sp, n, edges, cfg.Tuning.params())
+		p := cfg.Tuning.params()
+		p.Sorter = relSorter(cfg)
+		out = graph.ConnectedComponentsOblivious(c, sp, n, edges, p)
 	})
 	return out, rep, nil
 }
@@ -179,7 +187,9 @@ func MinimumSpanningForest(cfg Config, n int, edges []WeightedEdge) ([]int, *Rep
 	}
 	var out []int
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
-		out = graph.MinimumSpanningForestOblivious(c, sp, n, ge, cfg.Tuning.params())
+		p := cfg.Tuning.params()
+		p.Sorter = relSorter(cfg)
+		out = graph.MinimumSpanningForestOblivious(c, sp, n, ge, p)
 	})
 	return out, rep, nil
 }
@@ -198,12 +208,7 @@ func SimulatePRAM(cfg Config, m PRAMMachine, memInit []uint64) ([]uint64, *Repor
 	}
 	var out []uint64
 	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
-		srt := cfg.Tuning.params()
-		norm := core.ParamsForN(m.Space() + m.Procs())
-		if srt.Sorter == nil {
-			srt.Sorter = norm.Sorter
-		}
-		out = pram.RunOblivious(c, sp, m, memInit, srt.Sorter)
+		out = pram.RunOblivious(c, sp, m, memInit, relSorter(cfg))
 	})
 	return out, rep, nil
 }

@@ -42,7 +42,11 @@ type Join struct {
 	JoinCap string `json:"join_cap,omitempty"`
 }
 
-// Spec is one declarative query over a loaded relation.
+// Spec is one declarative query over a loaded relation. Graph, when set
+// to "cc", "msf", or "pagerank", runs that graph operator over the named
+// width-2 edge table instead of the relational pipeline (the relational
+// clauses must then be absent); GraphRounds is the fixed round count for
+// "cc" (0 = converge) and the iteration count for "pagerank".
 type Spec struct {
 	Table       string  `json:"table"`
 	Join        *Join   `json:"join,omitempty"`
@@ -53,6 +57,8 @@ type Spec struct {
 	KeyOrderOut bool    `json:"key_order_out,omitempty"`
 	NoOptimize  bool    `json:"no_optimize,omitempty"`
 	As          string  `json:"as,omitempty"`
+	Graph       string  `json:"graph,omitempty"`
+	GraphRounds int     `json:"graph_rounds,omitempty"`
 }
 
 // Stats is the server's per-query execution accounting.

@@ -19,6 +19,15 @@
 //	oblivquery -n 4096 -min 100 -agg count -metered
 //	oblivquery -n 4096 -cols 2 -agg var -explain
 //	oblivquery -n 4096 -join 64 -agg count -explain   # many-to-many join feed
+//
+// With -graph the table is a width-2 edge table ("u v w" rows on stdin, or
+// the canonical benchmark graph of -n edges) and the query is a graph
+// operator instead of the relational pipeline:
+//
+//	oblivquery -graph cc -n 65536 -backend shuffle    # min-hook components
+//	oblivquery -graph cc -rounds 4 -explain           # fixed-round, fixed trace
+//	oblivquery -graph msf -n 4096 -metered
+//	printf "0 1 5\n1 2 3\n" | oblivquery -graph pagerank -rounds 8 -stdin
 package main
 
 import (
@@ -32,8 +41,126 @@ import (
 	"time"
 
 	"oblivmc"
+	"oblivmc/internal/benchdata"
 	"oblivmc/internal/prng"
 )
+
+// runGraph executes the -graph path: build a width-2 edge table (stdin
+// "u v w" rows, or the canonical benchmark graph of n edges), run the
+// operator, report like the relational path.
+func runGraph(op string, rounds, n int, useStdin, explain, metered bool, limit int,
+	seed uint64, workers int, backend string, crossover int, detShuffle bool) {
+	var gop oblivmc.GraphOp
+	switch op {
+	case "cc":
+		gop = oblivmc.GraphOpComponents
+	case "msf":
+		gop = oblivmc.GraphOpMSF
+	case "pagerank":
+		gop = oblivmc.GraphOpPageRank
+	default:
+		log.Fatalf("unknown graph op %q (cc, msf, pagerank)", op)
+	}
+
+	var edges []oblivmc.WeightedEdge
+	if useStdin {
+		sc := bufio.NewScanner(os.Stdin)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for ln := 1; sc.Scan(); ln++ {
+			fields := strings.Fields(sc.Text())
+			if len(fields) == 0 {
+				continue
+			}
+			if len(fields) != 3 {
+				log.Fatalf("line %d: edge rows are \"u v w\"", ln)
+			}
+			u, err1 := strconv.Atoi(fields[0])
+			v, err2 := strconv.Atoi(fields[1])
+			w, err3 := strconv.ParseUint(fields[2], 10, 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				log.Fatalf("line %d: bad edge %q", ln, sc.Text())
+			}
+			edges = append(edges, oblivmc.WeightedEdge{U: u, V: v, W: w})
+		}
+	} else {
+		_, bench := benchdata.GraphEdges(n)
+		edges = make([]oblivmc.WeightedEdge, len(bench))
+		for i, e := range bench {
+			edges[i] = oblivmc.WeightedEdge{U: e.U, V: e.V, W: e.W}
+		}
+	}
+	table, err := oblivmc.NewEdgeTable(edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if explain {
+		pl, err := oblivmc.GraphExplainTable(gop, table, rounds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "plan: %s\n", pl)
+	}
+
+	cfg := oblivmc.Config{Seed: seed, Workers: workers, SortCrossover: crossover, DeterministicShuffle: detShuffle}
+	switch backend {
+	case "auto":
+		cfg.SortBackend = oblivmc.SortAuto
+	case "bitonic":
+		cfg.SortBackend = oblivmc.SortBitonic
+	case "shuffle":
+		cfg.SortBackend = oblivmc.SortShuffle
+	default:
+		log.Fatalf("unknown backend %q (auto|bitonic|shuffle)", backend)
+	}
+	if metered {
+		cfg.Mode = oblivmc.ModeMetered
+		cfg.CacheM = 1 << 12
+		cfg.CacheB = 32
+		cfg.Trace = true
+	}
+
+	start := time.Now()
+	var res oblivmc.Table
+	var rep *oblivmc.Report
+	switch gop {
+	case oblivmc.GraphOpMSF:
+		res, rep, err = oblivmc.MSF(cfg, table)
+	case oblivmc.GraphOpPageRank:
+		if rounds == 0 {
+			rounds = 5
+		}
+		res, rep, err = oblivmc.PageRank(cfg, table, rounds)
+	default:
+		res, rep, err = oblivmc.Components(cfg, table, rounds)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(os.Stderr, "%s over %d edges obliviously in %v (%.0f edges/s), %d result rows\n",
+		op, table.Len(), elapsed, float64(table.Len())/elapsed.Seconds(), res.Len())
+	if rep != nil {
+		fmt.Fprintf(os.Stderr, "work=%d span=%d parallelism=%.0fx memops=%d cache-misses=%d\n",
+			rep.Work, rep.Span, float64(rep.Work)/float64(rep.Span), rep.MemOps, rep.CacheMisses)
+		fmt.Fprintf(os.Stderr, "adversary's view: %016x/%d\n",
+			rep.TraceFingerprint.Hash, rep.TraceFingerprint.Count)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for i, r := range res.WideRows() {
+		if i >= limit {
+			fmt.Fprintf(w, "... (%d more rows)\n", res.Len()-limit)
+			break
+		}
+		keys := make([]string, len(r.Keys))
+		for c, k := range r.Keys {
+			keys[c] = strconv.FormatUint(k, 10)
+		}
+		fmt.Fprintf(w, "%s\t%d\n", strings.Join(keys, "\t"), r.Val)
+	}
+}
 
 func main() {
 	n := flag.Int("n", 1<<14, "random workload size (ignored with -stdin)")
@@ -56,7 +183,15 @@ func main() {
 	backend := flag.String("backend", "auto", "relational sort backend: auto|bitonic|shuffle (auto switches at the size crossover)")
 	crossover := flag.Int("crossover", 0, "auto-backend size crossover override (0 = default)")
 	detShuffle := flag.Bool("det-shuffle", false, "derive the shuffle backend's permutations from -seed for reproducible traces (testing only: a known seed forfeits the backend's obliviousness guarantee)")
+	graphOp := flag.String("graph", "", "graph workload over an edge table: cc, msf, pagerank (-n counts edges; -stdin reads \"u v w\" rows)")
+	rounds := flag.Int("rounds", 0, "graph round parameter: fixed cc rounds (0 = converge) or pagerank iterations (0 = 5)")
 	flag.Parse()
+
+	if *graphOp != "" {
+		runGraph(*graphOp, *rounds, *n, *useStdin, *explain, *metered, *limit,
+			*seed, *workers, *backend, *crossover, *detShuffle)
+		return
+	}
 
 	if *cols < 1 || *cols > 2 {
 		log.Fatalf("-cols must be 1 or 2 (got %d)", *cols)

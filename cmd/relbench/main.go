@@ -3,7 +3,12 @@
 // Join, the many-to-many JoinAll, and the end-to-end
 // Filter→Distinct→GroupBy→TopK query pipeline in both its planner-fused
 // and staged-baseline form — at n ∈ {2^12, 2^16, 2^20}, and writes the
-// results as JSON (the BENCH_*.json trend artifact CI uploads).
+// results as JSON (the BENCH_*.json trend artifact CI uploads). The graph
+// points (graph_cc_bitonic / graph_cc_shuffle / graph_msf) run the
+// edge-table workloads over the canonical benchmark graph at 2^16 and 2^20
+// edges — n for those points counts edges — with min-hook CC measured on
+// both backends side by side; MSF stops at 2^16 edges (its revealed
+// Borůvka iteration count makes the 2^20 point a multi-hour measurement).
 //
 // The trend points run the default (Auto) sort backend; the explicitly
 // suffixed points (groupby_bitonic/groupby_shuffle and the query_fused
@@ -301,6 +306,49 @@ func main() {
 				{"query_fused", queryFused(oblivmc.SortAuto)},
 				{"query_fused_bitonic", queryFused(oblivmc.SortBitonic)},
 				{"query_fused_shuffle", queryFused(oblivmc.SortShuffle)},
+			}
+			if n >= 1<<16 {
+				// Graph workload points: n counts edges; the canonical
+				// benchmark graph has n/16 vertices. Min-hook CC runs to
+				// convergence (the round count is a fixed property of the
+				// fixed workload, so iterations measure identical traces) on
+				// both backends.
+				_, ge := benchdata.GraphEdges(n)
+				wedges := make([]oblivmc.WeightedEdge, len(ge))
+				for i, e := range ge {
+					wedges[i] = oblivmc.WeightedEdge{U: e.U, V: e.V, W: e.W}
+				}
+				etab, err := oblivmc.NewEdgeTable(wedges)
+				if err != nil {
+					log.Fatal(err)
+				}
+				graphCC := func(b oblivmc.SortBackend) func() {
+					return func() {
+						if _, _, err := oblivmc.Components(queryCfg(b), etab, 0); err != nil {
+							log.Fatal(err)
+						}
+					}
+				}
+				pts = append(pts,
+					struct {
+						name string
+						body func()
+					}{"graph_cc_bitonic", graphCC(oblivmc.SortBitonic)},
+					struct {
+						name string
+						body func()
+					}{"graph_cc_shuffle", graphCC(oblivmc.SortShuffle)},
+				)
+				if n <= 1<<16 {
+					pts = append(pts, struct {
+						name string
+						body func()
+					}{"graph_msf", func() {
+						if _, _, err := oblivmc.MSF(queryCfg(oblivmc.SortAuto), etab); err != nil {
+							log.Fatal(err)
+						}
+					}})
+				}
 			}
 			for _, p := range pts {
 				if !wantPoint(p.name) {

@@ -1,0 +1,319 @@
+package oblivmc
+
+// Public-surface tests for the graph workload over edge tables:
+// Components/MSF/PageRank against plain references across both sort
+// backends and serial/parallel modes, the edge-table round trip and its
+// typed errors, the GraphExplain/GraphSorts accounting pinned against
+// the sorts a run actually executes (via the bitonic network-call
+// counter), and metered-run fingerprints as a function of public shape
+// only.
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"oblivmc/internal/bitonic"
+	"oblivmc/internal/graph"
+	"oblivmc/internal/prng"
+)
+
+func testEdges(seed uint64, n, m int, maxW uint64) []WeightedEdge {
+	src := prng.New(seed)
+	edges := make([]WeightedEdge, m)
+	for i := range edges {
+		edges[i] = WeightedEdge{U: src.Intn(n), V: src.Intn(n), W: src.Uint64n(maxW)}
+	}
+	return edges
+}
+
+func mustEdgeTable(t *testing.T, edges []WeightedEdge) Table {
+	t.Helper()
+	tab, err := NewEdgeTable(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func graphConfigs() []Config {
+	var cfgs []Config
+	for _, backend := range []SortBackend{SortBitonic, SortShuffle} {
+		cfgs = append(cfgs,
+			Config{Mode: ModeSerial, SortBackend: backend, Seed: 5, DeterministicShuffle: true},
+			Config{Mode: ModeParallel, Workers: 4, SortBackend: backend, Seed: 5, DeterministicShuffle: true},
+		)
+	}
+	return cfgs
+}
+
+func TestComponentsMatchesReference(t *testing.T) {
+	edges := testEdges(21, 40, 55, 100)
+	tab := mustEdgeTable(t, edges)
+	pairs := make([][2]int, len(edges))
+	n := 0
+	for i, e := range edges {
+		pairs[i] = [2]int{e.U, e.V}
+		if e.U >= n {
+			n = e.U + 1
+		}
+		if e.V >= n {
+			n = e.V + 1
+		}
+	}
+	want := graph.ConnectedComponentsSeq(n, pairs)
+	var ref []Row
+	for ci, cfg := range graphConfigs() {
+		out, _, err := Components(cfg, tab, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := out.Rows()
+		if len(rows) != n {
+			t.Fatalf("cfg %d: %d rows, want %d", ci, len(rows), n)
+		}
+		for v, r := range rows {
+			if r.Key != uint64(v) || r.Val != uint64(want[v]) {
+				t.Fatalf("cfg %d: row %d = %+v, want {%d %d}", ci, v, r, v, want[v])
+			}
+		}
+		if ref == nil {
+			ref = rows
+		} else {
+			for v := range ref {
+				if rows[v] != ref[v] {
+					t.Fatalf("cfg %d: row %d diverged across configs", ci, v)
+				}
+			}
+		}
+	}
+	// Fixed public round count: enough rounds for this graph converges to
+	// the same labeling with a shape-only access pattern.
+	fixed, _, err := Components(Config{}, tab, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range fixed.Rows() {
+		if r.Val != uint64(want[v]) {
+			t.Fatalf("fixed rounds: label[%d] = %d, want %d", v, r.Val, want[v])
+		}
+	}
+}
+
+func TestMSFMatchesKruskal(t *testing.T) {
+	edges := testEdges(22, 24, 40, 16) // tiny weight range: tie-breaks load-bearing
+	tab := mustEdgeTable(t, edges)
+	ge := make([]graph.WEdge, len(edges))
+	n := 0
+	for i, e := range edges {
+		ge[i] = graph.WEdge{U: e.U, V: e.V, W: e.W}
+		if e.U >= n {
+			n = e.U + 1
+		}
+		if e.V >= n {
+			n = e.V + 1
+		}
+	}
+	chosen := graph.MinimumSpanningForestSeq(n, ge)
+	want := make([]WeightedEdge, len(chosen))
+	for i, e := range chosen {
+		want[i] = edges[e]
+	}
+	for ci, cfg := range graphConfigs() {
+		out, _, err := MSF(cfg, tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := out.Edges()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cfg %d: %d forest edges, want %d", ci, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cfg %d: forest edge %d = %+v, want %+v", ci, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// pageRankRef replays PageRank's exact integer fixed-point recurrence
+// sequentially.
+func pageRankRef(n int, edges []WeightedEdge, iters int) []uint64 {
+	deg := make([]uint64, n)
+	for _, e := range edges {
+		deg[e.U]++
+	}
+	ranks := make([]uint64, n)
+	for v := range ranks {
+		ranks[v] = PageRankScale
+	}
+	base := PageRankScale * 15 / 100
+	for it := 0; it < iters; it++ {
+		next := make([]uint64, n)
+		for v := range next {
+			next[v] = base
+		}
+		for _, e := range edges {
+			if deg[e.U] > 0 {
+				next[e.V] += ranks[e.U] * 85 / 100 / deg[e.U]
+			}
+		}
+		ranks = next
+	}
+	return ranks
+}
+
+func TestPageRankMatchesIntegerReference(t *testing.T) {
+	edges := testEdges(23, 20, 40, 100)
+	tab := mustEdgeTable(t, edges)
+	n := 0
+	for _, e := range edges {
+		if e.U >= n {
+			n = e.U + 1
+		}
+		if e.V >= n {
+			n = e.V + 1
+		}
+	}
+	const iters = 3
+	want := pageRankRef(n, edges, iters)
+	for ci, cfg := range graphConfigs() {
+		out, _, err := PageRank(cfg, tab, iters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := out.Rows()
+		if len(rows) != n {
+			t.Fatalf("cfg %d: %d rows, want %d", ci, len(rows), n)
+		}
+		for v, r := range rows {
+			if r.Val != want[v] {
+				t.Fatalf("cfg %d: rank[%d] = %d, want %d", ci, v, r.Val, want[v])
+			}
+		}
+	}
+}
+
+func TestEdgeTableRoundTripAndErrors(t *testing.T) {
+	edges := []WeightedEdge{{0, 3, 7}, {2, 2, 1}, {5, 1, 0}}
+	tab := mustEdgeTable(t, edges)
+	got, err := tab.Edges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, got[i], edges[i])
+		}
+	}
+	if _, err := NewEdgeTable([]WeightedEdge{{U: -1, V: 0}}); err == nil {
+		t.Fatal("negative endpoint accepted")
+	}
+	narrow, err := NewTable([]Row{{Key: 1, Val: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := narrow.Edges(); !errors.Is(err, ErrBadWidth) {
+		t.Fatalf("Edges on width-1 table: %v, want ErrBadWidth", err)
+	}
+	if _, _, err := Components(Config{}, tab, -1); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+	if _, _, err := PageRank(Config{}, tab, 0); err == nil {
+		t.Fatal("zero PageRank iterations accepted")
+	}
+}
+
+// TestGraphSortsPinnedToExecutedSorts: the plan layer's sort accounting
+// for fixed-round components must equal the number of sorts the run
+// actually executes, counted at the bitonic network (one call per sort
+// pass on the bitonic backend).
+func TestGraphSortsPinnedToExecutedSorts(t *testing.T) {
+	edges := testEdges(31, 24, 32, 50)
+	tab := mustEdgeTable(t, edges)
+	el, err := tab.Edges()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range el {
+		if e.U >= n {
+			n = e.U + 1
+		}
+		if e.V >= n {
+			n = e.V + 1
+		}
+	}
+	const rounds = 3
+	want := GraphSorts(GraphOpComponents, n, len(el), rounds)
+	before := bitonic.NetworkCalls()
+	if _, _, err := Components(Config{SortBackend: SortBitonic}, tab, rounds); err != nil {
+		t.Fatal(err)
+	}
+	if got := int(bitonic.NetworkCalls() - before); got != want {
+		t.Fatalf("executed %d bitonic sorts, plan predicts %d", got, want)
+	}
+	if GraphSorts(GraphOpComponents, n, len(el), 0) != -1 {
+		t.Fatal("convergence mode must report -1 (unbounded) total sorts")
+	}
+}
+
+func TestGraphExplainStrings(t *testing.T) {
+	cases := []struct {
+		op     GraphOp
+		rounds int
+		want   []string
+	}{
+		{GraphOpComponents, 4, []string{"cc-minhook", "9 sorts/round", "4 rounds", "36 sorts"}},
+		{GraphOpComponents, 0, []string{"cc-minhook", "rounds revealed"}},
+		{GraphOpComponentsAS, 0, []string{"cc-as"}},
+		{GraphOpMSF, 0, []string{"msf", "revealed"}},
+		{GraphOpPageRank, 5, []string{"pagerank", "5"}},
+	}
+	for _, tc := range cases {
+		s := GraphExplain(tc.op, 1<<10, 1<<12, tc.rounds)
+		for _, sub := range tc.want {
+			if !strings.Contains(s, sub) {
+				t.Fatalf("GraphExplain(%v, rounds=%d) = %q: missing %q", tc.op, tc.rounds, s, sub)
+			}
+		}
+	}
+}
+
+// TestGraphFingerprintsShapeOnly: at the public layer, two metered runs
+// over different edge CONTENTS of the same public shape (n, m, rounds)
+// report identical trace fingerprints — for the fixed-round components
+// kernel and for the relationally-composed PageRank.
+func TestGraphFingerprintsShapeOnly(t *testing.T) {
+	const n, m = 24, 36
+	mk := func(seed uint64) Table {
+		// Force both endpoints' ranges so every draw shares n.
+		edges := testEdges(seed, n, m-1, 60)
+		edges = append(edges, WeightedEdge{U: n - 1, V: 0, W: 1})
+		return mustEdgeTable(t, edges)
+	}
+	cfg := Config{Mode: ModeMetered, Trace: true, SortBackend: SortBitonic}
+	ccFP := func(tab Table) interface{} {
+		_, rep, err := Components(cfg, tab, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TraceFingerprint
+	}
+	if a, b := ccFP(mk(101)), ccFP(mk(202)); a != b {
+		t.Fatalf("components fingerprints differ across contents of one shape: %v vs %v", a, b)
+	}
+	prFP := func(tab Table) interface{} {
+		_, rep, err := PageRank(cfg, tab, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.TraceFingerprint
+	}
+	if a, b := prFP(mk(303)), prFP(mk(404)); a != b {
+		t.Fatalf("pagerank fingerprints differ across contents of one shape: %v vs %v", a, b)
+	}
+}

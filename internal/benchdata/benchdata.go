@@ -71,6 +71,45 @@ func LeftRecords(n int) []relops.Record {
 	return recs
 }
 
+// GraphVertexFraction: the graph benchmarks run m-edge graphs over
+// n = m/GraphVertexFraction vertices (min 2) — dense enough that the
+// min-hook CC converges in a handful of rounds, sparse enough that the
+// component structure is nontrivial.
+const GraphVertexFraction = 16
+
+// Edge is one weighted benchmark edge (a plain struct so the package stays
+// importable from both the root benchmarks and the relbench tool without
+// depending on the public API).
+type Edge struct {
+	U, V int
+	W    uint64
+}
+
+// GraphEdges generates the canonical m-edge benchmark graph: vertices
+// n = m/GraphVertexFraction, a Hamiltonian-path backbone over the first
+// half of the vertices (so there is one giant component plus random
+// attachments), the rest uniform random pairs, weights below 2^20, fixed
+// seed 44. Shared by bench_test.go's graph benchmarks and relbench's
+// graph_cc/graph_msf points.
+func GraphEdges(m int) (n int, edges []Edge) {
+	n = m / GraphVertexFraction
+	if n < 2 {
+		n = 2
+	}
+	src := prng.New(44)
+	edges = make([]Edge, m)
+	backbone := n / 2
+	for i := range edges {
+		if i < backbone-1 {
+			edges[i] = Edge{U: i, V: i + 1}
+		} else {
+			edges[i] = Edge{U: int(src.Uint64n(uint64(n))), V: int(src.Uint64n(uint64(n)))}
+		}
+		edges[i].W = src.Uint64n(1 << 20)
+	}
+	return n, edges
+}
+
 // JoinAllRecords generates the many-to-many join benchmark workload for a
 // foreign relation of n records (n must be a multiple of 16). The left
 // relation has n/JoinLeftFraction rows over half as many distinct keys —

@@ -1,10 +1,25 @@
 package bitonic
 
 import (
+	"sync/atomic"
+
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
 )
+
+// networkCalls counts entries into the package's sorting networks (every
+// Sort/SortScheduled that actually runs a network, across all sorter
+// types). It exists for backend-routing regression tests: a run that
+// selected the shuffle backend end to end must leave the counter
+// untouched. The counter is advisory test instrumentation, not part of
+// the oblivious cost model.
+var networkCalls atomic.Int64
+
+// NetworkCalls returns the number of bitonic/odd-even network invocations
+// since process start. Tests snapshot it around a run and assert on the
+// delta.
+func NetworkCalls() int64 { return networkCalls.Load() }
 
 // CacheAgnostic is the obliv.Sorter backed by the paper's cache-agnostic
 // BITONIC-SORT (§E.1). It is the sorter used by REC-ORBA, REC-SORT and all
@@ -23,6 +38,7 @@ func (s CacheAgnostic) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.E
 	if n <= 1 {
 		return
 	}
+	networkCalls.Add(1)
 	scratch := mem.Alloc[obliv.Elem](sp, n)
 	SortCA(c, a, scratch, lo, n, true, s.Leaf, key)
 }
@@ -33,6 +49,7 @@ func (s CacheAgnostic) SortScheduled(c *forkjoin.Ctx, _ *mem.Space, a *mem.Array
 	if n <= 1 {
 		return
 	}
+	networkCalls.Add(1)
 	SortCAKeyed(c, a, scr, ks, kscr, lo, n, true, s.Leaf)
 }
 
@@ -49,6 +66,7 @@ func (Naive) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo, 
 	if n <= 1 {
 		return
 	}
+	networkCalls.Add(1)
 	SortIterative(c, a, lo, n, true, key)
 }
 
@@ -58,6 +76,7 @@ func (Naive) SortScheduled(c *forkjoin.Ctx, _ *mem.Space, a *mem.Array[obliv.Ele
 	if n <= 1 {
 		return
 	}
+	networkCalls.Add(1)
 	SortIterativeKeyed(c, a, ks, lo, n, true)
 }
 
@@ -73,6 +92,7 @@ func (OddEven) Sort(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[obliv.Elem], lo
 	if n <= 1 {
 		return
 	}
+	networkCalls.Add(1)
 	SortOddEven(c, a, lo, n, key)
 }
 
@@ -82,5 +102,6 @@ func (OddEven) SortScheduled(c *forkjoin.Ctx, _ *mem.Space, a *mem.Array[obliv.E
 	if n <= 1 {
 		return
 	}
+	networkCalls.Add(1)
 	SortOddEvenKeyed(c, a, ks, lo, n)
 }

@@ -21,10 +21,13 @@ type Params struct {
 	// uses γ = Θ(log n); γ = 2 recovers the prior algorithms of
 	// [ACN+20, CGLS18] and is exposed for the Lemma 3.1 ablation.
 	Gamma int
-	// Sorter is the oblivious network sorter used for the small
-	// poly-logarithmic subproblems (AKS in the theory bound, bitonic in
-	// the practical variant — see DESIGN.md deviation 1).
-	Sorter obliv.Sorter
+	// Sorter is the oblivious sorter used for the small poly-logarithmic
+	// subproblems (AKS in the theory bound, bitonic in the practical
+	// variant — see DESIGN.md deviation 1). It must support the
+	// key-schedule seam (obliv.ScheduledSorter): the graph and PRAM bulk
+	// operations route every sort through cached-key schedules, which is
+	// how they inherit backend selection.
+	Sorter obliv.ScheduledSorter
 
 	// SampleRate: REC-SORT samples each element with probability
 	// 1/SampleRate during pivot selection (paper: log n).

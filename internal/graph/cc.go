@@ -67,7 +67,7 @@ func ConnectedComponentsOblivious(c *forkjoin.Ctx, sp *mem.Space, n int, edges [
 
 // computeStars fills star[w] ∈ {0,1}: star(w) iff w's tree in the D forest
 // is a star (everything points directly at the root).
-func computeStars(c *forkjoin.Ctx, sp *mem.Space, d, star *mem.Array[uint64], srt obliv.Sorter) {
+func computeStars(c *forkjoin.Ctx, sp *mem.Space, d, star *mem.Array[uint64], srt obliv.ScheduledSorter) {
 	n := d.Len()
 	dw := mem.Alloc[uint64](sp, n)
 	mem.CopyPar(c, dw, 0, d, 0, n)
@@ -102,7 +102,7 @@ func computeStars(c *forkjoin.Ctx, sp *mem.Space, d, star *mem.Array[uint64], sr
 }
 
 // hook issues the (un)conditional star-hooking writes of one AS step.
-func hook(c *forkjoin.Ctx, sp *mem.Space, d, star, us, vs *mem.Array[uint64], m2 int, unconditional bool, srt obliv.Sorter) {
+func hook(c *forkjoin.Ctx, sp *mem.Space, d, star, us, vs *mem.Array[uint64], m2 int, unconditional bool, srt obliv.ScheduledSorter) {
 	if m2 == 0 {
 		return
 	}
@@ -131,7 +131,7 @@ func hook(c *forkjoin.Ctx, sp *mem.Space, d, star, us, vs *mem.Array[uint64], m2
 }
 
 // jumpOnce applies one pointer-jumping round D[w] <- D[D[w]].
-func jumpOnce(c *forkjoin.Ctx, sp *mem.Space, d *mem.Array[uint64], srt obliv.Sorter) {
+func jumpOnce(c *forkjoin.Ctx, sp *mem.Space, d *mem.Array[uint64], srt obliv.ScheduledSorter) {
 	n := d.Len()
 	dw := mem.Alloc[uint64](sp, n)
 	mem.CopyPar(c, dw, 0, d, 0, n)

@@ -447,8 +447,8 @@ func compact(c *forkjoin.Ctx, sp *mem.Space, st *treeState, p core.Params) {
 		}
 		return e.Key
 	}
-	srt.Sort(c, sp, wA, 0, wl, packKey)
-	srt.Sort(c, sp, wB, 0, wl, packKey)
+	obliv.SortKeyed(c, sp, wA.View(0, wl), wl, packKey, srt)
+	obliv.SortKeyed(c, sp, wB.View(0, wl), wl, packKey, srt)
 
 	ns := treeState{
 		size:    newSize,

@@ -52,7 +52,7 @@ func EulerTourOblivious(c *forkjoin.Ctx, sp *mem.Space, n int, edges [][2]int, r
 		}
 		return e.Key
 	}
-	p.Sorter.Sort(c, sp, arcs, 0, arcs.Len(), keyFn)
+	obliv.SortKeyed(c, sp, arcs, arcs.Len(), keyFn, p.Sorter)
 
 	// Adjacency successor: each arc's successor in the circular list
 	// Adj(u) is its right neighbor if that shares u; the last arc of the

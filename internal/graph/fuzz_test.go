@@ -1,0 +1,82 @@
+package graph
+
+// Native fuzz targets for the graph operators: the fuzzer mutates
+// (seed, n, m, backend) tuples, each input derives a random graph —
+// self-loops and duplicate edges included — and replays the oblivious
+// op against its plain sequential reference. `go test` runs the seed
+// corpus as regular tests; CI's `make fuzz-smoke` step runs each target
+// under -fuzz for a short budget.
+
+import (
+	"testing"
+
+	"oblivmc/internal/core"
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/prng"
+)
+
+// fuzzGraph folds raw fuzz bytes into a legal graph: n in [2, 33],
+// m in [1, 48], endpoints drawn freely (duplicates and self-loops are
+// valid inputs and must not break the ops).
+func fuzzGraph(seed uint64, n, m uint8) (int, [][2]int) {
+	nv := int(n%32) + 2
+	mv := int(m%48) + 1
+	src := prng.New(seed)
+	edges := make([][2]int, mv)
+	for i := range edges {
+		edges[i] = [2]int{src.Intn(nv), src.Intn(nv)}
+	}
+	return nv, edges
+}
+
+// fuzzSorter picks the sort backend under test from a fuzz byte.
+func fuzzSorter(backend uint8) core.Params {
+	p := testParams()
+	if backend%2 == 1 {
+		be := diffBackends()[1] // shuffle with fixed seed
+		p.Sorter = be.srt()
+	}
+	return p
+}
+
+func FuzzConnectedComponents(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(10), uint8(0))
+	f.Add(uint64(2), uint8(31), uint8(47), uint8(1))
+	f.Add(uint64(3), uint8(2), uint8(1), uint8(0))
+	f.Add(uint64(4), uint8(20), uint8(5), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, n, m, backend uint8) {
+		nv, edges := fuzzGraph(seed, n, m)
+		want := ConnectedComponentsSeq(nv, edges)
+		got, _ := ConnectedComponentsMinHook(forkjoin.Serial(), mem.NewSpace(), nv, edges, 0, fuzzSorter(backend))
+		if !sameInts(got, want) {
+			t.Fatalf("minhook(n=%d, m=%d, seed=%d): labels %v, want %v", nv, len(edges), seed, got, want)
+		}
+		as := ConnectedComponentsOblivious(forkjoin.Serial(), mem.NewSpace(), nv, edges, fuzzSorter(backend))
+		if !samePartition(as, want) {
+			t.Fatalf("as(n=%d, m=%d, seed=%d): partition %v, want %v", nv, len(edges), seed, as, want)
+		}
+	})
+}
+
+func FuzzMSF(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(10), uint8(0))
+	f.Add(uint64(2), uint8(31), uint8(47), uint8(1))
+	f.Add(uint64(3), uint8(2), uint8(1), uint8(0))
+	f.Add(uint64(4), uint8(16), uint8(30), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, n, m, backend uint8) {
+		nv, edges := fuzzGraph(seed, n, m)
+		src := prng.New(seed ^ 0xabcd)
+		wedges := make([]WEdge, len(edges))
+		for i, e := range edges {
+			// Small weight range on purpose: duplicate weights exercise
+			// the edge-id tie-break.
+			wedges[i] = WEdge{U: e[0], V: e[1], W: src.Uint64n(6)}
+		}
+		want := MinimumSpanningForestSeq(nv, wedges)
+		got := MinimumSpanningForestOblivious(forkjoin.Serial(), mem.NewSpace(), nv, wedges, fuzzSorter(backend))
+		if !sameInts(got, want) {
+			t.Fatalf("msf(n=%d, m=%d, seed=%d): chose %v, want %v", nv, len(wedges), seed, got, want)
+		}
+	})
+}

@@ -250,6 +250,6 @@ func normParams(p core.Params, n int) core.Params {
 }
 
 // gatherU64 wraps pram.Gather for package-local use.
-func gatherU64(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], addrs *mem.Array[uint64], srt obliv.Sorter) *mem.Array[obliv.Elem] {
+func gatherU64(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], addrs *mem.Array[uint64], srt obliv.ScheduledSorter) *mem.Array[obliv.Elem] {
 	return pram.Gather(c, sp, memory, addrs, srt)
 }

@@ -134,7 +134,7 @@ func MinimumSpanningForestOblivious(c *forkjoin.Ctx, sp *mem.Space, n int, edges
 			}
 			return e.Key
 		}
-		srt.Sort(c, sp, sel, 0, sel.Len(), selKey)
+		obliv.SortKeyed(c, sp, sel, sel.Len(), selKey, srt)
 		groupOf := func(e obliv.Elem) uint64 {
 			if e.Kind != obliv.Real {
 				return obliv.InfKey

@@ -1,0 +1,120 @@
+package graph
+
+// Trace-obliviousness tests for the graph operators via the oblivtest
+// harness: a graph op's fingerprint must be a function of the public
+// shape only — (n, m, rounds) for fixed-round connected components,
+// (n, m) for the fixed-iteration Awerbuch–Shiloach variant — never of
+// which edges the graph actually contains. Revealed-convergence modes
+// are excluded by design (the executed round count is declared public),
+// so the MSF check pins fingerprints across weight distributions on a
+// family whose revealed iteration count is structure-invariant. The
+// metered bracket at the end is the grainFor invariant: fingerprints are
+// defined by the sequential metered executor and cannot move because
+// multi-worker pool runs happened in between.
+
+import (
+	"testing"
+
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv/oblivtest"
+	"oblivmc/internal/prng"
+)
+
+// lockstepEdges draws m edges over n vertices from the content source —
+// self-loops and duplicates allowed; they are secret contents like any
+// other edge.
+func lockstepEdges(content *prng.Source, n, m int) [][2]int {
+	edges := make([][2]int, m)
+	for i := range edges {
+		edges[i] = [2]int{content.Intn(n), content.Intn(n)}
+	}
+	return edges
+}
+
+// TestCCMinHookLockstep: shape-randomized lockstep for fixed-round
+// min-hook CC. Within each round all variants share (n, m, rounds) and
+// differ only in edge contents; their traces must coincide.
+func TestCCMinHookLockstep(t *testing.T) {
+	oblivtest.Lockstep(t, "cc-minhook", 4, 3, 42,
+		func(c *forkjoin.Ctx, sp *mem.Space, shape, content *prng.Source) {
+			n := 8 + shape.Intn(25)
+			m := n/2 + shape.Intn(n)
+			rounds := 2 + shape.Intn(3)
+			ConnectedComponentsMinHook(c, sp, n, lockstepEdges(content, n, m), rounds, testParams())
+		})
+}
+
+// TestCCASLockstep: same for the fixed-iteration Awerbuch–Shiloach CC,
+// whose iteration count is a function of n alone.
+func TestCCASLockstep(t *testing.T) {
+	oblivtest.Lockstep(t, "cc-as", 3, 3, 43,
+		func(c *forkjoin.Ctx, sp *mem.Space, shape, content *prng.Source) {
+			n := 6 + shape.Intn(14)
+			m := n/2 + shape.Intn(n)
+			ConnectedComponentsOblivious(c, sp, n, lockstepEdges(content, n, m), testParams())
+		})
+}
+
+// TestCCMinHookShapeSensitivity: the inverse guard — a different public
+// shape must change the view, or the fingerprint stopped observing the
+// computation.
+func TestCCMinHookShapeSensitivity(t *testing.T) {
+	run := func(n, m, rounds int) oblivtest.Body {
+		return func(c *forkjoin.Ctx, sp *mem.Space) {
+			ConnectedComponentsMinHook(c, sp, n, lockstepEdges(prng.New(9), n, m), rounds, testParams())
+		}
+	}
+	oblivtest.Different(t, "cc-minhook n", run(16, 20, 3), run(24, 20, 3))
+	oblivtest.Different(t, "cc-minhook m", run(16, 20, 3), run(16, 28, 3))
+	oblivtest.Different(t, "cc-minhook rounds", run(16, 20, 3), run(16, 20, 4))
+}
+
+// TestMSFFingerprintValueDistributions: MSF reveals its iteration count,
+// so obliviousness is conditioned on it; on a star every weight
+// assignment converges in the same number of iterations, which makes the
+// remaining trace a pure function of shape. Three very different weight
+// distributions over the same star must produce identical views.
+func TestMSFFingerprintValueDistributions(t *testing.T) {
+	const n = 16
+	starWeights := func(draw func(i int) uint64) oblivtest.Body {
+		return func(c *forkjoin.Ctx, sp *mem.Space) {
+			edges := make([]WEdge, n-1)
+			for i := range edges {
+				edges[i] = WEdge{U: 0, V: i + 1, W: draw(i)}
+			}
+			MinimumSpanningForestOblivious(c, sp, n, edges, testParams())
+		}
+	}
+	small := prng.New(5)
+	large := prng.New(6)
+	oblivtest.FingerprintEqual(t, "msf star weights",
+		starWeights(func(i int) uint64 { return small.Uint64n(4) }),
+		starWeights(func(i int) uint64 { return 1<<15 - 1 - uint64(i) }),
+		starWeights(func(i int) uint64 { return large.Uint64n(1 << 15) }),
+	)
+}
+
+// TestGraphFingerprintUnaffectedByParallelRuns is the grainFor-invariant
+// bracket for the graph ops: metered fingerprints taken before and after
+// a batch of multi-worker pool runs of the same op must agree bit for
+// bit — parallel execution may never perturb the adversary's view, which
+// is defined by the sequential metered executor alone.
+func TestGraphFingerprintUnaffectedByParallelRuns(t *testing.T) {
+	const n, m, rounds = 20, 30, 3
+	edges := lockstepEdges(prng.New(77), n, m)
+	fp := func() interface{} {
+		return oblivtest.Fingerprint(func(c *forkjoin.Ctx, sp *mem.Space) {
+			ConnectedComponentsMinHook(c, sp, n, edges, rounds, testParams())
+		})
+	}
+	before := fp()
+	for _, workers := range []int{2, 4} {
+		forkjoin.RunParallel(workers, func(c *forkjoin.Ctx) {
+			ConnectedComponentsMinHook(c, mem.NewSpace(), n, edges, rounds, testParams())
+		})
+	}
+	if after := fp(); after != before {
+		t.Fatalf("metered fingerprint moved across parallel runs: %v != %v", after, before)
+	}
+}

@@ -301,3 +301,26 @@ func (SelectionNetwork) SortScheduled(c *forkjoin.Ctx, _ *mem.Space, a *mem.Arra
 		}
 	}
 }
+
+// SortKeyed sorts a[0:n) ascending by the single-word closure key with the
+// deterministic TiePos tie-break, through the sorter's key-schedule path:
+// the key words are materialized once into a fresh width-1 schedule (one
+// fixed elementwise pass) and the backend orders the cached words, so every
+// caller inherits backend selection and the cached-key comparators. TiePos
+// makes the output permutation a deterministic function of the input
+// regardless of backend — key ties resolve by the elements' (Kind, Tag,
+// Aux) triple, never by network topology. This is the migration shim for
+// call sites without a multi-pass scratch arena (the graph and PRAM bulk
+// steps); relational code uses the arena-backed relops sortSched instead.
+func SortKeyed(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[Elem], n int, key func(Elem) uint64, srt ScheduledSorter) {
+	if n <= 1 {
+		return
+	}
+	ks := AllocKeySchedule(sp, n, 1)
+	ks.Tie = TiePos
+	kscr := AllocKeySchedule(sp, n, 1)
+	kscr.Tie = TiePos
+	scr := mem.Alloc[Elem](sp, n)
+	BuildKeySchedule(c, a, ks, 0, n, func(e Elem, out []uint64) { out[0] = key(e) })
+	srt.SortScheduled(c, sp, a, ks, scr, kscr, 0, n)
+}

@@ -14,15 +14,20 @@ import (
 //
 // Construction per [CS17]: O(1) oblivious sorts plus one oblivious
 // propagation, all within the sorting bound — with the cache-agnostic,
-// binary fork-join sorter this realizes the Table 2 "S-R" row.
+// binary fork-join sorter this realizes the Table 2 "S-R" row. The sorts
+// run through the ScheduledSorter key-schedule seam (one width-1 TiePos
+// schedule reused across both passes), so the routing inherits whichever
+// backend the caller selected and the cached-key comparators.
 //
 // Entries of either array with Kind != Real are inert: a non-Real source
 // sends nothing, and a non-Real destination occupies its output slot but
 // always receives ⊥.
 //
 // Requirements: source and destination keys must be < MaxKey. If the
-// distinct-keys promise is violated, the first source in sorted order wins.
-func SendReceive(c *forkjoin.Ctx, sp *mem.Space, sources, dests *mem.Array[Elem], srt Sorter) *mem.Array[Elem] {
+// distinct-keys promise is violated, the first source in *input* order
+// wins (the TiePos tie-break orders equal-key sources by their original
+// index, deterministically on every backend).
+func SendReceive(c *forkjoin.Ctx, sp *mem.Space, sources, dests *mem.Array[Elem], srt ScheduledSorter) *mem.Array[Elem] {
 	ns, nd := sources.Len(), dests.Len()
 	wLen := NextPow2(ns + nd)
 	w := mem.Alloc[Elem](sp, wLen) // trailing slots are fillers
@@ -37,7 +42,7 @@ func SendReceive(c *forkjoin.Ctx, sp *mem.Space, sources, dests *mem.Array[Elem]
 			e := Elem{} // non-Real source slots contribute nothing
 			c.Op(1)
 			if s.Kind == Real {
-				e = Elem{Key: s.Key, Val: s.Val, Tag: tagSource, Kind: Real}
+				e = Elem{Key: s.Key, Val: s.Val, Aux: uint64(i), Tag: tagSource, Kind: Real}
 			}
 			w.Set(c, i, e)
 		}
@@ -57,6 +62,13 @@ func SendReceive(c *forkjoin.Ctx, sp *mem.Space, sources, dests *mem.Array[Elem]
 		}
 	})
 
+	// One width-1 TiePos schedule plus scratch, shared by both sorts.
+	ks := AllocKeySchedule(sp, wLen, 1)
+	ks.Tie = TiePos
+	kscr := AllocKeySchedule(sp, wLen, 1)
+	kscr.Tie = TiePos
+	scr := mem.Alloc[Elem](sp, wLen)
+
 	// Sort by key with sources before destinations at equal keys.
 	key1 := func(e Elem) uint64 {
 		if e.Kind == Filler {
@@ -64,7 +76,8 @@ func SendReceive(c *forkjoin.Ctx, sp *mem.Space, sources, dests *mem.Array[Elem]
 		}
 		return e.Key<<1 | uint64(e.Tag)
 	}
-	srt.Sort(c, sp, w, 0, wLen, key1)
+	BuildKeySchedule(c, w, ks, 0, wLen, func(e Elem, out []uint64) { out[0] = key1(e) })
+	srt.SortScheduled(c, sp, w, ks, scr, kscr, 0, wLen)
 
 	// Propagate each key-group's source value to the whole group.
 	groupOf := func(e Elem) uint64 {
@@ -95,7 +108,8 @@ func SendReceive(c *forkjoin.Ctx, sp *mem.Space, sources, dests *mem.Array[Elem]
 		}
 		return InfKey
 	}
-	srt.Sort(c, sp, w, 0, wLen, key2)
+	BuildKeySchedule(c, w, ks, 0, wLen, func(e Elem, out []uint64) { out[0] = key2(e) })
+	srt.SortScheduled(c, sp, w, ks, scr, kscr, 0, wLen)
 
 	out := mem.Alloc[Elem](sp, nd)
 	forkjoin.ParallelRange(c, 0, nd, passGrain, func(c *forkjoin.Ctx, lo, hi int) {

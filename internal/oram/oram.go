@@ -47,9 +47,10 @@ type Options struct {
 	EvictFactor int
 	// Seed drives label generation and initialization.
 	Seed uint64
-	// Sorter is the oblivious network sorter (default cache-agnostic
-	// bitonic).
-	Sorter obliv.Sorter
+	// Sorter is the oblivious sorter (default cache-agnostic bitonic).
+	// It must support the key-schedule seam (obliv.ScheduledSorter):
+	// the PRAM bulk steps underneath route through it.
+	Sorter obliv.ScheduledSorter
 }
 
 func (o Options) withDefaults(batch int) Options {

@@ -15,11 +15,17 @@ const (
 	maxPrio  = 1 << prioBits
 )
 
+// MaxPrio is the exclusive priority bound of ScatterResolve's composite
+// conflict-resolution key, exported for callers that pack data-derived
+// priorities (the graph layer's min-label hooks use vertex labels as
+// priorities and must bound n below it).
+const MaxPrio = maxPrio
+
 // Gather obliviously reads memory at the p requested addresses: the result
 // parallels addrs, entry i holding Val = memory[addrs[i]] with Kind = Real,
 // or Kind = Filler if the address is out of range. One send-receive with
 // the memory cells as senders (§4.1 read step); cost O(Wsort(p+s)).
-func Gather(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], addrs *mem.Array[uint64], srt obliv.Sorter) *mem.Array[obliv.Elem] {
+func Gather(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], addrs *mem.Array[uint64], srt obliv.ScheduledSorter) *mem.Array[obliv.Elem] {
 	s, p := memory.Len(), addrs.Len()
 	sources := mem.Alloc[obliv.Elem](sp, s)
 	forkjoin.ParallelRange(c, 0, s, 0, func(c *forkjoin.Ctx, lo, hi int) {
@@ -49,7 +55,21 @@ func Gather(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], addrs *me
 // write step), then a send-receive updates every memory cell (cells whose
 // address receives no write keep their value; every cell is rewritten so
 // the pattern is fixed). Cost O(Wsort(p+s)).
-func ScatterResolve(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], reqs *mem.Array[obliv.Elem], srt obliv.Sorter) {
+func ScatterResolve(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], reqs *mem.Array[obliv.Elem], srt obliv.ScheduledSorter) {
+	scatterResolve(c, sp, memory, reqs, srt, false)
+}
+
+// ScatterResolveMin is ScatterResolve with combining update semantics:
+// each addressed cell keeps min(current value, winning request's value)
+// instead of being overwritten. The access pattern is identical to
+// ScatterResolve's — the combine happens inside the fixed cell-rewrite
+// pass. The graph layer's label-hooking steps use it so labels only ever
+// decrease regardless of write ordering.
+func ScatterResolveMin(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], reqs *mem.Array[obliv.Elem], srt obliv.ScheduledSorter) {
+	scatterResolve(c, sp, memory, reqs, srt, true)
+}
+
+func scatterResolve(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], reqs *mem.Array[obliv.Elem], srt obliv.ScheduledSorter, combineMin bool) {
 	s, p := memory.Len(), reqs.Len()
 	if s >= maxAddr || p >= maxPrio {
 		panic("pram: address or priority out of composite-key range")
@@ -69,7 +89,7 @@ func ScatterResolve(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], r
 		}
 		return e.Key<<prioBits | (e.Aux & (maxPrio - 1))
 	}
-	srt.Sort(c, sp, w, 0, w.Len(), key1)
+	obliv.SortKeyed(c, sp, w, w.Len(), key1, srt)
 
 	// The first request of each address group wins; all others become
 	// fillers. Propagate the winner's priority and compare.
@@ -102,7 +122,7 @@ func ScatterResolve(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], r
 			old := memory.Get(c, i)
 			v := old
 			c.Op(1)
-			if r.Kind == obliv.Real {
+			if r.Kind == obliv.Real && (!combineMin || r.Val < old) {
 				v = r.Val
 			}
 			memory.Set(c, i, v)
@@ -114,7 +134,7 @@ func ScatterResolve(c *forkjoin.Ctx, sp *mem.Space, memory *mem.Array[uint64], r
 // and returns the final memory. With a fixed machine shape (p, s, steps),
 // the access pattern is independent of memInit and of every value read —
 // the property asserted by the package tests.
-func RunOblivious(c *forkjoin.Ctx, sp *mem.Space, m Machine, memInit []uint64, srt obliv.Sorter) []uint64 {
+func RunOblivious(c *forkjoin.Ctx, sp *mem.Space, m Machine, memInit []uint64, srt obliv.ScheduledSorter) []uint64 {
 	p, s := m.Procs(), m.Space()
 	memory := mem.Alloc[uint64](sp, s)
 	for i, v := range memInit {

@@ -258,6 +258,10 @@ func (s *Server) Execute(spec QuerySpec) (Result, error) {
 	}
 	defer s.inflight.Done()
 
+	if spec.Graph != "" {
+		return s.executeGraph(spec)
+	}
+
 	tab, q, key, err := spec.compile(s.reg)
 	if err != nil {
 		return Result{}, err
@@ -305,9 +309,95 @@ func (s *Server) Execute(spec QuerySpec) (Result, error) {
 	return res, nil
 }
 
+// executeGraph serves a graph spec: same admission, caching, and
+// materialization path as the relational pipeline, with the operator run
+// under a checked-out lane's admission slot (the graph operators manage
+// their own execution internally, so the lane bounds concurrency rather
+// than lending its session). Stats carry the operator's planned sort
+// accounting — exact for fixed-round shapes, 0 with a "rounds revealed"
+// plan for convergence runs.
+func (s *Server) executeGraph(spec QuerySpec) (Result, error) {
+	tab, op, rounds, key, err := spec.compileGraph(s.reg)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	if hit, ok := s.cache.get(key); ok {
+		res = Result{
+			Table: hit.tab,
+			Stats: Stats{Cached: true, Plan: hit.plan, Order: hit.tab.Order().String()},
+		}
+	} else {
+		hint := bucketOf(tab.Len())
+		l, err := s.checkout(hint)
+		if err != nil {
+			return Result{}, err
+		}
+		var out oblivmc.Table
+		switch op {
+		case oblivmc.GraphOpMSF:
+			out, _, err = oblivmc.MSF(s.opts.Exec, tab)
+		case oblivmc.GraphOpPageRank:
+			out, _, err = oblivmc.PageRank(s.opts.Exec, tab, rounds)
+		default:
+			out, _, err = oblivmc.Components(s.opts.Exec, tab, rounds)
+		}
+		s.checkin(l, hint)
+		if err != nil {
+			return Result{}, err
+		}
+		plan, err := oblivmc.GraphExplainTable(op, tab, rounds)
+		if err != nil {
+			return Result{}, err
+		}
+		el, err := tab.Edges()
+		if err != nil {
+			return Result{}, err
+		}
+		n := 0
+		for _, e := range el {
+			if e.U >= n {
+				n = e.U + 1
+			}
+			if e.V >= n {
+				n = e.V + 1
+			}
+		}
+		sorts := oblivmc.GraphSorts(op, n, len(el), rounds)
+		if sorts < 0 {
+			sorts = 0 // convergence run: count revealed, plan says so
+		}
+		s.cache.put(cached{key: key, tab: out, plan: plan})
+		res = Result{
+			Table: out,
+			Stats: Stats{
+				SortPasses:     sorts,
+				ColdSortPasses: sorts,
+				Plan:           plan,
+				Order:          out.Order().String(),
+			},
+		}
+	}
+	if spec.As != "" {
+		v, err := s.reg.Load(spec.As, res.Table, true)
+		if err != nil {
+			return Result{}, err
+		}
+		res.StoredAs, res.StoredVersion = spec.As, v
+	}
+	return res, nil
+}
+
 // ExplainSpec renders the order-aware plan the spec would execute,
 // without running it.
 func (s *Server) ExplainSpec(spec QuerySpec) (string, error) {
+	if spec.Graph != "" {
+		tab, op, rounds, _, err := spec.compileGraph(s.reg)
+		if err != nil {
+			return "", err
+		}
+		return oblivmc.GraphExplainTable(op, tab, rounds)
+	}
 	tab, q, _, err := spec.compile(s.reg)
 	if err != nil {
 		return "", err

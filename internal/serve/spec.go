@@ -57,6 +57,58 @@ type QuerySpec struct {
 	// (replacing any existing binding — its version bumps). Not part of
 	// the cache key: it names the result, it does not change it.
 	As string `json:"as,omitempty"`
+	// Graph runs a graph operator over the named width-2 edge table
+	// instead of the relational pipeline: "cc" (min-hook connected
+	// components), "msf" (minimum spanning forest), or "pagerank".
+	// Mutually exclusive with the relational clauses (Join, Filter,
+	// Distinct, GroupBy, TopK, KeyOrderOut, NoOptimize); As still stores
+	// the result. Like every relational field, the pair (Graph,
+	// GraphRounds) is public request shape and part of the cache key.
+	Graph string `json:"graph,omitempty"`
+	// GraphRounds is the workload's round parameter: for "cc" a positive
+	// value runs exactly that many fixed rounds (0 = run to convergence);
+	// for "pagerank" the iteration count (0 = 5); "msf" ignores it.
+	GraphRounds int `json:"graph_rounds,omitempty"`
+}
+
+// graphOps maps the wire names to the public graph operators.
+var graphOps = map[string]oblivmc.GraphOp{
+	"cc":       oblivmc.GraphOpComponents,
+	"msf":      oblivmc.GraphOpMSF,
+	"pagerank": oblivmc.GraphOpPageRank,
+}
+
+// compileGraph resolves a graph spec against the registry: the edge
+// table, the operator, the resolved round parameter, and the canonical
+// cache key. The relational clauses must be absent.
+func (s QuerySpec) compileGraph(reg *Registry) (oblivmc.Table, oblivmc.GraphOp, int, string, error) {
+	fail := func(err error) (oblivmc.Table, oblivmc.GraphOp, int, string, error) {
+		return oblivmc.Table{}, 0, 0, "", err
+	}
+	op, ok := graphOps[s.Graph]
+	if !ok {
+		return fail(fmt.Errorf("%w: unknown graph op %q (cc, msf, pagerank)", ErrBadSpec, s.Graph))
+	}
+	if s.Join != nil || s.Filter != nil || s.Distinct || s.GroupBy != "" ||
+		s.TopK != 0 || s.KeyOrderOut || s.NoOptimize {
+		return fail(fmt.Errorf("%w: graph %q excludes the relational clauses", ErrBadSpec, s.Graph))
+	}
+	if s.GraphRounds < 0 {
+		return fail(fmt.Errorf("%w: negative graph_rounds", ErrBadSpec))
+	}
+	if s.Table == "" {
+		return fail(fmt.Errorf("%w: missing table", ErrBadSpec))
+	}
+	tab, ver, err := reg.Get(s.Table)
+	if err != nil {
+		return fail(err)
+	}
+	rounds := s.GraphRounds
+	if op == oblivmc.GraphOpPageRank && rounds == 0 {
+		rounds = 5
+	}
+	key := fmt.Sprintf("t=%s@%d|graph=%s|r=%d", s.Table, ver, s.Graph, rounds)
+	return tab, op, rounds, key, nil
 }
 
 var aggOf = map[string]oblivmc.Agg{

@@ -1,0 +1,68 @@
+package oblivmc
+
+// Regression test for the send-receive backend seam: Lookup's routing
+// sorts used to hard-code the bitonic network regardless of
+// Config.SortBackend. Now that obliv.SendReceive takes the injected
+// ScheduledSorter, a shuffle-backend Lookup must execute ZERO bitonic
+// network sorts — pinned here against the package-level bitonic call
+// counter, with a bitonic-backend sanity leg proving the counter is
+// observing the run. (Tests in this package do not use t.Parallel, so
+// the counter deltas are not racy.)
+
+import (
+	"testing"
+
+	"oblivmc/internal/bitonic"
+)
+
+func TestLookupShuffleBackendRunsZeroBitonicSorts(t *testing.T) {
+	const nt, nq = 64, 32
+	keys := make([]uint64, nt)
+	vals := make([]uint64, nt)
+	for i := range keys {
+		keys[i] = uint64(i * 3)
+		vals[i] = uint64(i*i + 1)
+	}
+	queries := make([]uint64, nq)
+	for i := range queries {
+		queries[i] = uint64(i * 2) // hits and misses
+	}
+	check := func(got []uint64, found []bool) {
+		t.Helper()
+		byKey := map[uint64]uint64{}
+		for i, k := range keys {
+			byKey[k] = vals[i]
+		}
+		for i, q := range queries {
+			want, ok := byKey[q]
+			if found[i] != ok {
+				t.Fatalf("query %d (%d): found=%t, want %t", i, q, found[i], ok)
+			}
+			if ok && got[i] != want {
+				t.Fatalf("query %d (%d): val=%d, want %d", i, q, got[i], want)
+			}
+		}
+	}
+
+	before := bitonic.NetworkCalls()
+	got, found, _, err := Lookup(Config{SortBackend: SortShuffle, DeterministicShuffle: true, Seed: 3}, keys, vals, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(got, found)
+	if d := bitonic.NetworkCalls() - before; d != 0 {
+		t.Fatalf("shuffle-backend Lookup executed %d bitonic network sorts, want 0", d)
+	}
+
+	// Sanity leg: the bitonic backend must move the counter, or the
+	// zero above proves nothing.
+	before = bitonic.NetworkCalls()
+	got, found, _, err = Lookup(Config{SortBackend: SortBitonic}, keys, vals, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(got, found)
+	if d := bitonic.NetworkCalls() - before; d == 0 {
+		t.Fatal("bitonic-backend Lookup executed no bitonic network sorts — counter not observing the run")
+	}
+}
