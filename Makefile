@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-shuffle test-parallel vet race bench bench-sweep benchdiff fuzz-smoke serve-smoke docker clean
+.PHONY: all build test test-shuffle test-parallel vet race bench bench-sweep benchdiff fuzz-smoke chaos-smoke serve-smoke docker clean
 
 all: vet build test
 
@@ -82,6 +82,19 @@ fuzz-smoke:
 	$(GO) test ./internal/relops -run '^$$' -fuzz '^FuzzGroupByBackends$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzConnectedComponents$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/graph -run '^$$' -fuzz '^FuzzMSF$$' -fuzztime $(FUZZTIME)
+
+# chaos-smoke is the query-lifecycle leg: under -race, the fault-injection
+# chaos storm (concurrent queries with injected panics, slow passes, and
+# client cancellations against a tight-admission server), the deadline /
+# lane-retirement / drain / disconnect pins in internal/serve, the
+# session-level cancellation and poisoning tests at the root, and the pool
+# cancellation/panic-isolation tests in internal/forkjoin. Bounded well
+# under a minute; the faultinject registry is process-global, so the legs
+# run package by package.
+chaos-smoke:
+	$(GO) test -race ./internal/serve -run 'TestChaos|TestQueryTimeout|TestLaneRetired|TestShutdownDrain|TestClientDisconnect' -count 1
+	$(GO) test -race . -run 'TestCancelToken|TestSessionInterrupt|TestRunQueryCtx|TestPanic|TestUntrippedToken|TestCtxWatcher' -count 1
+	$(GO) test -race ./internal/forkjoin -run 'TestSerialCheck|TestRunCancel|TestForkPanic|TestCanceledError' -count 1
 
 # serve-smoke is the end-to-end serving check: build oblivserve, start it
 # on a random free port, load the generated example through the client,

@@ -36,7 +36,7 @@ func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error)
 		}
 	}
 	out := make([]uint64, n)
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		// The two sorts run the configured relational backend: both are
 		// (key, position) schedules with distinct effective keys, so the
 		// shuffle composition applies above its crossover.
@@ -94,6 +94,9 @@ func GroupTotals(cfg Config, groups, values []uint64) ([]uint64, *Report, error)
 			out[i] = w.Data()[i].Lbl
 		}
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	return out, rep, nil
 }
 
@@ -118,7 +121,7 @@ func Lookup(cfg Config, tableKeys, tableVals, queries []uint64) ([]uint64, []boo
 	}
 	vals := make([]uint64, len(queries))
 	found := make([]bool, len(queries))
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		srt := relSorter(cfg)
 		sources := mem.Alloc[obliv.Elem](sp, len(tableKeys))
 		for i, k := range tableKeys {
@@ -134,5 +137,8 @@ func Lookup(cfg Config, tableKeys, tableVals, queries []uint64) ([]uint64, []boo
 			found[i] = e.Kind == obliv.Real
 		}
 	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	return vals, found, rep, nil
 }

@@ -21,10 +21,13 @@ func Sort(cfg Config, keys []uint64) ([]uint64, *Report, error) {
 		return nil, nil, err
 	}
 	out := make([]uint64, len(keys))
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		res := core.SortKeys(c, sp, keys, cfg.Seed, cfg.Tuning.params())
 		copy(out, res)
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	return out, rep, nil
 }
 
@@ -35,7 +38,7 @@ func Shuffle(cfg Config, keys []uint64) ([]uint64, *Report, error) {
 		return nil, nil, err
 	}
 	out := make([]uint64, len(keys))
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		in := mem.Alloc[obliv.Elem](sp, len(keys))
 		for i, k := range keys {
 			in.Data()[i] = obliv.Elem{Key: k, Kind: obliv.Real}
@@ -45,6 +48,9 @@ func Shuffle(cfg Config, keys []uint64) ([]uint64, *Report, error) {
 			out[i] = e.Key
 		}
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	return out, rep, nil
 }
 
@@ -63,11 +69,14 @@ func ListRank(cfg Config, succ []int, weights []uint64) ([]uint64, *Report, erro
 		}
 	}
 	var out []uint64
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		p := cfg.Tuning.params()
 		p.Sorter = relSorter(cfg)
 		out = graph.ListRankOblivious(c, sp, succ, weights, cfg.Seed, p)
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	return out, rep, nil
 }
 
@@ -95,11 +104,14 @@ func TreeFunctions(cfg Config, n int, edges [][2]int, root int) (TreeInfo, *Repo
 		return TreeInfo{}, nil, fmt.Errorf("oblivmc: root %d out of range", root)
 	}
 	var tf graph.TreeFuncs
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		p := cfg.Tuning.params()
 		p.Sorter = relSorter(cfg)
 		tf = graph.TreeFunctionsOblivious(c, sp, n, edges, root, cfg.Seed, p)
 	})
+	if err != nil {
+		return TreeInfo{}, nil, err
+	}
 	return TreeInfo(tf), rep, nil
 }
 
@@ -130,11 +142,14 @@ func EvaluateExpressionTree(cfg Config, t ExpressionTree) (uint64, *Report, erro
 		return 0, nil, fmt.Errorf("oblivmc: expression tree must be full binary")
 	}
 	var out uint64
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		p := cfg.Tuning.params()
 		p.Sorter = relSorter(cfg)
 		out = graph.EvalTreeOblivious(c, sp, gt, cfg.Seed, p)
 	})
+	if err != nil {
+		return 0, nil, err
+	}
 	return out, rep, nil
 }
 
@@ -152,11 +167,14 @@ func ConnectedComponents(cfg Config, n int, edges [][2]int) ([]int, *Report, err
 		}
 	}
 	var out []int
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		p := cfg.Tuning.params()
 		p.Sorter = relSorter(cfg)
 		out = graph.ConnectedComponentsOblivious(c, sp, n, edges, p)
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	return out, rep, nil
 }
 
@@ -186,11 +204,14 @@ func MinimumSpanningForest(cfg Config, n int, edges []WeightedEdge) ([]int, *Rep
 		ge[i] = graph.WEdge{U: e.U, V: e.V, W: e.W}
 	}
 	var out []int
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		p := cfg.Tuning.params()
 		p.Sorter = relSorter(cfg)
 		out = graph.MinimumSpanningForestOblivious(c, sp, n, ge, p)
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	return out, rep, nil
 }
 
@@ -207,9 +228,12 @@ func SimulatePRAM(cfg Config, m PRAMMachine, memInit []uint64) ([]uint64, *Repor
 		return nil, nil, ErrEmptyInput
 	}
 	var out []uint64
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		out = pram.RunOblivious(c, sp, m, memInit, relSorter(cfg))
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	return out, rep, nil
 }
 
@@ -228,12 +252,15 @@ func WithORAM(cfg Config, spaceLog, batch int, body func(access func([]ORAMReque
 	if spaceLog < 1 || batch < 1 {
 		return nil, ErrEmptyInput
 	}
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		o := oram.New(c, sp, spaceLog, batch, oram.Options{Seed: cfg.Seed})
 		body(func(reqs []ORAMRequest) []uint64 {
 			return o.Access(c, sp, reqs)
 		})
 	})
+	if err != nil {
+		return nil, err
+	}
 	return rep, nil
 }
 

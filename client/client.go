@@ -9,8 +9,9 @@ package client
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strings"
@@ -87,23 +88,59 @@ type QueryResult struct {
 	StoredVersion int    `json:"stored_version,omitempty"`
 }
 
+// RetryPolicy bounds the client's automatic retries. Retries happen on
+// HTTP 429 (admission queue full) and 503 (server draining) — statuses
+// the server only returns before executing anything — and, for
+// idempotent calls, on transport errors (connection refused/reset, where
+// the request may never have reached a server). Backoff is exponential
+// with full jitter: attempt k sleeps a uniform draw from
+// (0, min(Base·2^k, Max)].
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first try
+	// (0 = no retries).
+	MaxRetries int
+	// Base is the first backoff ceiling (0 = 50ms).
+	Base time.Duration
+	// Max caps the backoff ceiling (0 = 2s).
+	Max time.Duration
+}
+
+// DefaultRetryPolicy is what New installs: 4 retries, 50ms..2s jittered
+// exponential backoff — enough to ride out a lane draining or a short
+// admission storm without hammering a loaded server.
+var DefaultRetryPolicy = RetryPolicy{MaxRetries: 4, Base: 50 * time.Millisecond, Max: 2 * time.Second}
+
+// DefaultTimeout bounds one HTTP call of a client built by New.
+// Oblivious queries run full padded passes, so the default is generous;
+// use NewWithHTTP to supply your own bound (or none).
+const DefaultTimeout = 5 * time.Minute
+
 // Client talks to one oblivserve instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry RetryPolicy
 }
 
 // New returns a client for the server at base (e.g.
-// "http://localhost:8344"). The underlying http.Client has no timeout:
-// oblivious queries run full padded passes, so calls can be long — wrap
-// with your own client via NewWithHTTP to bound them.
+// "http://localhost:8344") with DefaultTimeout on the underlying
+// http.Client and DefaultRetryPolicy installed.
 func New(base string) *Client {
-	return NewWithHTTP(base, &http.Client{})
+	return NewWithHTTP(base, &http.Client{Timeout: DefaultTimeout})
 }
 
-// NewWithHTTP is New with a caller-supplied http.Client.
+// NewWithHTTP is New with a caller-supplied http.Client (still with the
+// default retry policy; override via WithRetry).
 func NewWithHTTP(base string, hc *http.Client) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc, retry: DefaultRetryPolicy}
+}
+
+// WithRetry returns a copy of the client using policy p (a zero policy
+// disables retries).
+func (c *Client) WithRetry(p RetryPolicy) *Client {
+	cc := *c
+	cc.retry = p
+	return &cc
 }
 
 // apiError is a non-2xx server response.
@@ -116,20 +153,73 @@ func (e *apiError) Error() string {
 	return fmt.Sprintf("oblivserve: %s (HTTP %d)", e.Msg, e.Status)
 }
 
-func (c *Client) do(method, path string, in, out any) error {
-	var body io.Reader
+// retryableStatus reports the statuses the server returns without having
+// executed anything, so a retry can never double-apply an effect.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// backoff sleeps the full-jitter exponential delay for re-attempt k
+// (0-based).
+func (p RetryPolicy) backoff(k int) {
+	base, max := p.Base, p.Max
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << k
+	if d > max || d <= 0 {
+		d = max
+	}
+	time.Sleep(time.Duration(1 + rand.Int63n(int64(d))))
+}
+
+// do runs one API call with the client's retry policy. idempotent marks
+// calls safe to re-send after a transport error, where the request may
+// have executed without the client learning the outcome; non-idempotent
+// calls (Load without replace) only retry on the pre-execution statuses.
+func (c *Client) do(method, path string, in, out any, idempotent bool) error {
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		payload = b
 	}
-	req, err := http.NewRequest(method, c.base+path, body)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.doOnce(method, path, payload, out)
+		if lastErr == nil || attempt >= c.retry.MaxRetries {
+			return lastErr
+		}
+		var ae *apiError
+		switch {
+		case errors.As(lastErr, &ae):
+			if !retryableStatus(ae.Status) {
+				return lastErr
+			}
+		case !idempotent:
+			return lastErr
+		}
+		c.retry.backoff(attempt)
+	}
+}
+
+func (c *Client) doOnce(method, path string, payload []byte, out any) error {
+	var req *http.Request
+	var err error
+	if payload != nil {
+		req, err = http.NewRequest(method, c.base+path, bytes.NewReader(payload))
+	} else {
+		req, err = http.NewRequest(method, c.base+path, nil)
+	}
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
@@ -153,14 +243,16 @@ func (c *Client) do(method, path string, in, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Health checks liveness.
+// Health checks liveness (single shot — WaitReady owns the retrying).
 func (c *Client) Health() error {
-	return c.do(http.MethodGet, "/v1/healthz", nil, nil)
+	return c.doOnce(http.MethodGet, "/v1/healthz", nil, nil)
 }
 
-// WaitReady polls Health until the server answers or the timeout lapses.
+// WaitReady polls Health until the server answers or the timeout lapses,
+// backing off from 10ms up to 500ms between probes.
 func (c *Client) WaitReady(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
+	delay := 10 * time.Millisecond
 	for {
 		err := c.Health()
 		if err == nil {
@@ -169,37 +261,44 @@ func (c *Client) WaitReady(timeout time.Duration) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("oblivserve: not ready after %v: %w", timeout, err)
 		}
-		time.Sleep(50 * time.Millisecond)
+		time.Sleep(delay)
+		if delay *= 2; delay > 500*time.Millisecond {
+			delay = 500 * time.Millisecond
+		}
 	}
 }
 
-// Load binds rows to name on the server.
+// Load binds rows to name on the server. Without replace a transport
+// error is not retried: the first attempt may have bound the table, and a
+// blind re-send would misreport ErrTableExists.
 func (c *Client) Load(name string, rows []Row, replace bool) (TableInfo, error) {
 	var info TableInfo
 	err := c.do(http.MethodPost, "/v1/tables", struct {
 		Name    string `json:"name"`
 		Rows    []Row  `json:"rows"`
 		Replace bool   `json:"replace,omitempty"`
-	}{name, rows, replace}, &info)
+	}{name, rows, replace}, &info, replace)
 	return info, err
 }
 
 // List returns the loaded relations' metadata.
 func (c *Client) List() ([]TableInfo, error) {
 	var out []TableInfo
-	err := c.do(http.MethodGet, "/v1/tables", nil, &out)
+	err := c.do(http.MethodGet, "/v1/tables", nil, &out, true)
 	return out, err
 }
 
 // Drop unbinds name.
 func (c *Client) Drop(name string) error {
-	return c.do(http.MethodDelete, "/v1/tables/"+url.PathEscape(name), nil, nil)
+	return c.do(http.MethodDelete, "/v1/tables/"+url.PathEscape(name), nil, nil, true)
 }
 
-// Query executes spec.
+// Query executes spec. Queries are read-only against the registry (an As
+// store replaces, so re-running is safe), hence retried like idempotent
+// calls.
 func (c *Client) Query(spec Spec) (QueryResult, error) {
 	var out QueryResult
-	err := c.do(http.MethodPost, "/v1/query", spec, &out)
+	err := c.do(http.MethodPost, "/v1/query", spec, &out, true)
 	return out, err
 }
 
@@ -208,6 +307,6 @@ func (c *Client) Explain(spec Spec) (string, error) {
 	var out struct {
 		Plan string `json:"plan"`
 	}
-	err := c.do(http.MethodPost, "/v1/explain", spec, &out)
+	err := c.do(http.MethodPost, "/v1/explain", spec, &out, true)
 	return out.Plan, err
 }

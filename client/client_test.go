@@ -1,0 +1,101 @@
+package client
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps test backoffs in the microsecond range.
+var fastRetry = RetryPolicy{MaxRetries: 3, Base: time.Microsecond, Max: 10 * time.Microsecond}
+
+// TestQueryRetriesBusy pins the backpressure loop: 429 (admission queue
+// full) responses are retried with backoff until the server admits the
+// query.
+func TestQueryRetriesBusy(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "busy"})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(QueryResult{Stats: Stats{SortPasses: 3}})
+	}))
+	defer ts.Close()
+
+	res, err := New(ts.URL).WithRetry(fastRetry).Query(Spec{Table: "t"})
+	if err != nil {
+		t.Fatalf("query through two 429s: %v", err)
+	}
+	if res.Stats.SortPasses != 3 {
+		t.Fatalf("got stats %+v after retries", res.Stats)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 busy + 1 ok)", n)
+	}
+}
+
+// TestRetryStopsOnTerminalStatus pins that non-retryable statuses (a 404
+// for a missing table) fail immediately — no blind retry storm.
+func TestRetryStopsOnTerminalStatus(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		_ = json.NewEncoder(w).Encode(map[string]string{"error": "no such table"})
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL).WithRetry(fastRetry).Query(Spec{Table: "missing"})
+	if err == nil {
+		t.Fatal("404 query unexpectedly succeeded")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d calls for a terminal status, want 1", n)
+	}
+}
+
+// TestLoadWithoutReplaceSkipsTransportRetry pins the idempotency guard: a
+// connection error on a non-replacing Load is not re-sent (the first
+// attempt may have bound the table), while an idempotent List is.
+func TestLoadWithoutReplaceSkipsTransportRetry(t *testing.T) {
+	// A server that closed: every call is a connection error.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close()
+	c := New(ts.URL).WithRetry(fastRetry)
+	start := time.Now()
+	if _, err := c.Load("t", []Row{{Keys: []uint64{1}, Val: 2}}, false); err == nil {
+		t.Fatal("Load against a closed server succeeded")
+	}
+	// One attempt, no backoff sleeps: failing fast is the observable.
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("non-idempotent Load spent %v (retried?)", d)
+	}
+	if _, err := c.List(); err == nil {
+		t.Fatal("List against a closed server succeeded")
+	}
+}
+
+// TestWaitReadyBacksOff pins that WaitReady returns promptly once the
+// server is up and honors its timeout when it never comes up.
+func TestWaitReadyBacksOff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	}))
+	defer ts.Close()
+	if err := New(ts.URL).WaitReady(2 * time.Second); err != nil {
+		t.Fatalf("WaitReady against a live server: %v", err)
+	}
+	dead := New("http://127.0.0.1:1") // nothing listens on port 1
+	start := time.Now()
+	if err := dead.WaitReady(50 * time.Millisecond); err == nil {
+		t.Fatal("WaitReady against a dead address succeeded")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("WaitReady overshot its timeout: %v", d)
+	}
+}

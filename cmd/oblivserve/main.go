@@ -62,7 +62,9 @@ func cmdServe(args []string) {
 	addr := fs.String("addr", ":8344", "listen address")
 	lanes := fs.Int("lanes", 0, "concurrent query lanes (0 = GOMAXPROCS/2)")
 	workers := fs.Int("workers", 0, "fork-join workers per lane (0 = GOMAXPROCS/lanes)")
-	queueTimeout := fs.Duration("queue-timeout", 5*time.Second, "admission queue timeout before 503")
+	queueTimeout := fs.Duration("queue-timeout", 5*time.Second, "admission queue timeout before 429")
+	queryTimeout := fs.Duration("query-timeout", 0, "per-query execution deadline before 504 (0 = unlimited)")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown drain deadline before canceling stragglers (0 = wait forever)")
 	cacheSize := fs.Int("cache", 128, "result cache entries")
 	backend := fs.String("backend", "auto", "sort backend: auto, bitonic, shuffle")
 	serial := fs.Bool("serial", false, "serial execution per lane (tests, debugging)")
@@ -82,7 +84,8 @@ func cmdServe(args []string) {
 		log.Fatalf("unknown -backend %q (auto, bitonic, shuffle)", *backend)
 	}
 	srv := serve.NewServer(serve.Options{
-		Lanes: *lanes, QueueTimeout: *queueTimeout, CacheSize: *cacheSize, Exec: cfg,
+		Lanes: *lanes, QueueTimeout: *queueTimeout, QueryTimeout: *queryTimeout,
+		CacheSize: *cacheSize, Exec: cfg,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	done := make(chan struct{})
@@ -90,9 +93,13 @@ func cmdServe(args []string) {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("oblivserve: draining")
-		srv.Shutdown() // finish in-flight queries, close lane sessions
-		_ = hs.Close() // then drop the listener
+		log.Printf("oblivserve: draining (%d in flight, deadline %v)", srv.Running(), *drain)
+		// Finish in-flight queries, cancel stragglers past the deadline,
+		// close lane sessions — then drop the listener.
+		if canceled := srv.ShutdownDrain(*drain); canceled > 0 {
+			log.Printf("oblivserve: drain deadline hit, canceled %d straggler(s)", canceled)
+		}
+		_ = hs.Close()
 		close(done)
 	}()
 	log.Printf("oblivserve: listening on %s (%d lanes × %d workers)", *addr, srv.Lanes(), srv.WorkersPerLane())

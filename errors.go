@@ -1,0 +1,102 @@
+package oblivmc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"oblivmc/internal/forkjoin"
+)
+
+// Query-lifecycle errors. Every aborted execution surfaces as exactly one
+// of these (matchable with errors.Is), so servers can map outcomes to
+// typed responses without string inspection.
+var (
+	// ErrCanceled is returned when a run's cancellation token trips — via
+	// Config.Cancel, Session.Interrupt, or a canceled context. The error
+	// message carries only the public checkpoint site (a pass index /
+	// layer name that is a function of public shape), never data.
+	ErrCanceled = errors.New("oblivmc: execution canceled")
+	// ErrDeadline is returned when a context deadline caused the
+	// cancellation (Session.RunQueryCtx with a deadline context).
+	ErrDeadline = errors.New("oblivmc: execution deadline exceeded")
+	// ErrInternal is returned when an execution panicked. The concrete
+	// error is a *PanicError wrapping this sentinel; the session that ran
+	// it is poisoned (its arena and sorter state are suspect) and refuses
+	// further queries — rebuild it.
+	ErrInternal = errors.New("oblivmc: internal execution fault")
+)
+
+// PanicError is the typed form of a panic recovered at the execution
+// boundary: the original panic value plus the panicking goroutine's stack.
+// It wraps ErrInternal.
+type PanicError struct {
+	Val   any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%v: panic: %v", ErrInternal, e.Val)
+}
+
+// Unwrap makes errors.Is(err, ErrInternal) match.
+func (e *PanicError) Unwrap() error { return ErrInternal }
+
+// Cancel is a reusable cooperative cancellation token for the one-shot
+// surfaces: create one, set it as Config.Cancel, and trip it from any
+// goroutine to abort the run with ErrCanceled. Checks happen only at
+// public-shape points (between sort passes, network layers, graph
+// rounds), so an untripped token leaves the trace byte-identical to a run
+// with no token, and an abort reveals only a public pass site. The zero
+// value is ready to use; a token is single-trip (create a fresh one per
+// run to cancel runs independently).
+type Cancel struct {
+	cn forkjoin.Cancel
+}
+
+// NewCancel returns a fresh untripped token.
+func NewCancel() *Cancel { return &Cancel{} }
+
+// Cancel trips the token; the run aborts at its next checkpoint.
+func (c *Cancel) Cancel() { c.cn.Cancel() }
+
+// Canceled reports whether the token has been tripped.
+func (c *Cancel) Canceled() bool { return c != nil && c.cn.Canceled() }
+
+// token resolves the internal forkjoin token (nil-safe).
+func (c *Cancel) token() *forkjoin.Cancel {
+	if c == nil {
+		return nil
+	}
+	return &c.cn
+}
+
+// watchCtx trips cn when ctx is done. The returned stop function releases
+// the watcher goroutine; call it before returning.
+func watchCtx(ctx context.Context, cn *forkjoin.Cancel) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			cn.Cancel()
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+// ctxErrOf refines a canceled run's error against the context that drove
+// it: a deadline-caused abort becomes ErrDeadline (still carrying the
+// public site detail), everything else passes through.
+func ctxErrOf(ctx context.Context, err error) error {
+	if err == nil || ctx == nil || !errors.Is(err, ErrCanceled) {
+		return err
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %v", ErrDeadline, err)
+	}
+	return err
+}

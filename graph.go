@@ -156,11 +156,14 @@ func Components(cfg Config, edges Table, rounds int) (Table, *Report, error) {
 		pairs[i] = [2]int{e.U, e.V}
 	}
 	var labels []int
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		p := cfg.Tuning.params()
 		p.Sorter = relSorter(cfg)
 		labels, _ = graph.ConnectedComponentsMinHook(c, sp, n, pairs, rounds, p)
 	})
+	if err != nil {
+		return Table{}, nil, err
+	}
 	rows := make([]Row, n)
 	for v, l := range labels {
 		rows[v] = Row{Key: uint64(v), Val: uint64(l)}
@@ -199,11 +202,14 @@ func MSF(cfg Config, edges Table) (Table, *Report, error) {
 		ge[i] = graph.WEdge{U: e.U, V: e.V, W: e.W}
 	}
 	var chosen []int
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		p := cfg.Tuning.params()
 		p.Sorter = relSorter(cfg)
 		chosen = graph.MinimumSpanningForestOblivious(c, sp, n, ge, p)
 	})
+	if err != nil {
+		return Table{}, nil, err
+	}
 	rows := make([]WideRow, len(chosen))
 	for i, e := range chosen {
 		rows[i] = WideRow{Keys: []uint64{uint64(el[e].U), uint64(el[e].V)}, Val: el[e].W}

@@ -1,0 +1,48 @@
+package bitonic
+
+import (
+	"testing"
+
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+	"oblivmc/internal/obliv"
+)
+
+// TestKeyedCancelSite pins the cancellation checkpoint of the keyed
+// networks: a tripped token aborts at the public "bitonic.layer" site
+// before any layer runs, and an untripped token leaves the sort intact.
+func TestKeyedCancelSite(t *testing.T) {
+	const n = 128
+	s := mem.NewSpace()
+	a := mem.FromSlice(s, randElems(7, n))
+	ks := obliv.AllocKeySchedule(s, n, 1)
+	obliv.BuildKeySchedule(forkjoin.Serial(), a, ks, 0, n, keyWords)
+
+	cn := new(forkjoin.Cancel)
+	cn.Cancel()
+	for _, tc := range []struct {
+		name string
+		run  func(c *forkjoin.Ctx)
+	}{
+		{"iterative", func(c *forkjoin.Ctx) { SortIterativeKeyed(c, a, ks, 0, n, true) }},
+		{"oddeven", func(c *forkjoin.Ctx) { SortOddEvenKeyed(c, a, ks, 0, n) }},
+	} {
+		var caught any
+		func() {
+			defer func() { caught = recover() }()
+			tc.run(forkjoin.SerialCancel(cn))
+		}()
+		ce, ok := caught.(*forkjoin.CanceledError)
+		if !ok {
+			t.Fatalf("%s with tripped token panicked %T (%v), want *CanceledError", tc.name, caught, caught)
+		}
+		if ce.Site != "bitonic.layer" {
+			t.Fatalf("%s aborted at site %q, want bitonic.layer", tc.name, ce.Site)
+		}
+	}
+
+	// The abort fired before the first layer, so the array is untouched; an
+	// untripped token must now run the sort to completion.
+	SortIterativeKeyed(forkjoin.SerialCancel(new(forkjoin.Cancel)), a, ks, 0, n, true)
+	assertSorted(t, a.Data(), "keyed sort with untripped token")
+}

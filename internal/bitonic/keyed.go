@@ -29,6 +29,10 @@ func SortIterativeKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.Key
 	}
 	for k := 2; k <= n; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {
+			// Cancellation checkpoint between comparator layers: the layer
+			// schedule is a function of n alone, so an abort reveals only
+			// the public layer index.
+			c.Check("bitonic.layer")
 			layerKeyed(c, a, ks, lo, n, k, j, asc)
 		}
 	}
@@ -103,6 +107,10 @@ func sortCAKeyedRec(c *forkjoin.Ctx, buf, scr *mem.Array[obliv.Elem], kbuf, kscr
 	if n == 1 {
 		return
 	}
+	// The recursion structure is a function of (n, leaf) alone — both
+	// public — so a cancellation at a recursion entry reveals only how far
+	// the fixed schedule progressed.
+	c.Check("bitonic.layer")
 	if n <= leaf {
 		sortSerialKeyed(c, buf, kbuf, lo, n, asc)
 		return
@@ -154,6 +162,7 @@ func SortOddEvenKeyed(c *forkjoin.Ctx, a *mem.Array[obliv.Elem], ks *obliv.KeySc
 	}
 	for p := 1; p < n; p <<= 1 {
 		for k := p; k >= 1; k >>= 1 {
+			c.Check("bitonic.layer")
 			off := k % p
 			forkjoin.ParallelRange(c, 0, n-k, layerGrain, func(c *forkjoin.Ctx, from, to int) {
 				for t := from; t < to; t++ {

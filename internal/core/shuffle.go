@@ -391,6 +391,10 @@ func routeBenesInto(c *forkjoin.Ctx, pl *benesPlan, p []int, rs *routeScratch) {
 	par := c.ParallelMode()
 	copy(cur, p)
 	for l := 0; l < k-1; l++ {
+		// Routing happens in harness memory and its level count is a
+		// function of n alone, so a cancellation here reveals only the
+		// public level index.
+		c.Check("benes.route")
 		m := n >> l
 		blocks := n / m
 		if par && n >= 2*routeGrain {
@@ -524,6 +528,10 @@ func (pl *benesPlan) apply(c *forkjoin.Ctx, a, scr *mem.Array[obliv.Elem], ks, k
 		}
 	}
 	for l := 0; l < k-1; l++ {
+		// Cancellation checkpoint between network layers: the layer
+		// boundary is a function of n alone, so an abort reveals only the
+		// public layer index (never a partial-layer position).
+		c.Check("benes.level")
 		m := n >> l
 		h := m / 2
 		set := pl.layers[l]
@@ -537,6 +545,7 @@ func (pl *benesPlan) apply(c *forkjoin.Ctx, a, scr *mem.Array[obliv.Elem], ks, k
 		cura, nxta = nxta, cura
 		curk, nxtk = nxtk, curk
 	}
+	c.Check("benes.level")
 	mid := pl.layers[k-1]
 	forkjoin.ParallelRange(c, 0, n/2, benesApplyGrain, func(c *forkjoin.Ctx, from, to int) {
 		for t := from; t < to; t++ {
@@ -559,6 +568,7 @@ func (pl *benesPlan) apply(c *forkjoin.Ctx, a, scr *mem.Array[obliv.Elem], ks, k
 		}
 	})
 	for l := k - 2; l >= 0; l-- {
+		c.Check("benes.level")
 		m := n >> l
 		h := m / 2
 		set := pl.layers[2*k-2-l]

@@ -1,0 +1,120 @@
+// Package faultinject provides config-gated fault-injection points for the
+// chaos tests: named sites in the execution pipeline call Hit, and tests
+// arm rules (panic on the k-th hit, slow every k-th hit) against those
+// names. With no rules armed — the production state — a Hit is one atomic
+// load and a predicted branch, so the instrumented hot paths cost nothing
+// measurable; the package deliberately has no build tag, keeping the chaos
+// harness runnable against the exact production binary.
+//
+// Sites are global (one registry per process), so chaos tests using it
+// must not run in parallel with each other; Reset between tests.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// armed short-circuits Hit when no rules exist. It is the only state read
+// on the un-faulted fast path.
+var armed atomic.Bool
+
+var (
+	mu    sync.Mutex
+	rules = map[string]*rule{}
+)
+
+type rule struct {
+	hits      atomic.Int64
+	panicAt   int64 // panic on exactly this hit (1-based; 0 = never)
+	panicNth  int64 // panic on every n-th hit (0 = never)
+	slowNth   int64 // sleep on every n-th hit (0 = never)
+	slowDelay time.Duration
+}
+
+// Injected is the panic payload of a tripped panic rule; the lifecycle
+// layers convert it to a typed internal error like any other panic.
+type Injected struct {
+	Point string
+	Hit   int64
+}
+
+func (e *Injected) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (hit %d)", e.Point, e.Hit)
+}
+
+// Hit marks one execution of the named injection point. No-op unless a
+// test armed a rule for it.
+func Hit(point string) {
+	if !armed.Load() {
+		return
+	}
+	// Snapshot the rule under the lock: tests may arm concurrently with
+	// running queries.
+	mu.Lock()
+	r := rules[point]
+	var snap rule
+	if r != nil {
+		snap.panicAt, snap.panicNth = r.panicAt, r.panicNth
+		snap.slowNth, snap.slowDelay = r.slowNth, r.slowDelay
+	}
+	mu.Unlock()
+	if r == nil {
+		return
+	}
+	n := r.hits.Add(1)
+	if snap.slowNth > 0 && n%snap.slowNth == 0 {
+		time.Sleep(snap.slowDelay)
+	}
+	if snap.panicAt > 0 && n == snap.panicAt {
+		panic(&Injected{Point: point, Hit: n})
+	}
+	if snap.panicNth > 0 && n%snap.panicNth == 0 {
+		panic(&Injected{Point: point, Hit: n})
+	}
+}
+
+// arm mutates point's rule under the lock (Hit snapshots under the same
+// lock, so arming is safe concurrently with running queries).
+func arm(point string, set func(*rule)) {
+	mu.Lock()
+	defer mu.Unlock()
+	r := rules[point]
+	if r == nil {
+		r = &rule{}
+		rules[point] = r
+	}
+	set(r)
+	armed.Store(true)
+}
+
+// PanicAt arms a one-shot panic on exactly the k-th hit of point (1-based).
+func PanicAt(point string, k int64) { arm(point, func(r *rule) { r.panicAt = k }) }
+
+// PanicEvery arms a panic on every n-th hit of point (0 disables).
+func PanicEvery(point string, n int64) { arm(point, func(r *rule) { r.panicNth = n }) }
+
+// SlowEvery arms a sleep of d on every n-th hit of point (0 disables).
+func SlowEvery(point string, n int64, d time.Duration) {
+	arm(point, func(r *rule) { r.slowNth, r.slowDelay = n, d })
+}
+
+// Hits returns the hit count of point (0 if never armed).
+func Hits(point string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if r := rules[point]; r != nil {
+		return r.hits.Load()
+	}
+	return 0
+}
+
+// Reset drops every rule and disarms the fast path. Call from test cleanup.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	rules = map[string]*rule{}
+	armed.Store(false)
+}

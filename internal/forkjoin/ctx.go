@@ -31,8 +31,9 @@ import (
 // zero value is a valid serial context (no instrumentation, no
 // parallelism), which is convenient in tests.
 type Ctx struct {
-	w *worker // non-nil in parallel mode
-	m *Meter  // non-nil in metered mode
+	w      *worker // non-nil in parallel mode
+	m      *Meter  // non-nil in metered mode
+	cancel *Cancel // non-nil when the run carries a cancellation token
 }
 
 // Serial returns a context that executes forks sequentially with no
@@ -78,6 +79,10 @@ type MeterOpts struct {
 	EnableTrace bool
 	// TraceKeep retains this many raw events for diagnostics.
 	TraceKeep int
+	// Cancel, when non-nil, arms the run's cooperative cancellation token
+	// (see Ctx.Check). An untripped token leaves the metered trace and
+	// metrics byte-identical to a run with no token.
+	Cancel *Cancel
 }
 
 // RunMetered executes fn under the metered executor and returns its
@@ -94,7 +99,7 @@ func RunMetered(o MeterOpts, fn func(*Ctx)) *Metrics {
 	if o.EnableTrace {
 		m.rec = trace.NewRecorder(o.TraceKeep)
 	}
-	c := &Ctx{m: m}
+	c := &Ctx{m: m, cancel: o.Cancel}
 	fn(c)
 	return m.snapshot()
 }
@@ -111,7 +116,7 @@ func RunMeteredRecorder(o MeterOpts, fn func(*Ctx)) (*Metrics, *trace.Recorder) 
 		m.cache = cachesim.New(o.CacheM, b)
 	}
 	m.rec = trace.NewRecorder(o.TraceKeep)
-	c := &Ctx{m: m}
+	c := &Ctx{m: m, cancel: o.Cancel}
 	fn(c)
 	return m.snapshot(), m.rec
 }
@@ -252,22 +257,50 @@ func (c *Ctx) Fork(a, b func(*Ctx)) {
 	w := c.w
 	t := &task{fn: b}
 	w.dq.push(t)
-	a(c)
+	// A panic out of a (a cancellation Check or a genuine fault) must not
+	// unwind past this frame while b is possibly running on a thief: catch
+	// it, settle b, then re-raise. Level-by-level, this guarantees the
+	// whole computation has quiesced when the panic reaches the Run
+	// boundary — full strictness holds even for aborted runs.
+	var aPanic any
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				aPanic = wrapPanic(r, stackTrace())
+			}
+		}()
+		a(c)
+	}()
 	if got := w.dq.pop(); got != nil {
 		if got != t {
 			// Fully strict fork-join guarantees the bottom of the deque is
 			// our own task; anything else is a scheduler bug.
 			panic("forkjoin: deque bottom is not the forked task")
 		}
+		if aPanic != nil {
+			// b was never stolen: discard it unrun, exactly as the serial
+			// executor would (a panic in a skips b), and re-raise.
+			panic(aPanic)
+		}
 		b(c)
 		t.done.Store(1)
 		return
 	}
 	w.join(t)
+	if aPanic != nil {
+		panic(aPanic)
+	}
+	if t.err != nil {
+		// The thief's panic, re-raised in the joining frame.
+		panic(t.err)
+	}
 }
 
 // task is a unit of stealable work.
 type task struct {
 	fn   func(*Ctx)
 	done atomic.Uint32
+	// err holds the wrapped panic of a stolen task's aborted execution,
+	// written before done and re-raised by the joiner.
+	err any
 }

@@ -61,10 +61,34 @@ func (p *Pool) OwnerCtx() *Ctx { return &p.workers[0].ctx }
 // Run executes root on the pool and returns when root (and therefore every
 // task it forked, by full strictness) has completed.
 func (p *Pool) Run(root func(*Ctx)) {
+	p.RunCancel(nil, root)
+}
+
+// RunCancel is Run with a cancellation token armed on every worker's
+// context, so Check calls observe it from stolen tasks too. A panic out of
+// root — including the *CanceledError a tripped token raises — propagates
+// to the caller only after the computation has fully quiesced (each Fork
+// frame joins its forked sibling before re-panicking), so the pool is
+// reusable afterwards. The token is disarmed before returning.
+func (p *Pool) RunCancel(cn *Cancel, root func(*Ctx)) {
 	p.runMu.Lock()
 	defer p.runMu.Unlock()
 	if p.stop.Load() {
 		panic("forkjoin: Run on closed Pool")
+	}
+	if cn != nil {
+		// The writes are ordered before any task push (and therefore
+		// before any steal) of this run, and the workers only read their
+		// context while running a task, so arming and disarming here are
+		// race-free.
+		for _, w := range p.workers {
+			w.ctx.cancel = cn
+		}
+		defer func() {
+			for _, w := range p.workers {
+				w.ctx.cancel = nil
+			}
+		}()
 	}
 	root(&p.workers[0].ctx)
 }
@@ -81,6 +105,14 @@ func RunParallel(n int, fn func(*Ctx)) {
 	p := NewPool(n)
 	defer p.Close()
 	p.Run(fn)
+}
+
+// RunParallelCancel is RunParallel with a cancellation token. The pool is
+// closed (its workers joined) even when fn aborts by panic.
+func RunParallelCancel(n int, cn *Cancel, fn func(*Ctx)) {
+	p := NewPool(n)
+	defer p.Close()
+	p.RunCancel(cn, fn)
 }
 
 // loop is the background worker main loop.
@@ -128,8 +160,17 @@ func (w *worker) findWork() *task {
 }
 
 func (w *worker) runTask(t *task) {
+	// A panic in a stolen task must not kill the worker goroutine (that
+	// would deadlock its joiner and leak the pool): record it for the
+	// joining frame to re-raise, and always publish completion — the err
+	// write is ordered before the done release store.
+	defer func() {
+		if r := recover(); r != nil {
+			t.err = wrapPanic(r, stackTrace())
+		}
+		t.done.Store(1)
+	}()
 	t.fn(&w.ctx)
-	t.done.Store(1)
 }
 
 // join waits for t to complete, leapfrogging: while waiting, the worker

@@ -1,0 +1,42 @@
+package graph
+
+import (
+	"testing"
+
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+)
+
+// TestGraphRoundCancelSite pins the round-boundary checkpoint: a tripped
+// token aborts the min-hook components loop at the public "graph.round"
+// site (the setup phase has no checkpoint, so round 0's boundary is the
+// first), and an untripped token leaves the labels correct.
+func TestGraphRoundCancelSite(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {3, 4}, {5, 6}, {6, 7}}
+	const nv = 8
+
+	cn := new(forkjoin.Cancel)
+	cn.Cancel()
+	var caught any
+	func() {
+		defer func() { caught = recover() }()
+		ConnectedComponentsMinHook(forkjoin.SerialCancel(cn), mem.NewSpace(), nv, edges, 2, testParams())
+	}()
+	ce, ok := caught.(*forkjoin.CanceledError)
+	if !ok {
+		t.Fatalf("tripped components panicked %T (%v), want *forkjoin.CanceledError", caught, caught)
+	}
+	if ce.Site != "graph.round" {
+		t.Fatalf("tripped components aborted at site %q, want graph.round", ce.Site)
+	}
+
+	// An untripped token must run to convergence and label correctly.
+	labels, _ := ConnectedComponentsMinHook(
+		forkjoin.SerialCancel(new(forkjoin.Cancel)), mem.NewSpace(), nv, edges, 0, testParams())
+	want := []int{0, 0, 0, 3, 3, 5, 5, 5}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Fatalf("labels = %v, want %v", labels, want)
+		}
+	}
+}

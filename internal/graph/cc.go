@@ -47,6 +47,9 @@ func ConnectedComponentsOblivious(c *forkjoin.Ctx, sp *mem.Space, n int, edges [
 	iters := 3*log2ceilInt(n) + 5
 	star := mem.Alloc[uint64](sp, n)
 	for it := 0; it < iters; it++ {
+		// Round boundaries are a function of n alone (fixed iteration
+		// bound), so a cancellation here reveals only the round index.
+		c.Check("graph.round")
 		// Conditional hooking: if star(u) and D[v] < D[u], D[D[u]] <- D[v].
 		computeStars(c, sp, d, star, srt)
 		hook(c, sp, d, star, us, vs, m2, false, srt)
@@ -186,6 +189,7 @@ func ConnectedComponentsDirect(c *forkjoin.Ctx, sp *mem.Space, n int, edges [][2
 	}
 	iters := 3*log2ceilInt(n) + 5
 	for it := 0; it < iters; it++ {
+		c.Check("graph.round")
 		stars()
 		hookLoop(func(c *forkjoin.Ctx, e int) {
 			for dir := 0; dir < 2; dir++ {

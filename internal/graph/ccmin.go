@@ -2,6 +2,7 @@ package graph
 
 import (
 	"oblivmc/internal/core"
+	"oblivmc/internal/faultinject"
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
@@ -73,6 +74,11 @@ func ConnectedComponentsMinHook(c *forkjoin.Ctx, sp *mem.Space, n int, edges [][
 		if fixed && executed == rounds {
 			break
 		}
+		// Cancellation checkpoint between rounds: the round boundary is
+		// public (fixed count, or a count the convergence mode reveals
+		// anyway), so an abort here reveals only the round index.
+		c.Check("graph.round")
+		faultinject.Hit("graph.round")
 		if !fixed {
 			mem.CopyPar(c, prev, 0, d, 0, n)
 		}

@@ -104,6 +104,9 @@ func EvalTreeOblivious(c *forkjoin.Ctx, sp *mem.Space, t ExprTree, seed uint64, 
 	}
 	rounds++ // slack round: extra rounds are oblivious no-ops
 	for r := 0; r < rounds && st.size > 1; r++ {
+		// Fixed public round count (leaf count halves per round); an abort
+		// here reveals only the round index.
+		c.Check("graph.round")
 		rakeHalfRound(c, sp, &st, true, p)
 		rakeHalfRound(c, sp, &st, false, p)
 		renumberLeaves(c, &st)

@@ -94,6 +94,9 @@ func ListRankOblivious(c *forkjoin.Ctx, sp *mem.Space, succ []int, weights []uin
 	}
 	cs, cr, ns, nr := s0, r0, s1, r1
 	for round := 0; round < rounds; round++ {
+		// Pointer-jumping round count is ⌈log₂ n⌉ — public shape, so a
+		// cancellation here reveals only the round index.
+		c.Check("graph.round")
 		forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
 			for pos := lo; pos < hi; pos++ {
 				s := cs.Get(c, pos)
@@ -167,6 +170,7 @@ func ListRankDirect(c *forkjoin.Ctx, sp *mem.Space, succ []int, weights []uint64
 	}
 	cs, cr, ns, nr := s0, r0, s1, r1
 	for round := 0; round < rounds; round++ {
+		c.Check("graph.round")
 		forkjoin.ParallelRange(c, 0, n, 0, func(c *forkjoin.Ctx, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				s := cs.Get(c, i)

@@ -77,6 +77,10 @@ func MinimumSpanningForestOblivious(c *forkjoin.Ctx, sp *mem.Space, n int, edges
 	maxIters := (log2ceilInt(n) + 2) * (log2ceilInt(n) + 2)
 	sel := mem.Alloc[obliv.Elem](sp, obliv.NextPow2(m2))
 	for it := 0; it < maxIters; it++ {
+		// Borůvka round boundaries: the iteration count is revealed by the
+		// convergence check (see doc), so a cancellation here leaks nothing
+		// beyond the round index.
+		c.Check("graph.round")
 		cu := pram.Gather(c, sp, d, us, srt)
 		cv := pram.Gather(c, sp, d, vs, srt)
 
@@ -247,6 +251,7 @@ func MinimumSpanningForestDirect(c *forkjoin.Ctx, sp *mem.Space, n int, edges []
 	maxIters := (log2ceilInt(n) + 2) * (log2ceilInt(n) + 2)
 	minEdge := make([]int, n)
 	for it := 0; it < maxIters; it++ {
+		c.Check("graph.round")
 		c.Op(int64(n + 2*m))
 		live := false
 		for e := range edges {

@@ -1,0 +1,44 @@
+package obliv
+
+import (
+	"testing"
+
+	"oblivmc/internal/forkjoin"
+	"oblivmc/internal/mem"
+)
+
+// TestScanCancelSite pins the scan checkpoint: a tripped token aborts the
+// prefix-sum sweeps at the public "scan.sweep" site, and an untripped
+// token leaves the scan result exact.
+func TestScanCancelSite(t *testing.T) {
+	const n = 64
+	sp := mem.NewSpace()
+	a := mem.Alloc[uint64](sp, n)
+	for i := 0; i < n; i++ {
+		a.Data()[i] = 1
+	}
+
+	cn := new(forkjoin.Cancel)
+	cn.Cancel()
+	var caught any
+	func() {
+		defer func() { caught = recover() }()
+		PrefixSumU64(forkjoin.SerialCancel(cn), sp, a, true)
+	}()
+	ce, ok := caught.(*forkjoin.CanceledError)
+	if !ok {
+		t.Fatalf("tripped scan panicked %T (%v), want *forkjoin.CanceledError", caught, caught)
+	}
+	if ce.Site != "scan.sweep" {
+		t.Fatalf("tripped scan aborted at site %q, want scan.sweep", ce.Site)
+	}
+
+	// The abort fired before the up-sweep, so the array still holds the
+	// input; a live token must now produce the inclusive prefix sums.
+	PrefixSumU64(forkjoin.SerialCancel(new(forkjoin.Cancel)), sp, a, true)
+	for i := 0; i < n; i++ {
+		if got := a.Data()[i]; got != uint64(i+1) {
+			t.Fatalf("prefix[%d] = %d after untripped scan, want %d", i, got, i+1)
+		}
+	}
+}

@@ -21,7 +21,12 @@ func ScanOp[T any](c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[T], op func(T, T
 		return
 	}
 	tree := mem.Alloc[T](sp, 2*n-1)
+	// Cancellation checkpoints between the two sweeps: the sweep boundary
+	// is a function of n alone, so an abort reveals only which public
+	// sweep was running.
+	c.Check("scan.sweep")
 	scanUp(c, a, tree, 0, 0, n, op)
+	c.Check("scan.sweep")
 	scanDown(c, a, tree, 0, 0, n, id, op, inclusive)
 }
 
@@ -143,6 +148,7 @@ func SumU64(c *forkjoin.Ctx, sp *mem.Space, a *mem.Array[uint64]) uint64 {
 		return 0
 	}
 	tree := mem.Alloc[uint64](sp, 2*n-1)
+	c.Check("scan.sweep")
 	scanUp(c, a, tree, 0, 0, n, func(x, y uint64) uint64 { return x + y })
 	return tree.Get(c, 0)
 }

@@ -20,6 +20,9 @@ import (
 // reusable scratch (nil = allocate fresh).
 func Execute(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, r Rel, pl plan.Plan, pred func(Record) bool, srt obliv.Sorter) int {
 	for _, op := range pl.Ops {
+		// Cancellation checkpoint between passes: the pass boundary is
+		// public plan shape, so an abort here reveals only the pass index.
+		c.Check("relops.pass")
 		switch op.Kind {
 		case plan.OpFilterMark:
 			filterMark(c, r.A, pred)

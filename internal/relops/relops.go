@@ -54,6 +54,7 @@ package relops
 import (
 	"fmt"
 
+	"oblivmc/internal/faultinject"
 	"oblivmc/internal/forkjoin"
 	"oblivmc/internal/mem"
 	"oblivmc/internal/obliv"
@@ -337,6 +338,10 @@ func sortSched(c *forkjoin.Ctx, sp *mem.Space, ar *Arena, a *mem.Array[obliv.Ele
 	if n <= 1 {
 		return
 	}
+	// Sort-pass seam: cancellation checkpoint plus the chaos harness's
+	// injection point (a no-op unless a test armed it).
+	c.Check("relops.sort")
+	faultinject.Hit("sort.pass")
 	ss, ok := srt.(obliv.ScheduledSorter)
 	if !ok {
 		panic(fmt.Sprintf("relops: sorter %s does not support key schedules (obliv.ScheduledSorter)", srt.Name()))

@@ -1,0 +1,246 @@
+package serve
+
+// Chaos tests: a storm of concurrent queries under injected panics, slow
+// passes, random client cancellations, and tight admission — the server
+// must keep every failure typed, leak no lanes (running gauge returns to
+// zero), retire-and-rebuild panicked lanes, and keep serving (cache
+// included) once the faults stop. Run with -race; the faultinject
+// registry is process-global, so these tests must not t.Parallel().
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oblivmc"
+	"oblivmc/internal/faultinject"
+)
+
+// chaosServer is a small serial server with a short admission queue so
+// the storm also exercises ErrBusy.
+func chaosServer(t *testing.T, lanes int, queryTimeout time.Duration) *Server {
+	t.Helper()
+	s := NewServer(Options{
+		Lanes:        lanes,
+		QueueTimeout: 50 * time.Millisecond,
+		QueryTimeout: queryTimeout,
+		Exec:         oblivmc.Config{Mode: oblivmc.ModeSerial},
+	})
+	t.Cleanup(s.Shutdown)
+	return s
+}
+
+// TestChaosStorm is the acceptance chaos run: >= 50 concurrent mixed
+// queries against a 2-lane server while a panic rule fires on every 9th
+// sort pass, a slow rule stretches every 4th, and a third of the clients
+// cancel their contexts early. Afterwards: no lane leaked, every error
+// was typed, and with the faults cleared the server still executes and
+// caches.
+func TestChaosStorm(t *testing.T) {
+	defer faultinject.Reset()
+	s := chaosServer(t, 2, 0)
+	mustLoad(t, s, "sales", testRows(256, 16, 21))
+	mustLoad(t, s, "edges2", testRows(128, 32, 22))
+
+	faultinject.PanicEvery("sort.pass", 9)
+	faultinject.SlowEvery("sort.pass", 4, 2*time.Millisecond)
+
+	specs := []QuerySpec{
+		{Table: "sales", GroupBy: "sum"},
+		{Table: "sales", GroupBy: "count", KeyOrderOut: true},
+		{Table: "sales", Distinct: true},
+		{Table: "sales", GroupBy: "max", TopK: 3},
+		{Table: "sales", Filter: &FilterSpec{Col: 0, Op: "lt", Value: 8}, GroupBy: "sum"},
+	}
+
+	const queries = 60
+	var (
+		wg                                    sync.WaitGroup
+		okN, busyN, canceledN, internalN, oth atomic.Int64
+	)
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if i%3 == 0 {
+				// A third of the clients walk away at a random moment.
+				go func(d time.Duration) {
+					time.Sleep(d)
+					cancel()
+				}(time.Duration(rng.Intn(4)) * time.Millisecond)
+			}
+			_, err := s.ExecuteCtx(ctx, specs[i%len(specs)])
+			switch {
+			case err == nil:
+				okN.Add(1)
+			case errors.Is(err, ErrBusy):
+				busyN.Add(1)
+			case errors.Is(err, oblivmc.ErrCanceled), errors.Is(err, oblivmc.ErrDeadline):
+				canceledN.Add(1)
+			case errors.Is(err, oblivmc.ErrInternal):
+				internalN.Add(1)
+			default:
+				oth.Add(1)
+				t.Errorf("untyped chaos error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if n := oth.Load(); n != 0 {
+		t.Fatalf("%d untyped errors escaped the lifecycle boundary", n)
+	}
+	if got := s.Running(); got != 0 {
+		t.Fatalf("running gauge = %d after the storm, want 0 (leaked lane)", got)
+	}
+	if got := s.PeakConcurrency(); got > s.Lanes() {
+		t.Fatalf("peak concurrency %d exceeded %d lanes", got, s.Lanes())
+	}
+	t.Logf("chaos: ok=%d busy=%d canceled=%d internal=%d",
+		okN.Load(), busyN.Load(), canceledN.Load(), internalN.Load())
+
+	// Faults off: the server (with any panicked lanes rebuilt) must still
+	// execute, and the second identical query must hit the cache.
+	faultinject.Reset()
+	spec := QuerySpec{Table: "sales", GroupBy: "min"}
+	if _, err := s.Execute(spec); err != nil {
+		t.Fatalf("post-chaos execution: %v", err)
+	}
+	warm, err := s.Execute(spec)
+	if err != nil {
+		t.Fatalf("post-chaos repeat: %v", err)
+	}
+	if !warm.Stats.Cached {
+		t.Fatal("post-chaos repeat was not served from the cache")
+	}
+}
+
+// TestQueryTimeoutReturns504 pins the deadline path: a query slower than
+// Options.QueryTimeout aborts with oblivmc.ErrDeadline, mapped to HTTP
+// 504, and returns its lane.
+func TestQueryTimeoutReturns504(t *testing.T) {
+	defer faultinject.Reset()
+	s := chaosServer(t, 1, 25*time.Millisecond)
+	mustLoad(t, s, "t", testRows(256, 8, 3))
+
+	faultinject.SlowEvery("sort.pass", 1, 40*time.Millisecond)
+	_, err := s.Execute(QuerySpec{Table: "t", GroupBy: "sum", KeyOrderOut: true})
+	if !errors.Is(err, oblivmc.ErrDeadline) {
+		t.Fatalf("slow query: err = %v, want ErrDeadline", err)
+	}
+	if got := statusOf(err); got != http.StatusGatewayTimeout {
+		t.Fatalf("statusOf(ErrDeadline) = %d, want 504", got)
+	}
+	if s.Running() != 0 {
+		t.Fatalf("running gauge = %d after timeout, want 0", s.Running())
+	}
+	faultinject.Reset()
+	if _, err := s.Execute(QuerySpec{Table: "t", GroupBy: "sum"}); err != nil {
+		t.Fatalf("query after a timeout: %v", err)
+	}
+}
+
+// TestLaneRetiredAfterPanic pins panic isolation at the serve layer: the
+// injected panic surfaces as ErrInternal (HTTP 500), the poisoned lane is
+// replaced, and the single-lane server keeps serving.
+func TestLaneRetiredAfterPanic(t *testing.T) {
+	defer faultinject.Reset()
+	s := chaosServer(t, 1, 0)
+	mustLoad(t, s, "t", testRows(128, 8, 4))
+
+	faultinject.PanicAt("sort.pass", 1)
+	_, err := s.Execute(QuerySpec{Table: "t", GroupBy: "sum"})
+	if !errors.Is(err, oblivmc.ErrInternal) {
+		t.Fatalf("injected panic: err = %v, want ErrInternal", err)
+	}
+	if got := statusOf(err); got != http.StatusInternalServerError {
+		t.Fatalf("statusOf(ErrInternal) = %d, want 500", got)
+	}
+	if s.Running() != 0 {
+		t.Fatalf("running gauge = %d after panic, want 0", s.Running())
+	}
+	faultinject.Reset()
+	// The only lane panicked; this succeeds only if it was rebuilt.
+	res, err := s.Execute(QuerySpec{Table: "t", GroupBy: "sum"})
+	if err != nil {
+		t.Fatalf("query on rebuilt lane: %v", err)
+	}
+	if res.Stats.Cached {
+		t.Fatal("rebuilt-lane query unexpectedly cached")
+	}
+}
+
+// TestShutdownDrainCancelsStragglers pins graceful degradation: a drain
+// deadline cancels still-running queries (their callers see ErrCanceled),
+// later arrivals get ErrDraining (503), and ShutdownDrain reports the
+// straggler count.
+func TestShutdownDrainCancelsStragglers(t *testing.T) {
+	defer faultinject.Reset()
+	s := NewServer(Options{
+		Lanes:        1,
+		QueueTimeout: time.Second,
+		Exec:         oblivmc.Config{Mode: oblivmc.ModeSerial},
+	})
+	mustLoad(t, s, "t", testRows(256, 8, 5))
+
+	faultinject.SlowEvery("sort.pass", 1, 50*time.Millisecond)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Execute(QuerySpec{Table: "t", GroupBy: "sum", KeyOrderOut: true})
+		errc <- err
+	}()
+	for s.Running() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	canceled := s.ShutdownDrain(10 * time.Millisecond)
+	if canceled != 1 {
+		t.Fatalf("ShutdownDrain canceled %d stragglers, want 1", canceled)
+	}
+	if err := <-errc; !errors.Is(err, oblivmc.ErrCanceled) {
+		t.Fatalf("straggler error = %v, want ErrCanceled", err)
+	}
+	if _, err := s.Execute(QuerySpec{Table: "t", GroupBy: "sum"}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain query: err = %v, want ErrDraining", err)
+	}
+	if got := statusOf(ErrDraining); got != http.StatusServiceUnavailable {
+		t.Fatalf("statusOf(ErrDraining) = %d, want 503", got)
+	}
+	if got := statusOf(ErrBusy); got != http.StatusTooManyRequests {
+		t.Fatalf("statusOf(ErrBusy) = %d, want 429", got)
+	}
+}
+
+// TestClientDisconnectCancelsQuery drives cancellation through the HTTP
+// handler's request context path via ExecuteCtx directly.
+func TestClientDisconnectCancelsQuery(t *testing.T) {
+	defer faultinject.Reset()
+	s := chaosServer(t, 1, 0)
+	mustLoad(t, s, "t", testRows(256, 8, 6))
+
+	faultinject.SlowEvery("sort.pass", 1, 40*time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for faultinject.Hits("sort.pass") == 0 {
+			time.Sleep(500 * time.Microsecond)
+		}
+		cancel()
+	}()
+	_, err := s.ExecuteCtx(ctx, QuerySpec{Table: "t", GroupBy: "sum", KeyOrderOut: true})
+	if !errors.Is(err, oblivmc.ErrCanceled) {
+		t.Fatalf("disconnected query: err = %v, want ErrCanceled", err)
+	}
+	if got := statusOf(err); got != 499 {
+		t.Fatalf("statusOf(ErrCanceled) = %d, want 499", got)
+	}
+	if s.Running() != 0 {
+		t.Fatalf("running gauge = %d after disconnect, want 0", s.Running())
+	}
+}

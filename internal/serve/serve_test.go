@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -311,7 +312,7 @@ func TestAdmissionBusy(t *testing.T) {
 	})
 	defer s.Shutdown()
 	mustLoad(t, s, "t", testRows(64, 4, 3))
-	l, err := s.checkout(0)
+	l, err := s.checkout(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -456,14 +457,14 @@ func TestLaneBucketsPreferWarmedSessions(t *testing.T) {
 	s := serialServer(t, 2)
 	big := bucketOf(1 << 12)
 	// Warm one lane to the big bucket by hand.
-	l, err := s.checkout(big)
+	l, err := s.checkout(context.Background(), big)
 	if err != nil {
 		t.Fatal(err)
 	}
 	warmed := l
 	s.checkin(l, big)
 	// A big request must pick the warmed lane, not the cold one.
-	l, err = s.checkout(big)
+	l, err = s.checkout(context.Background(), big)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -474,7 +475,7 @@ func TestLaneBucketsPreferWarmedSessions(t *testing.T) {
 	// A small request must prefer the small lane, leaving the big caches
 	// to big requests.
 	small := bucketOf(64)
-	l, err = s.checkout(small)
+	l, err = s.checkout(context.Background(), small)
 	if err != nil {
 		t.Fatal(err)
 	}

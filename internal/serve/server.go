@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,6 +35,11 @@ type Options struct {
 	// QueueTimeout bounds how long an admitted request waits for a free
 	// lane before failing with ErrBusy (0 = 5s).
 	QueueTimeout time.Duration
+	// QueryTimeout bounds one query's execution once it holds a lane
+	// (0 = unlimited). An expired query aborts cooperatively at its next
+	// public-shape checkpoint and fails with oblivmc.ErrDeadline
+	// (HTTP 504); the lane stays healthy and returns to the free list.
+	QueryTimeout time.Duration
 	// CacheSize bounds the materialized-result cache entries (0 = 128).
 	CacheSize int
 	// Exec is the execution config every lane session runs under. Its
@@ -69,6 +75,12 @@ type Server struct {
 	draining bool
 	inflight sync.WaitGroup
 
+	// cancels tracks the per-request cancel funcs of in-flight queries so
+	// ShutdownDrain can abort stragglers past the drain deadline.
+	cancelMu sync.Mutex
+	cancelID int64
+	cancels  map[int64]context.CancelFunc
+
 	// running / peak gauge the queries concurrently holding lanes — the
 	// admission-bound observable the stress test asserts on.
 	running atomic.Int64
@@ -95,10 +107,11 @@ func NewServer(opts Options) *Server {
 	}
 	opts.Exec = cfg
 	s := &Server{
-		reg:   NewRegistry(),
-		cache: newResultCache(opts.CacheSize),
-		opts:  opts,
-		sem:   make(chan struct{}, opts.Lanes),
+		reg:     NewRegistry(),
+		cache:   newResultCache(opts.CacheSize),
+		opts:    opts,
+		sem:     make(chan struct{}, opts.Lanes),
+		cancels: map[int64]context.CancelFunc{},
 	}
 	for i := 0; i < opts.Lanes; i++ {
 		s.free = append(s.free, &lane{sess: oblivmc.NewSession(cfg)})
@@ -129,6 +142,11 @@ func (s *Server) WorkersPerLane() int {
 // invariant the stress test asserts).
 func (s *Server) PeakConcurrency() int { return int(s.peak.Load()) }
 
+// Running returns the queries currently holding lanes — the gauge the
+// chaos test asserts returns to zero (no leaked lanes) after a storm of
+// cancellations, timeouts, and injected panics.
+func (s *Server) Running() int { return int(s.running.Load()) }
+
 // bucketOf maps a relation length to its lane size bucket (log₂ ceil).
 func bucketOf(n int) int {
 	b := 0
@@ -143,7 +161,7 @@ func bucketOf(n int) int {
 // bigger-warmed lanes free for the big requests that need their
 // caches), else the smallest bucket above it. Blocks up to the queue
 // timeout; admission order beyond the token queue is best-effort.
-func (s *Server) checkout(hint int) (*lane, error) {
+func (s *Server) checkout(ctx context.Context, hint int) (*lane, error) {
 	select {
 	case <-s.sem:
 	default:
@@ -153,6 +171,8 @@ func (s *Server) checkout(hint int) (*lane, error) {
 		case <-s.sem:
 		case <-t.C:
 			return nil, ErrBusy
+		case <-ctx.Done():
+			return nil, queueAbortErr(ctx)
 		}
 	}
 	s.mu.Lock()
@@ -192,6 +212,74 @@ func (s *Server) checkin(l *lane, hint int) {
 	s.sem <- struct{}{}
 }
 
+// retire replaces a poisoned lane: the session that panicked is closed
+// (its arena and sorter state are suspect) and a cold session takes the
+// slot, so the admission token returns to circulation and the panic never
+// shrinks capacity. The rebuilt lane starts at bucket 0 — it is warmed
+// for nothing.
+func (s *Server) retire(l *lane) {
+	l.sess.Close()
+	fresh := &lane{sess: oblivmc.NewSession(s.opts.Exec)}
+	s.running.Add(-1)
+	s.mu.Lock()
+	s.free = append(s.free, fresh)
+	s.mu.Unlock()
+	s.sem <- struct{}{}
+}
+
+// release returns the lane after a run: healthy lanes check in warmed to
+// hint, poisoned lanes (the run returned ErrInternal) are retired and
+// replaced.
+func (s *Server) release(l *lane, hint int, err error) {
+	if err != nil && errors.Is(err, oblivmc.ErrInternal) {
+		s.retire(l)
+		return
+	}
+	s.checkin(l, hint)
+}
+
+// trackCancel registers a per-request cancel func for drain-time abort;
+// the returned func unregisters it.
+func (s *Server) trackCancel(cancel context.CancelFunc) (untrack func()) {
+	s.cancelMu.Lock()
+	s.cancelID++
+	id := s.cancelID
+	s.cancels[id] = cancel
+	s.cancelMu.Unlock()
+	return func() {
+		s.cancelMu.Lock()
+		delete(s.cancels, id)
+		s.cancelMu.Unlock()
+	}
+}
+
+// queryCtx derives the execution context of one admitted request: the
+// caller's context (client disconnect), the query timeout, and a cancel
+// func registered for drain-time abort.
+func (s *Server) queryCtx(ctx context.Context) (context.Context, func()) {
+	var cancel context.CancelFunc
+	if s.opts.QueryTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.opts.QueryTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	untrack := s.trackCancel(cancel)
+	return ctx, func() {
+		untrack()
+		cancel()
+	}
+}
+
+// queueAbortErr types a context abort observed while still queued for a
+// lane: deadline → ErrDeadline, disconnect/cancel → ErrCanceled. No
+// execution happened, so there is no pass site to report.
+func queueAbortErr(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w (while queued for a lane)", oblivmc.ErrDeadline)
+	}
+	return fmt.Errorf("%w (while queued for a lane)", oblivmc.ErrCanceled)
+}
+
 // admit registers one in-flight request, failing when draining.
 func (s *Server) admit() error {
 	s.drainMu.Lock()
@@ -205,20 +293,53 @@ func (s *Server) admit() error {
 
 // Shutdown drains the server: new queries fail with ErrDraining, in-
 // flight queries finish, then every lane session is closed. Idempotent.
-func (s *Server) Shutdown() {
+func (s *Server) Shutdown() { s.ShutdownDrain(0) }
+
+// ShutdownDrain is Shutdown with a drain deadline: in-flight queries get
+// up to d to finish on their own; stragglers still running at the
+// deadline are canceled (they abort cooperatively at their next
+// public-shape checkpoint and their callers see ErrCanceled) and then
+// awaited, so the method never returns with a query still holding a
+// lane. d <= 0 waits indefinitely. Returns the number of stragglers
+// canceled. Idempotent: later calls return 0 immediately.
+func (s *Server) ShutdownDrain(d time.Duration) int {
 	s.drainMu.Lock()
 	if s.draining {
 		s.drainMu.Unlock()
-		return
+		return 0
 	}
 	s.draining = true
 	s.drainMu.Unlock()
-	s.inflight.Wait()
+
+	drained := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(drained)
+	}()
+	canceled := 0
+	if d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-drained:
+			t.Stop()
+		case <-t.C:
+			s.cancelMu.Lock()
+			for _, cancel := range s.cancels {
+				cancel()
+				canceled++
+			}
+			s.cancelMu.Unlock()
+			<-drained
+		}
+	} else {
+		<-drained
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, l := range s.free {
 		l.sess.Close()
 	}
+	return canceled
 }
 
 // Stats is the public execution accounting of one served query.
@@ -253,13 +374,24 @@ type Result struct {
 // registry store). Safe for concurrent use; concurrency is bounded by
 // the lane count.
 func (s *Server) Execute(spec QuerySpec) (Result, error) {
+	return s.ExecuteCtx(context.Background(), spec)
+}
+
+// ExecuteCtx is Execute under a caller context: the query aborts
+// cooperatively (at its next public-shape checkpoint) when ctx is
+// canceled — client disconnect via the HTTP handler — or when the
+// server's QueryTimeout expires, surfacing oblivmc.ErrCanceled or
+// oblivmc.ErrDeadline respectively. A run that panics surfaces
+// oblivmc.ErrInternal and the lane that ran it is retired and rebuilt,
+// returning its admission token.
+func (s *Server) ExecuteCtx(ctx context.Context, spec QuerySpec) (Result, error) {
 	if err := s.admit(); err != nil {
 		return Result{}, err
 	}
 	defer s.inflight.Done()
 
 	if spec.Graph != "" {
-		return s.executeGraph(spec)
+		return s.executeGraph(ctx, spec)
 	}
 
 	tab, q, key, err := spec.compile(s.reg)
@@ -273,18 +405,20 @@ func (s *Server) Execute(spec QuerySpec) (Result, error) {
 			Stats: Stats{Cached: true, Plan: hit.plan, Order: hit.tab.Order().String()},
 		}
 	} else {
+		qctx, done := s.queryCtx(ctx)
+		defer done()
 		hint := bucketOf(tab.Len())
 		if q.Join != nil {
 			if b := bucketOf(q.Join.Left.Len() + tab.Len()); b > hint {
 				hint = b
 			}
 		}
-		l, err := s.checkout(hint)
+		l, err := s.checkout(qctx, hint)
 		if err != nil {
 			return Result{}, err
 		}
-		out, stats, err := l.sess.RunQuery(tab, q)
-		s.checkin(l, hint)
+		out, stats, err := l.sess.RunQueryCtx(qctx, tab, q)
+		s.release(l, hint, err)
 		if err != nil {
 			return Result{}, err
 		}
@@ -316,7 +450,7 @@ func (s *Server) Execute(spec QuerySpec) (Result, error) {
 // than lending its session). Stats carry the operator's planned sort
 // accounting — exact for fixed-round shapes, 0 with a "rounds revealed"
 // plan for convergence runs.
-func (s *Server) executeGraph(spec QuerySpec) (Result, error) {
+func (s *Server) executeGraph(ctx context.Context, spec QuerySpec) (Result, error) {
 	tab, op, rounds, key, err := spec.compileGraph(s.reg)
 	if err != nil {
 		return Result{}, err
@@ -328,22 +462,45 @@ func (s *Server) executeGraph(spec QuerySpec) (Result, error) {
 			Stats: Stats{Cached: true, Plan: hit.plan, Order: hit.tab.Order().String()},
 		}
 	} else {
+		qctx, done := s.queryCtx(ctx)
+		defer done()
 		hint := bucketOf(tab.Len())
-		l, err := s.checkout(hint)
+		l, err := s.checkout(qctx, hint)
 		if err != nil {
 			return Result{}, err
 		}
+		// The graph operators run one-shot (the lane only bounds
+		// concurrency, it doesn't lend its session), so cancellation
+		// threads through the config token: one token covers every
+		// constituent run of a composite operator like PageRank.
+		cfg := s.opts.Exec
+		cn := oblivmc.NewCancel()
+		cfg.Cancel = cn
+		stopWatch := make(chan struct{})
+		go func() {
+			select {
+			case <-qctx.Done():
+				cn.Cancel()
+			case <-stopWatch:
+			}
+		}()
 		var out oblivmc.Table
 		switch op {
 		case oblivmc.GraphOpMSF:
-			out, _, err = oblivmc.MSF(s.opts.Exec, tab)
+			out, _, err = oblivmc.MSF(cfg, tab)
 		case oblivmc.GraphOpPageRank:
-			out, _, err = oblivmc.PageRank(s.opts.Exec, tab, rounds)
+			out, _, err = oblivmc.PageRank(cfg, tab, rounds)
 		default:
-			out, _, err = oblivmc.Components(s.opts.Exec, tab, rounds)
+			out, _, err = oblivmc.Components(cfg, tab, rounds)
 		}
+		close(stopWatch)
+		// The lane session never executed anything, so even a panicking
+		// one-shot run leaves it healthy: plain checkin, no retire.
 		s.checkin(l, hint)
 		if err != nil {
+			if errors.Is(err, oblivmc.ErrCanceled) && errors.Is(qctx.Err(), context.DeadlineExceeded) {
+				err = fmt.Errorf("%w: %v", oblivmc.ErrDeadline, err)
+			}
 			return Result{}, err
 		}
 		plan, err := oblivmc.GraphExplainTable(op, tab, rounds)
@@ -468,15 +625,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// statusOf maps server and library errors to HTTP statuses.
+// statusOf maps server and library errors to HTTP statuses:
+//
+//	429 ErrBusy        admission queue timed out — retry with backoff
+//	503 ErrDraining    server shutting down — retry against a replacement
+//	504 ErrDeadline    query exceeded QueryTimeout — aborted at a checkpoint
+//	500 ErrInternal    execution panicked — the lane was retired and rebuilt
+//	499 ErrCanceled    caller went away (nginx convention; rarely observed,
+//	                   the disconnected client reads nothing)
 func statusOf(err error) int {
 	switch {
 	case errors.Is(err, ErrNoSuchTable):
 		return http.StatusNotFound
 	case errors.Is(err, ErrTableExists):
 		return http.StatusConflict
-	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, oblivmc.ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, oblivmc.ErrInternal):
+		return http.StatusInternalServerError
+	case errors.Is(err, oblivmc.ErrCanceled):
+		return 499 // client closed request
 	case errors.Is(err, ErrBadSpec):
 		return http.StatusBadRequest
 	default:
@@ -549,7 +721,7 @@ func (s *Server) Handler() http.Handler {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
-		res, err := s.Execute(spec)
+		res, err := s.ExecuteCtx(r.Context(), spec)
 		if err != nil {
 			writeErr(w, err)
 			return

@@ -119,6 +119,13 @@ type Config struct {
 	DeterministicShuffle bool
 	// Tuning overrides the paper's default parameters (zero = defaults).
 	Tuning Tuning
+	// Cancel, when non-nil, arms the run's cooperative cancellation token:
+	// tripping it aborts the execution with ErrCanceled at the next
+	// public-shape checkpoint. Composite operators (PageRank, the staged
+	// query path) pass the config through, so one token covers all their
+	// constituent runs. An untripped token leaves every trace
+	// byte-identical to a run with no token. Use a fresh token per run.
+	Cancel *Cancel
 }
 
 // Tuning exposes the paper's tunables (see internal/core.Params).
@@ -172,8 +179,9 @@ func reportOf(m *forkjoin.Metrics) *Report {
 
 // run executes fn under the configured executor with one-shot resources
 // (fresh address space, per-call pool). Session holds the persistent
-// variant; see exec in session.go.
-func run(cfg Config, fn func(c *forkjoin.Ctx, sp *mem.Space)) *Report {
+// variant; see exec in session.go. A tripped Config.Cancel surfaces as
+// ErrCanceled; a panic out of the computation as *PanicError (ErrInternal).
+func run(cfg Config, fn func(c *forkjoin.Ctx, sp *mem.Space)) (*Report, error) {
 	return exec{cfg: cfg}.run(fn)
 }
 

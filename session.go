@@ -1,8 +1,12 @@
 package oblivmc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sync/atomic"
 
 	"oblivmc/internal/core"
 	"oblivmc/internal/forkjoin"
@@ -31,10 +35,40 @@ type exec struct {
 	// arena, when non-nil, is a long-lived relational scratch arena handed
 	// to every run in place of a per-run one.
 	arena *relops.Arena
+	// cancel, when non-nil, overrides cfg.Cancel as the run's cancellation
+	// token (the Session sets a fresh per-query token here).
+	cancel *forkjoin.Cancel
 }
 
-// run executes fn under e's executor.
-func (e exec) run(fn func(c *forkjoin.Ctx, sp *mem.Space)) *Report {
+// token resolves the run's cancellation token: the session's per-query
+// token when set, else the config-level one.
+func (e exec) token() *forkjoin.Cancel {
+	if e.cancel != nil {
+		return e.cancel
+	}
+	return e.cfg.Cancel.token()
+}
+
+// run executes fn under e's executor. It is the lifecycle boundary: a
+// tripped cancellation token surfaces as ErrCanceled (carrying only the
+// public checkpoint site), and any other panic out of the computation —
+// which has fully quiesced by the time it unwinds here, so the pool stays
+// structurally reusable — converts to a *PanicError wrapping ErrInternal.
+func (e exec) run(fn func(c *forkjoin.Ctx, sp *mem.Space)) (rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep = nil
+			switch p := r.(type) {
+			case *forkjoin.CanceledError:
+				err = fmt.Errorf("%w (at %s)", ErrCanceled, p.Site)
+			case *forkjoin.TaskPanic:
+				err = &PanicError{Val: p.Val, Stack: p.Stack}
+			default:
+				err = &PanicError{Val: r, Stack: debug.Stack()}
+			}
+		}
+	}()
+	cn := e.token()
 	sp := e.sp
 	if sp == nil {
 		sp = mem.NewSpace()
@@ -43,22 +77,23 @@ func (e exec) run(fn func(c *forkjoin.Ctx, sp *mem.Space)) *Report {
 	case ModeMetered:
 		m := forkjoin.RunMetered(forkjoin.MeterOpts{
 			CacheM: e.cfg.CacheM, CacheB: e.cfg.CacheB, EnableTrace: e.cfg.Trace,
+			Cancel: cn,
 		}, func(c *forkjoin.Ctx) { fn(c, sp) })
-		return reportOf(m)
+		return reportOf(m), nil
 	case ModeSerial:
-		fn(forkjoin.Serial(), sp)
-		return nil
+		fn(forkjoin.SerialCancel(cn), sp)
+		return nil, nil
 	default:
 		if e.pool != nil {
-			e.pool.Run(func(c *forkjoin.Ctx) { fn(c, sp) })
-			return nil
+			e.pool.RunCancel(cn, func(c *forkjoin.Ctx) { fn(c, sp) })
+			return nil, nil
 		}
 		w := e.cfg.Workers
 		if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
 		}
-		forkjoin.RunParallel(w, func(c *forkjoin.Ctx) { fn(c, sp) })
-		return nil
+		forkjoin.RunParallelCancel(w, cn, func(c *forkjoin.Ctx) { fn(c, sp) })
+		return nil, nil
 	}
 }
 
@@ -128,6 +163,16 @@ type Session struct {
 	arena   *relops.Arena
 	shuffle *core.ShuffleSorter
 	closed  bool
+
+	// cur is the in-flight query's cancellation token (nil when idle) —
+	// the seam Interrupt trips from other goroutines.
+	cur atomic.Pointer[forkjoin.Cancel]
+	// poisoned is set when a query panicked out of the execution: the
+	// arena and sorter state are suspect, so the session refuses further
+	// queries until rebuilt. (A cooperative cancellation does NOT poison:
+	// every pass rewrites its scratch from the freshly loaded relation, so
+	// an aborted pass leaves no state the next run reads.)
+	poisoned atomic.Bool
 }
 
 // NewSession creates a session executing under cfg. In ModeParallel (the
@@ -185,14 +230,44 @@ func (s *Session) exec() exec {
 	return exec{cfg: s.cfg, pool: s.pool, sp: s.sp, arena: s.arena}
 }
 
+// Interrupt cancels the in-flight query, if any: RunQuery/RunQueryCtx
+// returns ErrCanceled at its next public-shape checkpoint. Safe to call
+// from any goroutine, any number of times; a no-op when the session is
+// idle. The session stays reusable after an interrupt.
+func (s *Session) Interrupt() {
+	if cn := s.cur.Load(); cn != nil {
+		cn.Cancel()
+	}
+}
+
+// Poisoned reports whether a prior query panicked out of this session's
+// execution, leaving its arena/sorter state suspect. A poisoned session
+// refuses further queries with ErrInternal; close it and build a fresh one.
+func (s *Session) Poisoned() bool { return s.poisoned.Load() }
+
 // RunQuery executes q over t exactly like the package-level RunQuery, but
 // under the session's pooled resources, and returns the executed sort-pass
 // stats alongside the result. The input table's sorted-by token feeds the
 // planner (the cross-query skip); the result carries its own token for the
 // next query.
 func (s *Session) RunQuery(t Table, q Query) (Table, QueryStats, error) {
+	return s.RunQueryCtx(context.Background(), t, q)
+}
+
+// RunQueryCtx is RunQuery under a context: cancellation and deadlines
+// propagate into the execution at its public-shape checkpoints (between
+// sort passes, network layers, scan sweeps), returning ErrCanceled or
+// ErrDeadline. The abort reveals only public quantities — the checkpoint
+// site and the executed sort-pass count — never data.
+func (s *Session) RunQueryCtx(ctx context.Context, t Table, q Query) (Table, QueryStats, error) {
 	if s.closed {
 		return Table{}, QueryStats{}, fmt.Errorf("oblivmc: RunQuery on closed Session")
+	}
+	if s.poisoned.Load() {
+		return Table{}, QueryStats{}, fmt.Errorf("%w (session poisoned by a prior panic; rebuild it)", ErrInternal)
+	}
+	if ctx != nil && ctx.Err() != nil {
+		return Table{}, QueryStats{}, ctxErrOf(ctx, fmt.Errorf("%w (before execution)", ErrCanceled))
 	}
 	if t.Len() == 0 {
 		return Table{}, QueryStats{}, ErrEmptyInput
@@ -211,16 +286,30 @@ func (s *Session) RunQuery(t Table, q Query) (Table, QueryStats, error) {
 	}
 	passes := 0
 	srt := passCounter{inner: s.sorter(), n: &passes}
+	cn := new(forkjoin.Cancel)
+	s.cur.Store(cn)
+	defer s.cur.Store(nil)
+	stop := watchCtx(ctx, cn)
+	defer stop()
+	e := s.exec()
+	e.cancel = cn
 	var (
 		out Table
 		rep *Report
 	)
 	if q.NoOptimize {
-		out, rep, err = runQueryStaged(s.exec(), t, q, kind, srt)
+		out, rep, err = runQueryStaged(e, t, q, kind, srt)
 	} else {
-		out, rep, err = runQueryPlanned(s.exec(), t, q, kind, srt)
+		out, rep, err = runQueryPlanned(e, t, q, kind, srt)
 	}
 	if err != nil {
+		if errors.Is(err, ErrInternal) {
+			s.poisoned.Store(true)
+		}
+		if errors.Is(err, ErrCanceled) {
+			// The executed pass count is public shape, like the site.
+			err = fmt.Errorf("%w (after %d executed sort passes)", ctxErrOf(ctx, err), passes)
+		}
 		return Table{}, QueryStats{}, err
 	}
 	pl := plan.Build(q.shape(kind, t.Width(), t.order))

@@ -310,7 +310,7 @@ func (a Agg) kind() (relops.AggKind, error) {
 func runTableOp(e exec, t Table, srt obliv.Sorter, body func(c *forkjoin.Ctx, sp *mem.Space, ar *relops.Arena, r relops.Rel, srt obliv.Sorter) (relops.Rel, error)) (Table, *Report, error) {
 	var out Table
 	var runErr error
-	rep := e.run(func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := e.run(func(c *forkjoin.Ctx, sp *mem.Space) {
 		r, err := relops.Load(sp, recordsOf(t), t.Width())
 		if err != nil {
 			// Unreachable via NewTable/NewWideTable, but Load re-checks its
@@ -328,6 +328,9 @@ func runTableOp(e exec, t Table, srt obliv.Sorter, body func(c *forkjoin.Ctx, sp
 		}
 		out = tableOf(r)
 	})
+	if err != nil {
+		return Table{}, nil, err
+	}
 	if runErr != nil {
 		return Table{}, nil, runErr
 	}
@@ -509,7 +512,7 @@ func Join(cfg Config, left, right Table) ([]JoinedRow, *Report, error) {
 	}
 	var out []JoinedRow
 	var loadErr error
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		l, err := relops.Load(sp, recordsOf(left), 1)
 		if err != nil {
 			loadErr = err
@@ -525,6 +528,9 @@ func Join(cfg Config, left, right Table) ([]JoinedRow, *Report, error) {
 			out = append(out, JoinedRow{Key: rec.Key, LeftVal: rec.LeftVal, RightVal: rec.RightVal})
 		}
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	if loadErr != nil {
 		return nil, nil, loadErr
 	}
@@ -612,7 +618,7 @@ func JoinAllRows(cfg Config, left, right Table, maxOut int) ([]WideJoinedRow, *R
 	w := left.Width()
 	var out []WideJoinedRow
 	var runErr error
-	rep := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
+	rep, err := run(cfg, func(c *forkjoin.Ctx, sp *mem.Space) {
 		l, err := relops.Load(sp, recordsOf(left), w)
 		if err != nil {
 			runErr = err
@@ -641,6 +647,9 @@ func JoinAllRows(cfg Config, left, right Table, maxOut int) ([]WideJoinedRow, *R
 		}
 		out = wideJoinedOf(relops.UnloadJoined(j), w)
 	})
+	if err != nil {
+		return nil, nil, err
+	}
 	if runErr != nil {
 		return nil, nil, runErr
 	}
